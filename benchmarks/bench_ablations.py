@@ -1,0 +1,167 @@
+"""Ablation benchmarks for the library's own design choices (DESIGN.md §3).
+
+Not tied to a single paper claim; these quantify the engineering decisions:
+
+* A1 — backtracking inference level: NONE vs forward checking vs MAC
+  (node counts and wall-clock on refutation-heavy coloring workloads);
+* A2 — Datalog evaluation: naive vs semi-naive fixpoints on transitive
+  closure over growing chains;
+* A3 — join ordering: the smallest-first heuristic in ``join_all`` vs a
+  deliberately adversarial order;
+* A4 — DFA minimization in the constraint template: minimized vs raw subset
+  construction (template domain sizes differ exponentially).
+"""
+
+import pytest
+
+from repro.csp.solvers import backtracking
+from repro.csp.solvers.backtracking import Inference
+from repro.datalog.engine import evaluate_naive, evaluate_seminaive
+from repro.datalog.library import transitive_closure_program
+from repro.generators.csp_random import coloring_instance
+from repro.generators.graphs import cycle_graph
+from repro.relational.algebra import natural_join
+from repro.relational.relation import Relation
+from repro.views.certain import ViewSetup
+from repro.views.regex import regex_to_nfa
+
+
+@pytest.mark.benchmark(group="A1 inference levels")
+@pytest.mark.parametrize("inference", list(Inference), ids=lambda i: i.value)
+def test_a1_backtracking_inference(benchmark, inference):
+    instances = [coloring_instance(cycle_graph(n), 2) for n in (9, 11)]
+
+    def run():
+        return [backtracking.solve_with_stats(inst, inference) for inst in instances]
+
+    stats = benchmark(run)
+    assert all(s.solution is None for s in stats)
+    # Report the search effort through the benchmark's extra info.
+    benchmark.extra_info["nodes"] = sum(s.nodes for s in stats)
+
+
+def test_a1_mac_searches_fewer_nodes_than_blind():
+    inst = coloring_instance(cycle_graph(11), 2)
+    blind = backtracking.solve_with_stats(inst, Inference.NONE)
+    mac = backtracking.solve_with_stats(inst, Inference.MAC)
+    assert mac.nodes < blind.nodes
+
+
+@pytest.mark.benchmark(group="A2 datalog engines")
+@pytest.mark.parametrize("engine", [evaluate_naive, evaluate_seminaive],
+                         ids=["naive", "semi-naive"])
+def test_a2_datalog_engines(benchmark, engine):
+    program = transitive_closure_program()
+    db = {"E": {(i, i + 1) for i in range(24)}}
+    result = benchmark(lambda: engine(program, db))
+    assert len(result["T"]) == 24 * 25 // 2
+
+
+@pytest.mark.benchmark(group="A3 join order")
+@pytest.mark.parametrize("order", ["smallest-first", "adversarial"])
+def test_a3_join_order(benchmark, order):
+    # A selective relation and two large ones: starting from the large pair
+    # materializes a big intermediate; smallest-first avoids it.
+    small = Relation(("a", "b"), [(0, 0)])
+    big1 = Relation(("b", "c"), [(i % 2, i) for i in range(250)])
+    big2 = Relation(("c", "d"), [(i, i) for i in range(250)])
+    if order == "smallest-first":
+        from repro.relational.algebra import join_all
+
+        result = benchmark(lambda: join_all([big1, big2, small]))
+    else:
+        result = benchmark(
+            lambda: natural_join(natural_join(big1, big2), small)
+        )
+    assert len(result) == 125
+
+
+@pytest.mark.benchmark(group="A5 counting")
+@pytest.mark.parametrize("method", ["dp", "brute"])
+def test_a5_solution_counting(benchmark, method):
+    """Sum-product DP over the tree decomposition vs exhaustive counting —
+    polynomial vs exponential on a bounded-width instance."""
+    from repro.csp.solvers import brute
+    from repro.csp.solvers.decomposition import count_solutions
+
+    inst = coloring_instance(cycle_graph(12), 2)
+    expected = (2 - 1) ** 12 + (2 - 1)  # chromatic polynomial of C12 at q=2
+    if method == "dp":
+        count = benchmark(lambda: count_solutions(inst))
+    else:
+        count = benchmark(lambda: brute.count_solutions(inst))
+    assert count == expected
+
+
+@pytest.mark.benchmark(group="A7 game engines")
+@pytest.mark.parametrize("engine", ["strategy-pruning", "lfp"])
+def test_a7_game_engines(benchmark, engine):
+    """The two implementations of Theorem 4.5: the greatest-fixpoint
+    strategy pruning vs the least-fixpoint configuration induction.  Both
+    must return the same winner; the strategy engine scales better (it never
+    materializes all |A|^k × |B|^k configurations)."""
+    from repro.games.lfp import duplicator_wins_via_lfp
+    from repro.games.pebble import duplicator_wins
+    from repro.generators.graphs import graph_as_digraph_structure
+    from repro.relational.structure import Structure
+
+    k2 = Structure({"E": 2}, [0, 1], {"E": [(0, 1), (1, 0)]})
+    a = graph_as_digraph_structure(cycle_graph(6))
+    if engine == "strategy-pruning":
+        result = benchmark(lambda: duplicator_wins(a, k2, 2))
+    else:
+        result = benchmark(lambda: duplicator_wins_via_lfp(a, k2, 2))
+    assert result is True
+
+
+@pytest.mark.benchmark(group="A6 portfolio routing")
+@pytest.mark.parametrize(
+    "workload",
+    ["schaefer", "acyclic", "treewidth", "search"],
+)
+def test_a6_portfolio_routes(benchmark, workload):
+    """The structure-routing front door vs its fallback: routing overhead is
+    small and each tractable class lands on its fast path."""
+    from repro.csp.solvers import portfolio
+    from repro.dichotomy.cnf import cnf_to_csp
+    from repro.generators.graphs import complete_graph, partial_ktree, path_graph
+    from repro.generators.sat import random_horn
+
+    instances = {
+        "schaefer": cnf_to_csp(random_horn(12, 24, seed=5)),
+        "acyclic": coloring_instance(path_graph(14), 3),
+        "treewidth": coloring_instance(partial_ktree(12, 2, 0.9, seed=5), 3),
+        "search": coloring_instance(complete_graph(6), 3),
+    }
+    inst = instances[workload]
+    expected_route = {
+        "schaefer": portfolio.Route.SCHAEFER,
+        "acyclic": portfolio.Route.ACYCLIC,
+        "treewidth": portfolio.Route.TREEWIDTH,
+        "search": portfolio.Route.SEARCH,
+    }[workload]
+    assert portfolio.explain(inst) == expected_route
+    solution = benchmark(lambda: portfolio.solve(inst))
+    if solution is not None:
+        assert inst.normalize().is_solution(solution)
+
+
+@pytest.mark.benchmark(group="A4 template automaton")
+@pytest.mark.parametrize("minimize", [True, False], ids=["minimized", "raw"])
+def test_a4_template_automaton_size(benchmark, minimize):
+    views = ViewSetup({"V1": "a b", "V2": "c"})
+    query = "(a | b) (a | b) c"
+    alphabet = frozenset({"a", "b", "c"})
+
+    def run():
+        nfa = regex_to_nfa(query, alphabet).trimmed()
+        dfa = nfa.to_dfa()
+        if minimize:
+            dfa = dfa.minimized()
+        return len(dfa.states)
+
+    states = benchmark(run)
+    benchmark.extra_info["automaton_states"] = states
+    benchmark.extra_info["template_domain"] = 2 ** states
+    if minimize:
+        assert states <= 5

@@ -1,0 +1,53 @@
+"""E10 — Theorem 7.3 / Corollary 7.4: CSP over digraphs reduces to
+view-based query answering.
+
+Workload: 2-colorability CSPs (directed cycles, random digraphs) pushed
+through the reduction; the non-certain-answer verdict is asserted to match
+homomorphism existence (the exact brute-force certain checker applies: all
+view languages are finite with words of length ≤ 2).
+"""
+
+import pytest
+
+from repro.generators.graphs import directed_cycle_structure, random_digraph
+from repro.relational.homomorphism import homomorphism_exists
+from repro.relational.structure import Structure
+from repro.views.certain import certain_answer_bruteforce
+from repro.views.reduction import csp_to_view_reduction
+
+K2 = Structure({"E": 2}, [0, 1], {"E": [(0, 1), (1, 0)]})
+
+
+@pytest.mark.benchmark(group="E10 reduction construction")
+def test_e10_build_reduction(benchmark):
+    red = benchmark(lambda: csp_to_view_reduction(K2))
+    assert set(red.definitions) == {"Vloop", "Vedge", "Vs", "Vt"}
+
+
+@pytest.mark.benchmark(group="E10 round trip")
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_e10_directed_cycles(benchmark, n):
+    red = csp_to_view_reduction(K2)
+    a = directed_cycle_structure(n)
+    views, c, d = red.setup_for(a)
+
+    def run():
+        return certain_answer_bruteforce(red.query, views, c, d, max_word_length=2)
+
+    cert = benchmark(run)
+    assert (not cert) == homomorphism_exists(a, K2)
+    assert (not cert) == (n % 2 == 0)
+
+
+@pytest.mark.benchmark(group="E10 round trip")
+@pytest.mark.parametrize("seed", [0, 1])
+def test_e10_random_digraphs(benchmark, seed):
+    red = csp_to_view_reduction(K2)
+    a = random_digraph(3, 0.5, seed=seed)
+    if not a.relation("E"):
+        pytest.skip("degenerate input")
+    views, c, d = red.setup_for(a)
+    cert = benchmark(
+        lambda: certain_answer_bruteforce(red.query, views, c, d, max_word_length=2)
+    )
+    assert (not cert) == homomorphism_exists(a, K2)

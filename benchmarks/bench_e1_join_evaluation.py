@@ -1,0 +1,59 @@
+"""E1 — Proposition 2.1: CSP solvability ⟺ nonemptiness of the join.
+
+Workload: model-B random binary CSPs across the tightness spectrum plus
+colorability instances.  The experiment measures the join-evaluation solver
+and asserts its verdict agrees with backtracking search on every instance —
+the executable content of the proposition — and reports relative timings
+(the join pays for materializing intermediate relations; search wins on
+tight/unsatisfiable instances, the join is competitive on loose ones).
+"""
+
+import pytest
+
+from repro.csp.solvers import backtracking, join
+from repro.generators.csp_random import coloring_instance, random_binary_csp
+from repro.generators.graphs import cycle_graph, path_graph
+
+
+def _instances(tightness):
+    return [
+        random_binary_csp(
+            n_variables=9, domain_size=3, n_constraints=12, tightness=tightness, seed=s
+        )
+        for s in range(3)
+    ]
+
+
+@pytest.mark.benchmark(group="E1 join-evaluation")
+@pytest.mark.parametrize("tightness", [0.2, 0.4, 0.6])
+def test_e1_join_solver(benchmark, tightness):
+    instances = _instances(tightness)
+
+    def run():
+        return [join.is_solvable(inst) for inst in instances]
+
+    verdicts = benchmark(run)
+    expected = [backtracking.is_solvable(inst) for inst in instances]
+    assert verdicts == expected, "Proposition 2.1 violated"
+
+
+@pytest.mark.benchmark(group="E1 join-evaluation")
+@pytest.mark.parametrize("tightness", [0.2, 0.4, 0.6])
+def test_e1_backtracking_baseline(benchmark, tightness):
+    instances = _instances(tightness)
+    benchmark(lambda: [backtracking.is_solvable(inst) for inst in instances])
+
+
+@pytest.mark.benchmark(group="E1 colorability")
+@pytest.mark.parametrize("solver_name,decide", [
+    ("join", join.is_solvable),
+    ("backtracking", backtracking.is_solvable),
+])
+def test_e1_coloring_workload(benchmark, solver_name, decide):
+    instances = [
+        coloring_instance(cycle_graph(9), 3),
+        coloring_instance(cycle_graph(9), 2),   # odd cycle: unsolvable
+        coloring_instance(path_graph(12), 2),
+    ]
+    verdicts = benchmark(lambda: [decide(i) for i in instances])
+    assert verdicts == [True, False, True]

@@ -1,0 +1,75 @@
+"""E6 — Section 6's width comparison: treewidth vs querywidth vs hypertree
+width, and Yannakakis on acyclic instances.
+
+Workloads reproduce the section's qualitative table:
+
+* acyclic joins (paths, stars): all widths 1, Yannakakis linear;
+* cycles: treewidth 2, hypertree width 2;
+* cliques covered by one big constraint: treewidth n−1 but hypertree and
+  querywidth 1 — hypertree width is "the most powerful" notion (the
+  section's closing claim, asserted as hw ≤ qw ≤ incidence-tw bounds).
+"""
+
+import pytest
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.solvers import join
+from repro.generators.csp_random import coloring_instance
+from repro.generators.graphs import cycle_graph, path_graph
+from repro.width.acyclic import is_acyclic, yannakakis_is_solvable
+from repro.width.gaifman import instance_hypergraph
+from repro.width.hypertree import instance_hypertree_interval
+from repro.width.querywidth import query_width_interval
+from repro.width.treedecomp import treewidth_of_instance
+
+
+def big_constraint_instance(n):
+    rows = {tuple(range(n))}
+    return CSPInstance(list(range(n)), list(range(n)), [Constraint(tuple(range(n)), rows)])
+
+
+@pytest.mark.benchmark(group="E6 width computation")
+@pytest.mark.parametrize(
+    "name,builder,expected",
+    [
+        ("path", lambda: coloring_instance(path_graph(8), 2), dict(tw=1, hw=1, qw=1)),
+        ("cycle", lambda: coloring_instance(cycle_graph(8), 2), dict(tw=2, hw=2, qw=2)),
+        ("clique-one-edge", lambda: big_constraint_instance(6), dict(tw=5, hw=1, qw=1)),
+    ],
+)
+def test_e6_width_table(benchmark, name, builder, expected):
+    inst = builder()
+
+    def run():
+        return (
+            treewidth_of_instance(inst),
+            instance_hypertree_interval(inst),
+            query_width_interval(inst),
+        )
+
+    tw, (hw_lo, hw_hi), (qw_lo, qw_hi) = benchmark(run)
+    assert tw == expected["tw"]
+    assert hw_lo == expected["hw"]
+    assert hw_hi == expected["hw"] or hw_hi == expected["hw"] + 1
+    assert qw_lo == expected["qw"]
+    # The hierarchy: hypertree width ≤ querywidth (on these certificates).
+    assert hw_lo <= qw_hi
+
+
+@pytest.mark.benchmark(group="E6 Yannakakis vs join")
+@pytest.mark.parametrize("n", [10, 20, 30])
+def test_e6_yannakakis_scaling(benchmark, n):
+    inst = coloring_instance(path_graph(n), 2)
+    assert is_acyclic(instance_hypergraph(inst))
+    result = benchmark(lambda: yannakakis_is_solvable(inst))
+    assert result
+
+
+@pytest.mark.benchmark(group="E6 Yannakakis vs join")
+@pytest.mark.parametrize("n", [10, 20, 30])
+def test_e6_plain_join_scaling(benchmark, n):
+    """The unordered join baseline — same verdict, but intermediate results
+    can blow up where Yannakakis' semijoins stay linear."""
+    inst = coloring_instance(path_graph(n), 2)
+    result = benchmark(lambda: join.is_solvable(inst))
+    assert result

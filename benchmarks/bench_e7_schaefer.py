@@ -1,0 +1,75 @@
+"""E7 — Schaefer's dichotomy (Section 3): the six tractable classes run in
+polynomial time through their dedicated solvers; outside them the generic
+solver searches.
+
+Workload: random Horn / 2-SAT / affine families (tractable side) vs
+One-in-Three SAT (NP-complete side), n sweep.  Correctness of every verdict
+is asserted against DPLL / brute force.
+"""
+
+import pytest
+
+from repro.csp.solvers import brute
+from repro.dichotomy.boolean_solvers import solve_affine, solve_boolean
+from repro.dichotomy.cnf import cnf_to_csp, dpll, horn_sat, two_sat
+from repro.generators.sat import (
+    random_2sat,
+    random_affine_instance,
+    random_horn,
+    random_one_in_three_instance,
+)
+
+
+@pytest.mark.benchmark(group="E7 Horn")
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_e7_horn_unit_propagation(benchmark, n):
+    formulas = [random_horn(n, 2 * n, seed=s) for s in range(3)]
+    models = benchmark(lambda: [horn_sat(f) for f in formulas])
+    for f, m in zip(formulas, models):
+        assert (m is not None) == (dpll(f) is not None)
+
+
+@pytest.mark.benchmark(group="E7 2-SAT")
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_e7_twosat_scc(benchmark, n):
+    formulas = [random_2sat(n, 2 * n, seed=s) for s in range(3)]
+    models = benchmark(lambda: [two_sat(f) for f in formulas])
+    for f, m in zip(formulas, models):
+        assert (m is not None) == (dpll(f) is not None)
+
+
+@pytest.mark.benchmark(group="E7 affine")
+@pytest.mark.parametrize("n", [8, 16, 24])
+def test_e7_affine_gauss(benchmark, n):
+    instances = [random_affine_instance(n, n, seed=s) for s in range(3)]
+    solutions = benchmark(lambda: [solve_affine(inst) for inst in instances])
+    for inst, sol in zip(instances, solutions):
+        if sol is not None:
+            assert inst.is_solution(sol)
+        elif len(inst.variables) <= 10:
+            assert not brute.is_solvable(inst)
+
+
+@pytest.mark.benchmark(group="E7 NP-complete side")
+@pytest.mark.parametrize("n", [6, 9])
+def test_e7_one_in_three_generic_search(benchmark, n):
+    instances = [random_one_in_three_instance(n, n, seed=s) for s in range(3)]
+    solutions = benchmark(lambda: [solve_boolean(inst) for inst in instances])
+    for inst, sol in zip(instances, solutions):
+        if sol is not None:
+            assert inst.is_solution(sol)
+        else:
+            assert not brute.is_solvable(inst)
+
+
+@pytest.mark.benchmark(group="E7 dispatcher")
+@pytest.mark.parametrize("family,make", [
+    ("horn", lambda s: cnf_to_csp(random_horn(8, 16, seed=s))),
+    ("2sat", lambda s: cnf_to_csp(random_2sat(8, 16, seed=s))),
+    ("affine", lambda s: random_affine_instance(8, 8, seed=s)),
+])
+def test_e7_dispatcher_routes_tractable_families(benchmark, family, make):
+    instances = [make(s) for s in range(3)]
+    solutions = benchmark(lambda: [solve_boolean(inst) for inst in instances])
+    for inst, sol in zip(instances, solutions):
+        assert (sol is not None) == brute.is_solvable(inst)

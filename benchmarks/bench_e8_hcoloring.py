@@ -1,0 +1,59 @@
+"""E8 — Hell–Nešetřil dichotomy (Section 3): H-coloring is polynomial for
+bipartite targets and requires search for non-bipartite ones.
+
+Workload: random input graphs against K2 / C4 / path (polynomial side) and
+K3 / C5 (NP-complete side).  Verdicts are validated against the generic
+homomorphism search.
+"""
+
+import pytest
+
+from repro.dichotomy.hcoloring import (
+    HColoringClass,
+    classify_target,
+    graph_to_structure,
+    solve_hcoloring,
+)
+from repro.generators.graphs import complete_graph, cycle_graph, path_graph, random_graph
+from repro.relational.homomorphism import homomorphism_exists
+
+TARGETS = {
+    "K2": complete_graph(2),
+    "C4": cycle_graph(4),
+    "P3": path_graph(3),
+    "K3": complete_graph(3),
+    "C5": cycle_graph(5),
+}
+
+EXPECTED_CLASS = {
+    "K2": HColoringClass.POLYNOMIAL,
+    "C4": HColoringClass.POLYNOMIAL,
+    "P3": HColoringClass.POLYNOMIAL,
+    "K3": HColoringClass.NP_COMPLETE,
+    "C5": HColoringClass.NP_COMPLETE,
+}
+
+
+@pytest.mark.benchmark(group="E8 polynomial side")
+@pytest.mark.parametrize("target", ["K2", "C4", "P3"])
+@pytest.mark.parametrize("n", [12, 24])
+def test_e8_bipartite_targets(benchmark, target, n):
+    h = TARGETS[target]
+    assert classify_target(h) is EXPECTED_CLASS[target]
+    graphs = [random_graph(n, 0.15, seed=s) for s in range(3)]
+    mappings = benchmark(lambda: [solve_hcoloring(g, h) for g in graphs])
+    for g, mapping in zip(graphs, mappings):
+        assert (mapping is not None) == g.is_bipartite()
+
+
+@pytest.mark.benchmark(group="E8 np-complete side")
+@pytest.mark.parametrize("target", ["K3", "C5"])
+@pytest.mark.parametrize("n", [8, 10])
+def test_e8_nonbipartite_targets(benchmark, target, n):
+    h = TARGETS[target]
+    assert classify_target(h) is EXPECTED_CLASS[target]
+    graphs = [random_graph(n, 0.3, seed=s) for s in range(2)]
+    mappings = benchmark(lambda: [solve_hcoloring(g, h) for g in graphs])
+    for g, mapping in zip(graphs, mappings):
+        expected = homomorphism_exists(graph_to_structure(g), graph_to_structure(h))
+        assert (mapping is not None) == expected

@@ -1,0 +1,52 @@
+"""repro — constraint satisfaction and database theory, executable.
+
+A from-scratch Python reproduction of Moshe Y. Vardi's PODS 2000 tutorial
+*Constraint Satisfaction and Database Theory*.  Every definition of the
+paper is a data structure and every proposition/theorem an algorithm or a
+testable equivalence:
+
+* :mod:`repro.relational` — relations, relational algebra, structures,
+  homomorphisms (Section 2);
+* :mod:`repro.csp` — CSP instances, conversions, and the solver suite
+  (Sections 2–3, Prop 2.1);
+* :mod:`repro.cq` — conjunctive queries, canonical databases, Chandra–Merlin
+  containment, bounded-variable formulas (Sections 2, 6);
+* :mod:`repro.datalog` — bottom-up Datalog and the canonical program ρ_B
+  (Section 4);
+* :mod:`repro.games` — existential k-pebble games (Sections 4–5);
+* :mod:`repro.consistency` — local consistency and establishing strong
+  k-consistency (Section 5);
+* :mod:`repro.width` — treewidth, acyclicity/Yannakakis, querywidth,
+  hypertree width (Section 6);
+* :mod:`repro.dichotomy` — Schaefer's dichotomy, Hell–Nešetřil H-coloring,
+  polymorphisms (Section 3);
+* :mod:`repro.views` — RPQs, view-based query answering, the two
+  CSP ↔ view-answering reductions, maximal rewritings (Section 7);
+* :mod:`repro.generators` — workload generators for tests and benchmarks.
+"""
+
+from repro.csp.convert import csp_to_homomorphism, homomorphism_to_csp
+from repro.csp.solvers.portfolio import explain as explain_route
+from repro.csp.solvers.portfolio import is_solvable, solve
+from repro.csp.instance import Constraint, CSPInstance
+from repro.relational.homomorphism import find_homomorphism, homomorphism_exists
+from repro.relational.relation import Relation
+from repro.relational.structure import Structure, Vocabulary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Relation",
+    "Structure",
+    "Vocabulary",
+    "Constraint",
+    "CSPInstance",
+    "solve",
+    "is_solvable",
+    "explain_route",
+    "csp_to_homomorphism",
+    "homomorphism_to_csp",
+    "homomorphism_exists",
+    "find_homomorphism",
+]

@@ -1,0 +1,42 @@
+"""Local consistency, arc/path consistency, and establishing strong
+k-consistency (Section 5 of the tutorial)."""
+
+from repro.consistency.arc import (
+    ArcResult,
+    ac3,
+    enforce_arc_consistency,
+    path_consistency,
+    singleton_arc_consistency,
+)
+from repro.consistency.establish import (
+    can_establish,
+    check_establishes,
+    establish_strong_k_consistency,
+    establishment_csp,
+    is_coherent,
+)
+from repro.consistency.local import (
+    is_i_consistent,
+    is_i_consistent_via_homomorphisms,
+    is_strongly_k_consistent,
+    is_strongly_k_consistent_via_game,
+    partial_solutions_on,
+)
+
+__all__ = [
+    "ac3",
+    "ArcResult",
+    "enforce_arc_consistency",
+    "path_consistency",
+    "singleton_arc_consistency",
+    "is_i_consistent",
+    "is_strongly_k_consistent",
+    "is_i_consistent_via_homomorphisms",
+    "is_strongly_k_consistent_via_game",
+    "partial_solutions_on",
+    "can_establish",
+    "check_establishes",
+    "establish_strong_k_consistency",
+    "establishment_csp",
+    "is_coherent",
+]

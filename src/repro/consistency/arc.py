@@ -1,0 +1,247 @@
+"""Arc and path consistency — the classical k=2, 3 consistency workhorses.
+
+Section 5 of the tutorial traces the consistency approach to Freuder [23, 24]
+and Dechter [17].  Arc consistency is (2-)consistency enforced by domain
+filtering; path consistency tightens binary relations through third
+variables.  Both are special cases of "establishing strong k-consistency",
+but their direct algorithms (AC-3, PC-2 style) are far cheaper and are what
+practical CSP solvers interleave with search, so the library provides them
+standalone.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.csp.instance import Constraint, CSPInstance
+
+__all__ = [
+    "ac3",
+    "enforce_arc_consistency",
+    "path_consistency",
+    "singleton_arc_consistency",
+    "ArcResult",
+]
+
+
+class ArcResult:
+    """Result of an arc-consistency run.
+
+    Attributes
+    ----------
+    domains:
+        The filtered per-variable domains.
+    consistent:
+        False iff some domain was wiped out (the instance is unsolvable).
+    revisions:
+        Number of revise operations performed.
+    """
+
+    __slots__ = ("domains", "consistent", "revisions")
+
+    def __init__(self, domains: dict[Any, set[Any]], consistent: bool, revisions: int):
+        self.domains = domains
+        self.consistent = consistent
+        self.revisions = revisions
+
+    def __repr__(self) -> str:
+        return f"ArcResult(consistent={self.consistent}, revisions={self.revisions})"
+
+
+def ac3(instance: CSPInstance) -> ArcResult:
+    """Generalized AC-3: filter each variable's domain to the values that
+    have a *support* in every constraint mentioning it (all other scope
+    variables take values in their current domains).
+
+    Runs to fixpoint; sound (never removes a value that occurs in a
+    solution) and therefore a decision procedure for unsatisfiability only.
+    """
+    instance = instance.normalize()
+    domains: dict[Any, set[Any]] = {v: set(instance.domain) for v in instance.variables}
+    constraints_on: dict[Any, list[Constraint]] = {v: [] for v in instance.variables}
+    for c in instance.constraints:
+        for v in c.variables():
+            constraints_on[v].append(c)
+
+    queue: list[tuple[Constraint, Any]] = [
+        (c, v) for c in instance.constraints for v in c.variables()
+    ]
+    revisions = 0
+    while queue:
+        constraint, variable = queue.pop()
+        revisions += 1
+        supported: set[Any] = set()
+        scope = constraint.scope
+        for row in constraint.relation:
+            if all(row[i] in domains[scope[i]] for i in range(len(scope))):
+                for i, v in enumerate(scope):
+                    if v == variable:
+                        supported.add(row[i])
+        new = domains[variable] & supported
+        if new != domains[variable]:
+            domains[variable] = new
+            if not new:
+                return ArcResult(domains, False, revisions)
+            for c in constraints_on[variable]:
+                for v in c.variables():
+                    if v != variable:
+                        queue.append((c, v))
+    return ArcResult(domains, True, revisions)
+
+
+def enforce_arc_consistency(instance: CSPInstance) -> CSPInstance | None:
+    """Return an equivalent instance whose constraint relations are filtered
+    to arc-consistent domains (as added unary constraints), or ``None`` if
+    arc consistency wipes out a domain (the instance is unsolvable)."""
+    result = ac3(instance)
+    if not result.consistent:
+        return None
+    instance = instance.normalize()
+    extra = [
+        Constraint((v,), {(value,) for value in dom})
+        for v, dom in result.domains.items()
+    ]
+    filtered = []
+    for c in instance.constraints:
+        rows = {
+            row
+            for row in c.relation
+            if all(row[i] in result.domains[c.scope[i]] for i in range(c.arity))
+        }
+        filtered.append(Constraint(c.scope, rows))
+    return CSPInstance(instance.variables, instance.domain, filtered + extra).normalize()
+
+
+def singleton_arc_consistency(instance: CSPInstance) -> ArcResult:
+    """Singleton arc consistency (SAC): a value survives iff *assigning it*
+    leaves the instance arc-consistent.
+
+    Strictly stronger than AC (it refutes, e.g., 2-coloring odd cycles,
+    which plain AC cannot), still polynomial: one AC-3 run per
+    variable/value pair, iterated to fixpoint.  Sound: assigning any value
+    of any solution leaves an AC-consistent instance, so solution values
+    are never pruned.
+    """
+    instance = instance.normalize()
+    base = ac3(instance)
+    if not base.consistent:
+        return base
+    domains = {v: set(d) for v, d in base.domains.items()}
+    revisions = base.revisions
+
+    changed = True
+    while changed:
+        changed = False
+        for variable in instance.variables:
+            for value in sorted(domains[variable], key=repr):
+                probe = _with_domains(instance, domains, variable, value)
+                result = ac3(probe)
+                revisions += result.revisions
+                if not result.consistent:
+                    domains[variable].discard(value)
+                    changed = True
+                    if not domains[variable]:
+                        return ArcResult(domains, False, revisions)
+    return ArcResult(domains, True, revisions)
+
+
+def _with_domains(
+    instance: CSPInstance,
+    domains: dict[Any, set[Any]],
+    pinned_variable: Any,
+    pinned_value: Any,
+) -> CSPInstance:
+    """The instance restricted to the current domains with one variable
+    pinned — expressed via added unary constraints."""
+    extra = [
+        Constraint(
+            (v,),
+            {(pinned_value,)} if v == pinned_variable else {(x,) for x in dom},
+        )
+        for v, dom in domains.items()
+    ]
+    return CSPInstance(
+        instance.variables, instance.domain, list(instance.constraints) + extra
+    )
+
+
+def path_consistency(instance: CSPInstance) -> CSPInstance | None:
+    """Path consistency (PC-2 style) for *binary-or-smaller* instances.
+
+    For every ordered pair ``(x, y)`` the implicit binary relation
+    ``R_xy`` is tightened through every third variable ``z``:
+    ``R_xy ← R_xy ∩ π_xy(R_xz ⋈ R_zy)``, to fixpoint.  Returns the
+    tightened equivalent instance (with explicit binary constraints for all
+    pairs) or ``None`` when some relation empties, proving unsolvability.
+
+    Instances containing constraints of arity > 2 are handled by first
+    projecting those constraints onto their variable pairs — the result is
+    then a sound *relaxation*, still usable for refutation.
+    """
+    instance = instance.normalize()
+    variables = list(instance.variables)
+    domain = sorted(instance.domain, key=repr)
+
+    # R[x][y]: set of allowed (value_x, value_y) pairs, x != y.
+    pairs: dict[tuple[Any, Any], set[tuple[Any, Any]]] = {}
+    full = {(u, w) for u in domain for w in domain}
+    for x in variables:
+        for y in variables:
+            if x != y:
+                pairs[(x, y)] = set(full)
+
+    unary: dict[Any, set[Any]] = {v: set(domain) for v in variables}
+    for c in instance.constraints:
+        if c.arity == 1:
+            unary[c.scope[0]] &= {row[0] for row in c.relation}
+        elif c.arity == 2:
+            x, y = c.scope
+            pairs[(x, y)] &= set(c.relation)
+            pairs[(y, x)] &= {(b, a) for a, b in c.relation}
+        else:
+            # Project higher-arity constraints onto each ordered pair.
+            for i in range(c.arity):
+                for j in range(c.arity):
+                    if i != j:
+                        x, y = c.scope[i], c.scope[j]
+                        pairs[(x, y)] &= {(row[i], row[j]) for row in c.relation}
+
+    for v, dom in unary.items():
+        for y in variables:
+            if y != v:
+                pairs[(v, y)] = {p for p in pairs[(v, y)] if p[0] in dom}
+                pairs[(y, v)] = {p for p in pairs[(y, v)] if p[1] in dom}
+
+    changed = True
+    while changed:
+        changed = False
+        for x in variables:
+            for y in variables:
+                if x == y:
+                    continue
+                for z in variables:
+                    if z == x or z == y:
+                        continue
+                    allowed = {
+                        (a, b)
+                        for (a, b) in pairs[(x, y)]
+                        if any(
+                            (a, cv) in pairs[(x, z)] and (cv, b) in pairs[(z, y)]
+                            for cv in domain
+                        )
+                    }
+                    if allowed != pairs[(x, y)]:
+                        pairs[(x, y)] = allowed
+                        pairs[(y, x)] = {(b, a) for a, b in allowed}
+                        if not allowed:
+                            return None
+                        changed = True
+
+    constraints = [
+        Constraint((x, y), pairs[(x, y)])
+        for x in variables
+        for y in variables
+        if repr(x) < repr(y)
+    ]
+    constraints += [Constraint((v,), {(a,) for a in unary[v]}) for v in variables]
+    return CSPInstance(variables, instance.domain, constraints).normalize()

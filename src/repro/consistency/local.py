@@ -1,0 +1,141 @@
+"""Local consistency — Definitions 5.2 and Proposition 5.3 of the tutorial.
+
+``i``-consistency: every partial solution on ``i−1`` variables extends to any
+``i``-th variable.  Strong ``k``-consistency: ``i``-consistency for all
+``i ≤ k``.  Proposition 5.3 recasts both in terms of partial homomorphisms of
+the homomorphism instance and of the existential k-pebble game; this module
+implements the direct definitional checks *and* the game-based
+reformulations, which the test suite verifies to coincide.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Any
+
+from repro.csp.convert import csp_to_homomorphism
+from repro.csp.instance import CSPInstance
+from repro.errors import DomainError
+from repro.games.pebble import has_forth_property, is_winning_strategy
+from repro.relational.homomorphism import is_partial_homomorphism
+from repro.relational.structure import Structure
+
+__all__ = [
+    "partial_solutions_on",
+    "is_i_consistent",
+    "is_strongly_k_consistent",
+    "is_i_consistent_via_homomorphisms",
+    "is_strongly_k_consistent_via_game",
+]
+
+
+def partial_solutions_on(
+    instance: CSPInstance, variables: tuple[Any, ...]
+) -> list[dict[Any, Any]]:
+    """All partial solutions on exactly the given variables.
+
+    A partial solution violates no constraint whose scope lies entirely
+    inside ``variables`` (cf. the discussion before Definition 5.2).
+    Exhaustive — meant for the small ``i`` of the consistency definitions.
+    """
+    domain = sorted(instance.domain, key=repr)
+    relevant = [
+        c for c in instance.constraints if set(c.scope) <= set(variables)
+    ]
+    out = []
+    for values in product(domain, repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if all(c.satisfied_by(assignment) for c in relevant):
+            out.append(assignment)
+    return out
+
+
+def is_i_consistent(instance: CSPInstance, i: int) -> bool:
+    """Definition 5.2: every partial solution on ``i−1`` variables extends to
+    every further variable."""
+    if i < 1:
+        raise DomainError(f"i-consistency needs i >= 1, got {i}")
+    variables = instance.variables
+    if len(variables) < i:
+        return True
+    for base in combinations(variables, i - 1):
+        partials = partial_solutions_on(instance, base)
+        for extra in variables:
+            if extra in base:
+                continue
+            for assignment in partials:
+                if not _extends(instance, assignment, extra):
+                    return False
+    return True
+
+
+def _extends(instance: CSPInstance, assignment: dict[Any, Any], variable: Any) -> bool:
+    extended_vars = set(assignment) | {variable}
+    relevant = [
+        c
+        for c in instance.constraints
+        if variable in c.scope and set(c.scope) <= extended_vars
+    ]
+    for value in instance.domain:
+        assignment[variable] = value
+        if all(c.satisfied_by(assignment) for c in relevant):
+            del assignment[variable]
+            return True
+    del assignment[variable]
+    return False
+
+
+def is_strongly_k_consistent(instance: CSPInstance, k: int) -> bool:
+    """Strong k-consistency: i-consistency for every ``i ≤ k`` (Def 5.2)."""
+    return all(is_i_consistent(instance, i) for i in range(1, k + 1))
+
+
+def _partial_homomorphism_family(
+    a: Structure, b: Structure, size: int
+) -> set[frozenset]:
+    """All partial homomorphisms A → B with domain of size exactly ``size``."""
+    family: set[frozenset] = set()
+    a_elems = sorted(a.domain, key=repr)
+    b_elems = sorted(b.domain, key=repr)
+    for dom in combinations(a_elems, size):
+        for image in product(b_elems, repeat=size):
+            mapping = dict(zip(dom, image))
+            if is_partial_homomorphism(mapping, a, b):
+                family.add(frozenset(mapping.items()))
+    return family
+
+
+def is_i_consistent_via_homomorphisms(instance: CSPInstance, i: int) -> bool:
+    """Proposition 5.3 (first half): ``P`` is i-consistent iff the family of
+    all (i−1)-element partial homomorphisms of ``(A_P, B_P)`` has the i-forth
+    property."""
+    if i < 1:
+        raise DomainError(f"i-consistency needs i >= 1, got {i}")
+    a, b = csp_to_homomorphism(instance)
+    if len(a.domain) < i:
+        return True
+    family = _partial_homomorphism_family(a, b, i - 1)
+    family |= _partial_homomorphism_family(a, b, i)  # extensions to test against
+    base = {f for f in family if len(f) == i - 1}
+    # forth with threshold i: every (i-1)-sized member extends to each element.
+    for f in base:
+        dom = {p[0] for p in f}
+        for x in a.domain:
+            if x in dom:
+                continue
+            if not any(
+                f < g and len(g) == i and x in {p[0] for p in g} for g in family
+            ):
+                return False
+    return True
+
+
+def is_strongly_k_consistent_via_game(instance: CSPInstance, k: int) -> bool:
+    """Proposition 5.3 (second half): ``P`` is strongly k-consistent iff the
+    family of *all* ≤k-partial homomorphisms of ``(A_P, B_P)`` is a winning
+    strategy for the Duplicator in the existential k-pebble game."""
+    a, b = csp_to_homomorphism(instance)
+    family: set[frozenset] = set()
+    for size in range(0, k + 1):
+        family |= _partial_homomorphism_family(a, b, size)
+    return is_winning_strategy(family, a, b, k) and has_forth_property(family, a, k)

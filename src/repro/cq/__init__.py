@@ -1,0 +1,58 @@
+"""Conjunctive queries: evaluation, canonical databases, containment,
+minimization, and bounded-variable formulas (Sections 2 and 6)."""
+
+from repro.cq.bounded import (
+    AndFormula,
+    AtomFormula,
+    ExistsFormula,
+    count_variables,
+    evaluate_formula,
+    formula_for_structure,
+    formula_from_tree_decomposition,
+    formula_to_query,
+    free_variables,
+)
+from repro.cq.canonical import (
+    canonical_database,
+    canonical_query,
+    structure_from_query_body,
+)
+from repro.cq.containment import (
+    are_equivalent,
+    containment_homomorphism,
+    is_contained_in,
+    is_contained_in_via_homomorphism,
+    minimize,
+)
+from repro.cq.evaluate import atom_relation, evaluate, evaluate_boolean, satisfying_assignments
+from repro.cq.parser import parse_atom, parse_query
+from repro.cq.query import Atom, ConjunctiveQuery, Var
+
+__all__ = [
+    "Var",
+    "Atom",
+    "ConjunctiveQuery",
+    "parse_query",
+    "parse_atom",
+    "evaluate",
+    "evaluate_boolean",
+    "atom_relation",
+    "satisfying_assignments",
+    "canonical_database",
+    "canonical_query",
+    "structure_from_query_body",
+    "is_contained_in",
+    "is_contained_in_via_homomorphism",
+    "containment_homomorphism",
+    "are_equivalent",
+    "minimize",
+    "AtomFormula",
+    "AndFormula",
+    "ExistsFormula",
+    "free_variables",
+    "count_variables",
+    "evaluate_formula",
+    "formula_from_tree_decomposition",
+    "formula_to_query",
+    "formula_for_structure",
+]

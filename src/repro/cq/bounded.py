@@ -1,0 +1,285 @@
+"""Bounded-variable existential positive formulas — ∃FO^k_{∧,+}.
+
+Proposition 6.1: a structure ``A`` has treewidth ``k`` iff its canonical
+query ``φ_A`` is expressible with at most ``k+1`` variables in the fragment
+∃FO_{∧,+} (no negation, no disjunction, no universal quantifier).  The proof
+of Theorem 6.2 turns a width-``k`` tree decomposition into such a formula and
+evaluates it in polynomial combined complexity; this module implements both
+halves:
+
+* a tiny AST (:class:`AtomFormula`, :class:`AndFormula`,
+  :class:`ExistsFormula`) with :func:`count_variables`;
+* :func:`formula_from_tree_decomposition` — the parse-tree construction:
+  bottom-up over a rooted decomposition, reusing variable names so that at
+  most ``width+1`` distinct names ever occur;
+* :func:`evaluate_formula` — memoized recursive evaluation whose state space
+  is (subformula × assignments to ≤ k+1 free variables), i.e. the
+  ``O(n^{k+1})``-shaped algorithm behind Theorem 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import DecompositionError
+from repro.relational.structure import Structure
+from repro.width.treedecomp import TreeDecomposition
+
+__all__ = [
+    "AtomFormula",
+    "AndFormula",
+    "ExistsFormula",
+    "Formula",
+    "free_variables",
+    "count_variables",
+    "evaluate_formula",
+    "formula_from_tree_decomposition",
+    "formula_to_query",
+    "formula_for_structure",
+]
+
+
+@dataclass(frozen=True)
+class AtomFormula:
+    """``R(x1, …, xn)`` with variable names as strings."""
+
+    predicate: str
+    variables: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class AndFormula:
+    """A (possibly empty) conjunction; the empty conjunction is *true*."""
+
+    conjuncts: tuple
+
+
+@dataclass(frozen=True)
+class ExistsFormula:
+    """``∃ x1 … xm . sub``."""
+
+    variables: tuple[str, ...]
+    sub: "Formula"
+
+
+Formula = AtomFormula | AndFormula | ExistsFormula
+
+
+def free_variables(formula: Formula) -> frozenset[str]:
+    """The free variables of the formula."""
+    if isinstance(formula, AtomFormula):
+        return frozenset(formula.variables)
+    if isinstance(formula, AndFormula):
+        out: frozenset[str] = frozenset()
+        for c in formula.conjuncts:
+            out |= free_variables(c)
+        return out
+    return free_variables(formula.sub) - frozenset(formula.variables)
+
+
+def count_variables(formula: Formula) -> int:
+    """The number of *distinct variable names* in the formula — the measure
+    that defines the fragments ∃FO^k_{∧,+} and ∃L^k_{∞ω}."""
+    names: set[str] = set()
+
+    def walk(f: Formula) -> None:
+        if isinstance(f, AtomFormula):
+            names.update(f.variables)
+        elif isinstance(f, AndFormula):
+            for c in f.conjuncts:
+                walk(c)
+        else:
+            names.update(f.variables)
+            walk(f.sub)
+
+    walk(formula)
+    return len(names)
+
+
+def evaluate_formula(
+    formula: Formula,
+    structure: Structure,
+    assignment: Mapping[str, Any] | None = None,
+) -> bool:
+    """Evaluate a sentence (or a formula under ``assignment``) on a structure.
+
+    Memoized on ``(subformula, assignment ↾ free variables)``: with at most
+    ``k`` variable names the table has polynomially many entries, giving the
+    polynomial combined complexity cited from [58] in Theorem 6.2's proof.
+    """
+    memo: dict[tuple[int, frozenset], bool] = {}
+    domain = sorted(structure.domain, key=repr)
+
+    def ev(f: Formula, env: dict[str, Any]) -> bool:
+        fv = free_variables(f)
+        key = (id(f), frozenset((v, env[v]) for v in fv))
+        if key in memo:
+            return memo[key]
+        if isinstance(f, AtomFormula):
+            result = tuple(env[v] for v in f.variables) in structure.relation(
+                f.predicate
+            )
+        elif isinstance(f, AndFormula):
+            result = all(ev(c, env) for c in f.conjuncts)
+        else:
+            result = _exists(f, env)
+        memo[key] = result
+        return result
+
+    def _exists(f: ExistsFormula, env: dict[str, Any]) -> bool:
+        def assign(i: int) -> bool:
+            if i == len(f.variables):
+                return ev(f.sub, env)
+            name = f.variables[i]
+            saved = env.get(name, _MISSING)
+            for value in domain:
+                env[name] = value
+                if assign(i + 1):
+                    if saved is _MISSING:
+                        env.pop(name, None)
+                    else:
+                        env[name] = saved
+                    return True
+            if saved is _MISSING:
+                env.pop(name, None)
+            else:
+                env[name] = saved
+            return False
+
+        return assign(0)
+
+    env = dict(assignment or {})
+    missing = free_variables(formula) - set(env)
+    if missing:
+        raise DecompositionError(f"unassigned free variables: {sorted(missing)!r}")
+    return ev(formula, env)
+
+
+_MISSING = object()
+
+
+def formula_from_tree_decomposition(
+    structure: Structure, decomposition: TreeDecomposition
+) -> Formula:
+    """Build a sentence in ∃FO^{w+1}_{∧,+} equivalent to ``φ_A`` from a
+    width-``w`` tree decomposition of ``A`` (the construction in the proof of
+    Theorem 6.2).
+
+    Variable names come from the fixed pool ``x0 … xw``; an element shares
+    its name with the parent bag where possible and otherwise takes any name
+    not used by the elements shared with the parent — the name reuse that
+    keeps the total count at ``w + 1``.
+    """
+    pool = [f"x{i}" for i in range(decomposition.width + 1)]
+    bags = decomposition.bags
+    root, children = decomposition.rooted()
+
+    # Attach each fact of the structure to one bag containing its elements.
+    facts_of: dict[Any, list[tuple[str, tuple]]] = {node: [] for node in bags}
+    for symbol, t in structure.facts():
+        elems = set(t)
+        home = next((n for n in sorted(bags, key=repr) if elems <= bags[n]), None)
+        if home is None:
+            raise DecompositionError(
+                f"fact {symbol}{t!r} is contained in no bag; invalid decomposition"
+            )
+        facts_of[home].append((symbol, t))
+
+    uncovered = structure.domain - decomposition.vertices_covered()
+    if uncovered:
+        raise DecompositionError(
+            f"decomposition misses domain elements: {sorted(uncovered, key=repr)!r}"
+        )
+
+    def build(node: Any, naming: dict[Any, str]) -> Formula:
+        """``naming`` maps this bag's elements to variable names (injective)."""
+        bag = bags[node]
+        conjuncts: list[Formula] = [
+            AtomFormula(symbol, tuple(naming[v] for v in t))
+            for symbol, t in facts_of[node]
+        ]
+        for child in children[node]:
+            child_bag = bags[child]
+            shared = child_bag & bag
+            child_naming = {v: naming[v] for v in shared}
+            used = set(child_naming.values())
+            free_names = [n for n in pool if n not in used]
+            new_elements = sorted(child_bag - shared, key=repr)
+            if len(new_elements) > len(free_names):
+                raise DecompositionError("bag larger than the variable pool")
+            fresh = []
+            for v, name in zip(new_elements, free_names):
+                child_naming[v] = name
+                fresh.append(name)
+            sub = build(child, child_naming)
+            conjuncts.append(ExistsFormula(tuple(fresh), sub) if fresh else sub)
+        return AndFormula(tuple(conjuncts))
+
+    root_naming = {
+        v: name for v, name in zip(sorted(bags[root], key=repr), pool)
+    }
+    body = build(root, root_naming)
+    root_names = tuple(root_naming[v] for v in sorted(bags[root], key=repr))
+    return ExistsFormula(root_names, body)
+
+
+def formula_to_query(formula: Formula, name: str = "Q") -> "ConjunctiveQuery":
+    """Unnest a sentence of ∃FO_{∧,+} into an equivalent Boolean conjunctive
+    query — the converse direction of Proposition 6.1.
+
+    Reused variable names are renamed apart (each ∃ introduces fresh copies),
+    so a k-variable formula yields a query whose canonical structure has
+    treewidth ≤ k − 1: the formula's quantification tree is a tree
+    decomposition whose bags are the ≤ k names in scope at each node.
+    Verified in ``tests/cq/test_bounded.py`` by round-tripping structures
+    through ``formula_from_tree_decomposition`` and back.
+    """
+    from repro.cq.query import Atom, ConjunctiveQuery
+
+    counter = [0]
+    atoms: list[Atom] = []
+
+    def fresh(base: str) -> str:
+        counter[0] += 1
+        return f"{base}_{counter[0]}"
+
+    def walk(f: Formula, scope: dict[str, str]) -> None:
+        if isinstance(f, AtomFormula):
+            missing = [v for v in f.variables if v not in scope]
+            if missing:
+                raise DecompositionError(
+                    f"free variables {missing!r} in a sentence-level conversion"
+                )
+            from repro.cq.query import Var
+
+            atoms.append(
+                Atom(f.predicate, tuple(Var(scope[v]) for v in f.variables))
+            )
+        elif isinstance(f, AndFormula):
+            for c in f.conjuncts:
+                walk(c, scope)
+        else:
+            inner = dict(scope)
+            for v in f.variables:
+                inner[v] = fresh(v)
+            walk(f.sub, inner)
+
+    walk(formula, {})
+    if not atoms:
+        # The trivially true sentence: represent with a single tautological
+        # marker is impossible without vocabulary; reject explicitly.
+        raise DecompositionError("cannot convert an atom-free (trivially true) sentence")
+    return ConjunctiveQuery(name, (), atoms)
+
+
+def formula_for_structure(structure: Structure) -> Formula:
+    """A bounded-variable sentence equivalent to ``φ_A``, from a heuristic
+    tree decomposition of the structure's Gaifman graph."""
+    from repro.width.gaifman import gaifman_graph
+    from repro.width.treedecomp import heuristic_decomposition
+
+    graph = gaifman_graph(structure)
+    if not graph.vertices:
+        return AndFormula(())
+    return formula_from_tree_decomposition(structure, heuristic_decomposition(graph))

@@ -1,0 +1,115 @@
+"""Canonical databases and canonical queries (Propositions 2.2 and 2.3).
+
+The *canonical database* ``D^Q`` of a conjunctive query treats each variable
+as a fresh domain element and each body atom as a fact; for every
+distinguished variable ``X_i`` a marker predicate ``P_i`` holds of ``X_i``
+(and every constant ``c`` gets a marker ``Const_c`` so that homomorphisms
+must fix constants).  The *canonical query* ``φ_A`` of a structure is the
+Boolean conjunctive query whose body lists all facts of ``A``.
+
+These two constructions mediate the classical equivalences::
+
+    Q1 ⊆ Q2  ⟺  (X1,…,Xn) ∈ Q2(D^{Q1})  ⟺  ∃ hom D^{Q2} → D^{Q1}   (Prop 2.2)
+    ∃ hom A → B  ⟺  B ⊨ φ_A  ⟺  φ_B ⊆ φ_A                            (Prop 2.3)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cq.query import Atom, ConjunctiveQuery, Var
+from repro.relational.structure import Structure, Vocabulary
+
+__all__ = [
+    "canonical_database",
+    "canonical_query",
+    "structure_from_query_body",
+    "distinguished_marker",
+    "constant_marker",
+]
+
+
+def distinguished_marker(position: int) -> str:
+    """Name of the marker predicate ``P_i`` for the i-th distinguished
+    variable (1-indexed, as in the tutorial)."""
+    return f"P{position}"
+
+
+def constant_marker(constant: Any) -> str:
+    """Name of the marker predicate pinning a constant to itself."""
+    return f"Const_{constant!r}"
+
+
+def structure_from_query_body(query: ConjunctiveQuery) -> Structure:
+    """The body of ``query`` as a structure: variables and constants are the
+    domain, each atom a fact.  No marker predicates are added."""
+    arities = dict(query.predicates())
+    domain: set[Any] = set(query.variables())
+    facts: dict[str, list[tuple]] = {p: [] for p in arities}
+    for atom in query.body:
+        domain.update(atom.terms)
+        facts[atom.predicate].append(tuple(atom.terms))
+    return Structure(Vocabulary(arities), domain, facts)
+
+
+def canonical_database(
+    query: ConjunctiveQuery,
+    extra_predicates: dict[str, int] | None = None,
+    constants: set[Any] | None = None,
+) -> Structure:
+    """The canonical database ``D^Q`` with distinguished-variable markers.
+
+    Parameters
+    ----------
+    extra_predicates:
+        Additional ``{predicate: arity}`` entries interpreted as empty, so
+        another query over a larger vocabulary can be evaluated on the
+        result.
+    constants:
+        Constants (beyond those in the query) whose markers should exist in
+        the vocabulary; each constant occurring in the query is added to the
+        domain and marked automatically.
+    """
+    arities = dict(query.predicates())
+    for name, arity in (extra_predicates or {}).items():
+        if name in arities and arities[name] != arity:
+            raise ValueError(f"conflicting arity for {name!r}")
+        arities[name] = arity
+
+    domain: set[Any] = set(query.variables())
+    facts: dict[str, list[tuple]] = {p: [] for p in arities}
+    for atom in query.body:
+        domain.update(atom.terms)
+        facts.setdefault(atom.predicate, []).append(tuple(atom.terms))
+
+    for i, v in enumerate(query.distinguished, start=1):
+        marker = distinguished_marker(i)
+        arities[marker] = 1
+        facts[marker] = [(v,)]
+
+    all_constants = {t for t in domain if not isinstance(t, Var)}
+    for c in constants or ():
+        all_constants.add(c)
+        domain.add(c)
+    for c in all_constants:
+        marker = constant_marker(c)
+        arities[marker] = 1
+        facts[marker] = [(c,)]
+
+    return Structure(Vocabulary(arities), domain, facts)
+
+
+def canonical_query(structure: Structure, name: str = "Phi") -> ConjunctiveQuery:
+    """The Boolean canonical query ``φ_A`` of a structure (Prop 2.3): one
+    existential variable per domain element, one body atom per fact.
+
+    Isolated domain elements (in no fact) are dropped — they are
+    existentially quantified with no constraints, so the query is logically
+    unchanged (assuming nonempty databases, the standard convention).
+    """
+    var_of = {a: Var(f"x{i}") for i, a in enumerate(sorted(structure.domain, key=repr))}
+    body = [
+        Atom(symbol, tuple(var_of[v] for v in t))
+        for symbol, t in structure.facts()
+    ]
+    return ConjunctiveQuery(name, (), body)

@@ -1,0 +1,79 @@
+"""Conjunctive-query evaluation over relational structures.
+
+``Q(D)`` is computed by the textbook join plan: translate each body atom to
+a relation over its variables (selecting on constants and repeated
+variables), natural-join everything, and project onto the distinguished
+variables.  Proposition 2.1's join-evaluation view of CSP is the Boolean
+special case.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.cq.query import Atom, ConjunctiveQuery, Var
+from repro.errors import VocabularyError
+from repro.relational.algebra import join_all, project
+from repro.relational.relation import Relation
+from repro.relational.structure import Structure
+
+__all__ = ["atom_relation", "evaluate", "evaluate_boolean", "satisfying_assignments"]
+
+
+def atom_relation(atom: Atom, database: Structure) -> Relation:
+    """The relation of assignments to the atom's variables that match the
+    database: rows of ``database.relation(atom.predicate)`` filtered on
+    constants and repeated variables, projected to one column per variable.
+    """
+    if atom.predicate not in database.vocabulary:
+        raise VocabularyError(
+            f"predicate {atom.predicate!r} not in the database vocabulary"
+        )
+    rows = database.relation(atom.predicate)
+    variables = atom.variables()
+    first_position = {v: atom.terms.index(v) for v in variables}
+
+    def matches(row: tuple) -> bool:
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Var):
+                if row[i] != row[first_position[term]]:
+                    return False
+            elif row[i] != term:
+                return False
+        return True
+
+    out = (
+        tuple(row[first_position[v]] for v in variables)
+        for row in rows
+        if matches(row)
+    )
+    return Relation(tuple(v.name for v in variables), out)
+
+
+def _body_join(query: ConjunctiveQuery, database: Structure) -> Relation:
+    return join_all(atom_relation(atom, database) for atom in query.body)
+
+
+def evaluate(query: ConjunctiveQuery, database: Structure) -> Relation:
+    """Evaluate ``Q(D)``: the relation over the distinguished variables.
+
+    For a Boolean query the result is the nullary relation — nonempty
+    (containing the empty tuple) iff the query holds.
+    """
+    joined = _body_join(query, database)
+    return project(joined, tuple(v.name for v in query.distinguished))
+
+
+def evaluate_boolean(query: ConjunctiveQuery, database: Structure) -> bool:
+    """Whether a Boolean conjunctive query holds on the database."""
+    return bool(_body_join(query, database))
+
+
+def satisfying_assignments(
+    query: ConjunctiveQuery, database: Structure
+) -> Iterator[dict[Var, Any]]:
+    """Iterate all assignments of *all* query variables that satisfy the body
+    (the query's "satisfying valuations", not just the projected answers)."""
+    joined = _body_join(query, database)
+    for t in sorted(joined.tuples, key=repr):
+        yield {Var(a): value for a, value in zip(joined.attributes, t)}

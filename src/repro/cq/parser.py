@@ -1,0 +1,142 @@
+"""A small parser for conjunctive queries in rule syntax.
+
+Grammar (whitespace-insensitive)::
+
+    rule     ::=  head ':-' atom (',' atom)* '.'?
+    head     ::=  NAME '(' termlist? ')'
+    atom     ::=  NAME '(' termlist ')'
+    termlist ::=  term (',' term)*
+    term     ::=  VARIABLE | NAME | INTEGER | quoted string
+
+Following Datalog convention, identifiers starting with an uppercase letter
+or underscore are variables; lowercase identifiers, integers, and quoted
+strings are constants.
+
+>>> q = parse_query("Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).")
+>>> len(q.body)
+3
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.cq.query import Atom, ConjunctiveQuery, Var
+from repro.errors import ParseError
+
+__all__ = ["parse_query", "parse_atom", "parse_term"]
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_]*)|(?P<int>-?\d+)"
+    r"|(?P<str>'[^']*'|\"[^\"]*\")|(?P<punct>:-|[(),.]))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m or m.end() == pos:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise ParseError(f"cannot tokenize near {rest[:20]!r}")
+        pos = m.end()
+        for kind in ("name", "int", "str", "punct"):
+            value = m.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+def parse_term(token: tuple[str, str]) -> Any:
+    """Interpret one token as a term (Var, int, or string constant)."""
+    kind, value = token
+    if kind == "name":
+        if value[0].isupper() or value[0] == "_":
+            return Var(value)
+        return value
+    if kind == "int":
+        return int(value)
+    if kind == "str":
+        return value[1:-1]
+    raise ParseError(f"expected a term, got {value!r}")
+
+
+class _Cursor:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.i = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.i += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        tok = self.next()
+        if tok[1] != value:
+            raise ParseError(f"expected {value!r}, got {tok[1]!r}")
+
+
+def _parse_atom(cur: _Cursor) -> Atom:
+    kind, name = cur.next()
+    if kind != "name":
+        raise ParseError(f"expected a predicate name, got {name!r}")
+    cur.expect("(")
+    terms: list[Any] = []
+    tok = cur.peek()
+    if tok and tok[1] == ")":
+        cur.next()
+        return Atom(name, terms)
+    while True:
+        terms.append(parse_term(cur.next()))
+        kind, value = cur.next()
+        if value == ")":
+            return Atom(name, terms)
+        if value != ",":
+            raise ParseError(f"expected ',' or ')', got {value!r}")
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom like ``R(X, y, 3)``."""
+    cur = _Cursor(_tokenize(text))
+    atom = _parse_atom(cur)
+    trailing = cur.peek()
+    if trailing is not None:
+        raise ParseError(f"trailing input after atom: {trailing[1]!r}")
+    return atom
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query rule ``Q(X, Y) :- R(X, Z), S(Z, Y).``"""
+    cur = _Cursor(_tokenize(text))
+    head = _parse_atom(cur)
+    for t in head.terms:
+        if not isinstance(t, Var):
+            raise ParseError(f"head terms must be variables, got {t!r}")
+    cur.expect(":-")
+    body = [_parse_atom(cur)]
+    while True:
+        tok = cur.peek()
+        if tok is None:
+            break
+        if tok[1] == ",":
+            cur.next()
+            body.append(_parse_atom(cur))
+        elif tok[1] == ".":
+            cur.next()
+            if cur.peek() is not None:
+                raise ParseError("trailing input after final '.'")
+            break
+        else:
+            raise ParseError(f"expected ',' or '.', got {tok[1]!r}")
+    return ConjunctiveQuery(head.predicate, list(head.terms), body)

@@ -1,0 +1,16 @@
+"""Constraint-satisfaction core: instances, conversions, and solvers."""
+
+from repro.csp.convert import (
+    csp_to_homomorphism,
+    homomorphism_to_csp,
+    solutions_are_homomorphisms,
+)
+from repro.csp.instance import Constraint, CSPInstance
+
+__all__ = [
+    "Constraint",
+    "CSPInstance",
+    "csp_to_homomorphism",
+    "homomorphism_to_csp",
+    "solutions_are_homomorphisms",
+]

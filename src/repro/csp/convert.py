@@ -1,0 +1,99 @@
+"""Conversions between the AI formulation and the homomorphism formulation.
+
+Section 2 of the tutorial (following Feder–Vardi [21]) observes that a CSP
+instance ``P = (V, D, C)`` and a homomorphism problem between two structures
+are the same thing:
+
+* ``csp_to_homomorphism`` builds the *homomorphism instance*
+  ``(A_P, B_P)``: the domain of ``A_P`` is ``V``, the domain of ``B_P`` is
+  ``D``, the relations of ``B_P`` are the distinct constraint relations, and
+  ``R^A = {t : (t, R) ∈ C}``.
+* ``homomorphism_to_csp`` is the inverse *breaking up*: each tuple
+  ``t ∈ R^A`` becomes a constraint ``(t, R^B)``.
+
+Both directions preserve the solution set: solutions of ``P`` are exactly
+the homomorphisms ``A_P → B_P``.  The round-trip property is tested in
+``tests/csp/test_convert.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.relational.structure import Structure, Vocabulary
+
+__all__ = [
+    "csp_to_homomorphism",
+    "homomorphism_to_csp",
+    "solutions_are_homomorphisms",
+]
+
+
+def csp_to_homomorphism(instance: CSPInstance) -> tuple[Structure, Structure]:
+    """Build the homomorphism instance ``(A_P, B_P)`` of a CSP instance.
+
+    The instance is normalized first (Section 2's lossless rewritings), so
+    scopes have distinct variables and occur once.  Distinct constraint
+    relations are shared: two constraints with the same relation map to the
+    same relation symbol, exactly as in the tutorial ("the relations of
+    ``B_P`` are the distinct relations ``R`` occurring in ``C``").
+
+    Returns ``(A, B)`` with ``dom(A) = V`` and ``dom(B) = D``; the mappings
+    ``h: V → D`` that are homomorphisms ``A → B`` are precisely the solutions
+    of the instance.
+    """
+    instance = instance.normalize()
+
+    # Group constraints by their (arity, relation) so identical relations
+    # share one symbol, as in the paper's construction.
+    groups: dict[tuple[int, frozenset[tuple[Any, ...]]], list[tuple[Any, ...]]] = {}
+    for c in instance.constraints:
+        groups.setdefault((c.arity, c.relation), []).append(c.scope)
+
+    arities: dict[str, int] = {}
+    a_relations: dict[str, list[tuple[Any, ...]]] = {}
+    b_relations: dict[str, frozenset[tuple[Any, ...]]] = {}
+    for i, ((arity, relation), scopes) in enumerate(
+        sorted(groups.items(), key=lambda kv: (kv[0][0], sorted(map(repr, kv[0][1]))))
+    ):
+        symbol = f"R{i}"
+        arities[symbol] = arity
+        a_relations[symbol] = scopes
+        b_relations[symbol] = relation
+
+    vocabulary = Vocabulary(arities)
+    a = Structure(vocabulary, instance.variables, a_relations)
+    b = Structure(vocabulary, instance.domain, b_relations)
+    return a, b
+
+
+def homomorphism_to_csp(a: Structure, b: Structure) -> CSPInstance:
+    """Build the CSP instance ``CSP(A, B)`` of a homomorphism problem.
+
+    Every tuple ``t ∈ R^A`` is "broken up" into the constraint
+    ``(t, R^B)``.  Variables are the domain of ``A`` (in sorted order for
+    determinism) and values are the domain of ``B``.
+    """
+    variables = sorted(a.domain, key=repr)
+    constraints = [
+        Constraint(t, b.relation(symbol))
+        for symbol in a.vocabulary
+        for t in sorted(a.relation(symbol), key=repr)
+    ]
+    return CSPInstance(variables, b.domain, constraints)
+
+
+def solutions_are_homomorphisms(
+    instance: CSPInstance, mapping: Mapping[Any, Any]
+) -> bool:
+    """Check the defining equivalence on one mapping: ``mapping`` solves the
+    instance iff it is a homomorphism of the homomorphism instance.
+
+    Returns ``True`` when the two sides agree (whether both hold or both
+    fail) — used by the property-based tests.
+    """
+    from repro.relational.homomorphism import is_homomorphism
+
+    a, b = csp_to_homomorphism(instance)
+    return instance.normalize().is_solution(mapping) == is_homomorphism(mapping, a, b)

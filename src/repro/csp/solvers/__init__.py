@@ -1,0 +1,36 @@
+"""The CSP solver suite.
+
+Every solver decides the same problem; they differ in strategy and in the
+tractable classes they witness:
+
+* :mod:`~repro.csp.solvers.brute` — exhaustive oracle for tests;
+* :mod:`~repro.csp.solvers.backtracking` — classical search (+FC/+MAC);
+* :mod:`~repro.csp.solvers.backjumping` — conflict-directed backjumping;
+* :mod:`~repro.csp.solvers.join` — Proposition 2.1's join evaluation;
+* :mod:`~repro.csp.solvers.consistency` — k-consistency via pebble games
+  (Theorems 4.6/4.7);
+* :mod:`~repro.csp.solvers.decomposition` — bounded-treewidth DP
+  (Theorem 6.2);
+* :mod:`~repro.csp.solvers.portfolio` — structure-routing front door
+  (`repro.solve`).
+"""
+
+from repro.csp.solvers import (
+    backjumping,
+    backtracking,
+    brute,
+    consistency,
+    decomposition,
+    join,
+    portfolio,
+)
+
+__all__ = [
+    "brute",
+    "backtracking",
+    "backjumping",
+    "join",
+    "consistency",
+    "decomposition",
+    "portfolio",
+]

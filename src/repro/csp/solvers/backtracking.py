@@ -1,0 +1,235 @@
+"""Backtracking search for CSP, with optional inference.
+
+This is the classical AI solver family the tutorial's Section 1 alludes to
+("researchers in artificial intelligence have pursued both heuristics ...").
+Three inference levels are provided:
+
+* ``Inference.NONE`` — chronological backtracking, checking only constraints
+  whose scope has just become fully assigned;
+* ``Inference.FORWARD_CHECKING`` — after each assignment, prune the candidate
+  sets of neighbouring unassigned variables through binary and almost-
+  instantiated constraints;
+* ``Inference.MAC`` — maintain (generalized) arc consistency on the residual
+  problem after each assignment (AC-3 over constraint/variable arcs).
+
+Variable order is dynamic (minimum-remaining-values, ties by degree); value
+order is deterministic.  The solver records search statistics so benchmarks
+can report node counts alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.csp.instance import Constraint, CSPInstance
+
+__all__ = ["Inference", "SearchStats", "solve", "is_solvable", "solve_with_stats"]
+
+
+class Inference(enum.Enum):
+    """How much constraint propagation to interleave with search."""
+
+    NONE = "none"
+    FORWARD_CHECKING = "forward-checking"
+    MAC = "mac"
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated during one search run."""
+
+    nodes: int = 0
+    backtracks: int = 0
+    prunings: int = 0
+    solution: dict[Any, Any] | None = field(default=None, repr=False)
+
+
+def _revise(
+    constraint: Constraint,
+    variable: Any,
+    domains: dict[Any, set[Any]],
+    assignment: dict[Any, Any],
+) -> tuple[bool, int]:
+    """Shrink ``domains[variable]`` to values extendable on ``constraint``.
+
+    A value survives iff some row of the constraint relation assigns it to
+    ``variable`` while agreeing with the current assignment and staying
+    inside the current domains of the other scope variables.
+
+    Returns ``(changed, removed_count)``.
+    """
+    scope = constraint.scope
+    positions = [i for i, v in enumerate(scope) if v == variable]
+    supported: set[Any] = set()
+    for row in constraint.relation:
+        ok = True
+        for i, v in enumerate(scope):
+            if v in assignment:
+                if row[i] != assignment[v]:
+                    ok = False
+                    break
+            elif row[i] not in domains[v]:
+                ok = False
+                break
+        if ok:
+            for i in positions:
+                supported.add(row[i])
+    current = domains[variable]
+    new = current & supported
+    removed = len(current) - len(new)
+    if removed:
+        domains[variable] = new
+        return True, removed
+    return False, 0
+
+
+def _ac3(
+    instance: CSPInstance,
+    domains: dict[Any, set[Any]],
+    assignment: dict[Any, Any],
+    stats: SearchStats,
+    seeds: list[Any] | None = None,
+) -> bool:
+    """Generalized AC-3 on the residual problem.  Returns False on wipe-out.
+
+    ``seeds``: variables whose change should initially trigger revisions; if
+    ``None``, all constraint/variable arcs are enqueued.
+    """
+    constraints_on: dict[Any, list[Constraint]] = {v: [] for v in instance.variables}
+    for c in instance.constraints:
+        for v in c.variables():
+            constraints_on[v].append(c)
+
+    queue: list[tuple[Constraint, Any]] = []
+    if seeds is None:
+        queue = [
+            (c, v)
+            for c in instance.constraints
+            for v in c.variables()
+            if v not in assignment
+        ]
+    else:
+        for s in seeds:
+            for c in constraints_on[s]:
+                for v in c.variables():
+                    if v not in assignment and v != s:
+                        queue.append((c, v))
+
+    while queue:
+        constraint, variable = queue.pop()
+        changed, removed = _revise(constraint, variable, domains, assignment)
+        if changed:
+            stats.prunings += removed
+            if not domains[variable]:
+                return False
+            for c in constraints_on[variable]:
+                if c is not constraint:
+                    for v in c.variables():
+                        if v not in assignment and v != variable:
+                            queue.append((c, v))
+    return True
+
+
+def _forward_check(
+    instance: CSPInstance,
+    variable: Any,
+    domains: dict[Any, set[Any]],
+    assignment: dict[Any, Any],
+    stats: SearchStats,
+) -> bool:
+    """One-shot pruning of neighbours of the just-assigned ``variable``."""
+    for c in instance.constraints:
+        if variable not in c.scope:
+            continue
+        for v in c.variables():
+            if v in assignment:
+                continue
+            _, removed = _revise(c, v, domains, assignment)
+            stats.prunings += removed
+            if not domains[v]:
+                return False
+    return True
+
+
+def solve_with_stats(
+    instance: CSPInstance,
+    inference: Inference = Inference.MAC,
+) -> SearchStats:
+    """Run backtracking search, returning full :class:`SearchStats`.
+
+    ``stats.solution`` is a solution dict or ``None`` if unsolvable.
+    """
+    instance = instance.normalize()
+    stats = SearchStats()
+    domains: dict[Any, set[Any]] = {v: set(instance.domain) for v in instance.variables}
+    assignment: dict[Any, Any] = {}
+
+    degree = {
+        v: len(instance.constraints_on(v)) for v in instance.variables
+    }
+
+    # Unary constraints and empty relations are handled up front by a root
+    # propagation pass (harmless for NONE since it only tightens domains).
+    if inference is Inference.MAC:
+        if not _ac3(instance, domains, assignment, stats, seeds=None):
+            return stats
+    else:
+        for c in instance.constraints:
+            if not c.relation:
+                return stats
+            if c.arity == 1:
+                var = c.scope[0]
+                domains[var] &= {row[0] for row in c.relation}
+                if not domains[var]:
+                    return stats
+
+    def select_variable() -> Any:
+        unassigned = [v for v in instance.variables if v not in assignment]
+        return min(unassigned, key=lambda v: (len(domains[v]), -degree[v], repr(v)))
+
+    def consistent(variable: Any) -> bool:
+        for c in instance.constraints:
+            if variable in c.scope and not c.consistent_with(assignment):
+                return False
+        return True
+
+    def search() -> bool:
+        if len(assignment) == len(instance.variables):
+            return True
+        variable = select_variable()
+        for value in sorted(domains[variable], key=repr):
+            stats.nodes += 1
+            assignment[variable] = value
+            if consistent(variable):
+                saved = {v: set(d) for v, d in domains.items()}
+                domains[variable] = {value}
+                ok = True
+                if inference is Inference.FORWARD_CHECKING:
+                    ok = _forward_check(instance, variable, domains, assignment, stats)
+                elif inference is Inference.MAC:
+                    ok = _ac3(instance, domains, assignment, stats, seeds=[variable])
+                if ok and search():
+                    return True
+                domains.clear()
+                domains.update(saved)
+            del assignment[variable]
+            stats.backtracks += 1
+        return False
+
+    if search():
+        stats.solution = dict(assignment)
+    return stats
+
+
+def solve(
+    instance: CSPInstance, inference: Inference = Inference.MAC
+) -> dict[Any, Any] | None:
+    """Return one solution (or ``None``) using backtracking search."""
+    return solve_with_stats(instance, inference).solution
+
+
+def is_solvable(instance: CSPInstance, inference: Inference = Inference.MAC) -> bool:
+    """Decide solvability using backtracking search."""
+    return solve(instance, inference) is not None

@@ -1,0 +1,42 @@
+"""Brute-force CSP solving by exhaustive assignment enumeration.
+
+Exponential in ``|V|``; exists purely as the ground-truth oracle that every
+other solver in the library is differentially tested against on small
+instances.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Iterator
+
+from repro.csp.instance import CSPInstance
+
+__all__ = ["solve", "is_solvable", "all_solutions", "count_solutions"]
+
+
+def all_solutions(instance: CSPInstance) -> Iterator[dict[Any, Any]]:
+    """Enumerate every solution by trying all ``|D|^|V|`` assignments."""
+    variables = instance.variables
+    domain = sorted(instance.domain, key=repr)
+    for values in product(domain, repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if all(c.satisfied_by(assignment) for c in instance.constraints):
+            yield assignment
+
+
+def solve(instance: CSPInstance) -> dict[Any, Any] | None:
+    """Return one solution, or ``None`` if the instance is unsolvable."""
+    for assignment in all_solutions(instance):
+        return assignment
+    return None
+
+
+def is_solvable(instance: CSPInstance) -> bool:
+    """Decide solvability by exhaustive search."""
+    return solve(instance) is not None
+
+
+def count_solutions(instance: CSPInstance) -> int:
+    """The number of solutions (exhaustive)."""
+    return sum(1 for _ in all_solutions(instance))

@@ -1,0 +1,119 @@
+"""The portfolio solver — structure analysis chooses the algorithm.
+
+The tutorial's whole arc is that tractability comes from *recognizable
+structure*: Schaefer templates (§3), Datalog-expressible templates (§4–5),
+acyclicity and bounded width (§6).  This module is the operational summary:
+:func:`solve` inspects the instance and routes it to the cheapest complete
+method that its structure licenses, falling back to conflict-directed
+search.
+
+Routing order (first match wins):
+
+1. empty/trivial instances — answered directly;
+2. Boolean instances in a Schaefer class — the dedicated polynomial solver;
+3. prime-field instances whose relations are all cosets — GF(p) elimination;
+4. acyclic constraint hypergraphs — Yannakakis;
+5. constraint graphs of small treewidth (heuristic width ≤ ``width_cutoff``)
+   — tree-decomposition DP;
+6. everything else — MAC backtracking.
+
+:func:`explain` returns the route that would be taken, for observability.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.csp.instance import CSPInstance
+
+__all__ = ["solve", "is_solvable", "explain", "Route"]
+
+BOOLEAN = frozenset({0, 1})
+
+#: Maximum heuristic treewidth for which the DP route is preferred.
+DEFAULT_WIDTH_CUTOFF = 3
+
+_PRIMES = (2, 3, 5, 7, 11, 13)
+
+
+class Route:
+    """Route labels returned by :func:`explain`."""
+
+    TRIVIAL = "trivial"
+    SCHAEFER = "schaefer"
+    COSET = "coset"
+    ACYCLIC = "acyclic-yannakakis"
+    TREEWIDTH = "treewidth-dp"
+    SEARCH = "backtracking-mac"
+
+
+def _domain_prime(instance: CSPInstance) -> int | None:
+    """The smallest prime p with domain ⊆ {0..p−1}, if any."""
+    values = instance.domain
+    if not all(isinstance(v, int) and v >= 0 for v in values):
+        return None
+    for p in _PRIMES:
+        if all(v < p for v in values):
+            return p
+    return None
+
+
+def explain(instance: CSPInstance, width_cutoff: int = DEFAULT_WIDTH_CUTOFF) -> str:
+    """The route :func:`solve` would take, without solving."""
+    from repro.dichotomy.coset import is_coset_instance
+    from repro.dichotomy.schaefer import classify_instance, is_tractable
+    from repro.width.acyclic import is_acyclic
+    from repro.width.gaifman import constraint_graph, instance_hypergraph
+    from repro.width.treedecomp import treewidth_upper_bound
+
+    instance = instance.normalize()
+    if not instance.variables or not instance.constraints:
+        return Route.TRIVIAL
+    if instance.domain <= BOOLEAN and is_tractable(classify_instance(instance)):
+        return Route.SCHAEFER
+    p = _domain_prime(instance)
+    if p is not None and p > 2 and is_coset_instance(instance, p):
+        return Route.COSET
+    if is_acyclic([e for e in instance_hypergraph(instance) if e]):
+        return Route.ACYCLIC
+    if treewidth_upper_bound(constraint_graph(instance)) <= width_cutoff:
+        return Route.TREEWIDTH
+    return Route.SEARCH
+
+
+def solve(
+    instance: CSPInstance, width_cutoff: int = DEFAULT_WIDTH_CUTOFF
+) -> dict[Any, Any] | None:
+    """Solve by the cheapest complete method the structure licenses."""
+    from repro.csp.solvers import backtracking, decomposition
+    from repro.dichotomy.boolean_solvers import solve_boolean
+    from repro.dichotomy.coset import solve_coset_csp
+    from repro.width.acyclic import yannakakis_solve
+
+    instance = instance.normalize()
+    route = explain(instance, width_cutoff)
+
+    if route == Route.TRIVIAL:
+        if not instance.variables:
+            ok = all(c.relation for c in instance.constraints) or not instance.constraints
+            return {} if ok else None
+        if not instance.domain:
+            return None
+        value = sorted(instance.domain, key=repr)[0]
+        return {v: value for v in instance.variables}
+    if route == Route.SCHAEFER:
+        return solve_boolean(instance)
+    if route == Route.COSET:
+        return solve_coset_csp(instance, _domain_prime(instance))
+    if route == Route.ACYCLIC:
+        return yannakakis_solve(instance)
+    if route == Route.TREEWIDTH:
+        return decomposition.solve(instance)
+    return backtracking.solve(instance)
+
+
+def is_solvable(
+    instance: CSPInstance, width_cutoff: int = DEFAULT_WIDTH_CUTOFF
+) -> bool:
+    """Decide solvability through the portfolio."""
+    return solve(instance, width_cutoff) is not None

@@ -1,0 +1,169 @@
+"""Bottom-up Datalog evaluation: naive and semi-naive fixpoints.
+
+Section 4 notes that every Datalog query "is computable in polynomial time,
+since the bottom-up evaluation of the least fixed-point of the program
+terminates within a polynomial number of steps".  Both classical evaluators
+are implemented — the naive one (re-derive everything each round, kept as a
+differential-testing oracle) and the semi-naive one (each round joins at
+least one *newly derived* fact), which is the default.
+
+Databases are :class:`~repro.relational.structure.Structure` objects or
+plain ``{predicate: set-of-tuples}`` mappings over the EDB predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.cq.query import Atom, Var
+from repro.datalog.syntax import Program, Rule
+from repro.errors import VocabularyError
+from repro.relational.algebra import join_all
+from repro.relational.relation import Relation
+from repro.relational.structure import Structure
+
+__all__ = ["evaluate_naive", "evaluate_seminaive", "evaluate", "goal_holds", "goal_relation"]
+
+Facts = dict[str, frozenset[tuple[Any, ...]]]
+
+
+def _edb_facts(program: Program, database: Structure | Mapping[str, Any]) -> Facts:
+    arities = program.arities()
+    facts: Facts = {}
+    if isinstance(database, Structure):
+        items = {s: database.relation(s) for s in database.vocabulary}
+    else:
+        items = {s: frozenset(map(tuple, rows)) for s, rows in database.items()}
+    for predicate in program.edb_predicates():
+        rows = items.get(predicate, frozenset())
+        for t in rows:
+            if len(t) != arities[predicate]:
+                raise VocabularyError(
+                    f"EDB fact {predicate}{t!r} has the wrong arity"
+                )
+        facts[predicate] = frozenset(rows)
+    return facts
+
+
+def _atom_to_relation(atom: Atom, value: frozenset[tuple[Any, ...]]) -> Relation:
+    """Filter a predicate's current value through the atom's constants and
+    repeated variables; one column per distinct variable."""
+    variables = atom.variables()
+    first = {v: atom.terms.index(v) for v in variables}
+
+    def matches(row: tuple) -> bool:
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Var):
+                if row[i] != row[first[term]]:
+                    return False
+            elif row[i] != term:
+                return False
+        return True
+
+    return Relation(
+        tuple(v.name for v in variables),
+        (tuple(row[first[v]] for v in variables) for row in value if matches(row)),
+    )
+
+
+def _apply_rule(
+    rule: Rule,
+    values: Facts,
+    delta_atom_index: int | None = None,
+    delta: Facts | None = None,
+) -> set[tuple[Any, ...]]:
+    """Evaluate one rule under the current predicate values.
+
+    In semi-naive mode (``delta_atom_index`` set) the designated body atom
+    reads the *delta* value of its predicate instead of the full value.
+    """
+    relations = []
+    for i, atom in enumerate(rule.body):
+        if delta_atom_index is not None and i == delta_atom_index:
+            value = (delta or {}).get(atom.predicate, frozenset())
+        else:
+            value = values.get(atom.predicate, frozenset())
+        relations.append(_atom_to_relation(atom, value))
+    joined = join_all(relations) if relations else Relation.unit()
+    derived: set[tuple[Any, ...]] = set()
+    head = rule.head
+    for row in joined:
+        env = dict(zip(joined.attributes, row))
+        derived.add(
+            tuple(
+                env[t.name] if isinstance(t, Var) else t for t in head.terms
+            )
+        )
+    return derived
+
+
+def evaluate_naive(program: Program, database: Structure | Mapping[str, Any]) -> Facts:
+    """Naive bottom-up evaluation: recompute every rule until no IDB grows."""
+    values = _edb_facts(program, database)
+    for idb in program.idb_predicates():
+        values[idb] = frozenset()
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            new = _apply_rule(rule, values)
+            merged = values[rule.head.predicate] | new
+            if merged != values[rule.head.predicate]:
+                values[rule.head.predicate] = frozenset(merged)
+                changed = True
+    return {p: values[p] for p in program.idb_predicates()}
+
+
+def evaluate_seminaive(
+    program: Program, database: Structure | Mapping[str, Any]
+) -> Facts:
+    """Semi-naive evaluation: per round, each rule is instantiated once per
+    IDB body atom with that atom reading only the facts newly derived in the
+    previous round."""
+    values = _edb_facts(program, database)
+    idbs = program.idb_predicates()
+    for idb in idbs:
+        values[idb] = frozenset()
+
+    # Round 0: rules evaluated on EDBs alone (IDB atoms are empty, so only
+    # rules whose bodies are EDB-only can fire).
+    delta: Facts = {idb: frozenset() for idb in idbs}
+    for rule in program.rules:
+        new = _apply_rule(rule, values)
+        delta[rule.head.predicate] = delta[rule.head.predicate] | frozenset(new)
+    for idb in idbs:
+        values[idb] = delta[idb]
+
+    while any(delta.values()):
+        next_delta: dict[str, set[tuple[Any, ...]]] = {idb: set() for idb in idbs}
+        for rule in program.rules:
+            idb_positions = [
+                i for i, atom in enumerate(rule.body) if atom.predicate in idbs
+            ]
+            for pos in idb_positions:
+                derived = _apply_rule(rule, values, delta_atom_index=pos, delta=delta)
+                next_delta[rule.head.predicate] |= derived
+        delta = {
+            idb: frozenset(next_delta[idb] - values[idb]) for idb in idbs
+        }
+        for idb in idbs:
+            values[idb] = values[idb] | delta[idb]
+    return {p: values[p] for p in idbs}
+
+
+def evaluate(program: Program, database: Structure | Mapping[str, Any]) -> Facts:
+    """Evaluate the program (semi-naive) and return all IDB values."""
+    return evaluate_seminaive(program, database)
+
+
+def goal_relation(
+    program: Program, database: Structure | Mapping[str, Any]
+) -> frozenset[tuple[Any, ...]]:
+    """The value of the goal predicate on the given database."""
+    return evaluate(program, database)[program.goal]
+
+
+def goal_holds(program: Program, database: Structure | Mapping[str, Any]) -> bool:
+    """For a 0-ary (Boolean) goal: whether the goal is derived.  For an
+    n-ary goal: whether the goal relation is nonempty."""
+    return bool(goal_relation(program, database))

@@ -1,0 +1,59 @@
+"""Classic Datalog programs used in the tutorial and the test suite."""
+
+from __future__ import annotations
+
+from repro.datalog.parser import parse_program
+from repro.datalog.syntax import Program
+
+__all__ = [
+    "non_two_colorability_program",
+    "transitive_closure_program",
+    "unreachability_is_not_expressible_note",
+]
+
+
+def non_two_colorability_program() -> Program:
+    """The paper's Section 4 example: Non-2-Colorability in 4-Datalog.
+
+    The program asserts that a cycle of odd length exists::
+
+        P(X,Y) :- E(X,Y)
+        P(X,Y) :- P(X,Z), E(Z,W), E(W,Y)
+        Q      :- P(X,X)
+
+    ``P(X, Y)`` derives all pairs connected by an odd-length walk; ``Q``
+    holds iff some vertex reaches itself by an odd walk, i.e. iff the graph
+    has an odd cycle, i.e. iff it is not 2-colorable.  The body of the
+    second rule has 4 distinct variables, so this is 4-Datalog.
+    """
+    return parse_program(
+        """
+        P(X, Y) :- E(X, Y).
+        P(X, Y) :- P(X, Z), E(Z, W), E(W, Y).
+        Q :- P(X, X).
+        """,
+        goal="Q",
+    )
+
+
+def transitive_closure_program() -> Program:
+    """Transitive closure of a binary EDB ``E`` — the canonical 3-Datalog
+    (here even linear) recursion."""
+    return parse_program(
+        """
+        T(X, Y) :- E(X, Y).
+        T(X, Y) :- T(X, Z), E(Z, Y).
+        """,
+        goal="T",
+    )
+
+
+def unreachability_is_not_expressible_note() -> str:
+    """A docstring-level reminder of why ``CSP(B)`` itself (rather than its
+    complement) is never expressible in Datalog: Datalog queries are
+    monotone, while solvability is destroyed by adding tuples to ``A``."""
+    return (
+        "Datalog defines monotone queries only; CSP(B) is not monotone in A "
+        "(adding constraints can destroy solvability), so only ¬CSP(B) can be "
+        "Datalog-expressible — see Section 3 of the tutorial."
+    )

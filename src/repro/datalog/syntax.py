@@ -1,0 +1,176 @@
+"""Datalog syntax: rules and programs (Section 4 of the tutorial).
+
+A Datalog program is a finite set of rules ``t0 :- t1, …, tm`` of atomic
+formulas; predicates occurring in heads are the *intensional* (IDB)
+predicates, all others *extensional* (EDB).  One IDB is designated the goal.
+Atoms and variables are shared with the conjunctive-query package
+(:class:`repro.cq.query.Atom`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cq.query import Atom, Var
+from repro.errors import ParseError
+
+__all__ = ["Rule", "Program"]
+
+
+class Rule:
+    """A Datalog rule ``head :- body``; facts have an empty body.
+
+    Safety: every variable of the head must occur in the body (facts must be
+    ground).
+    """
+
+    __slots__ = ("_head", "_body")
+
+    def __init__(self, head: Atom, body: Iterable[Atom] = ()):
+        self._head = head
+        self._body = tuple(body)
+        body_vars = {v for atom in self._body for v in atom.variables()}
+        for v in head.variables():
+            if v not in body_vars:
+                raise ParseError(f"unsafe rule: head variable {v!r} not in body: {self}")
+
+    @property
+    def head(self) -> Atom:
+        return self._head
+
+    @property
+    def body(self) -> tuple[Atom, ...]:
+        return self._body
+
+    def variables(self) -> frozenset[Var]:
+        """All variables of the rule."""
+        out = set(self._head.variables())
+        for atom in self._body:
+            out.update(atom.variables())
+        return frozenset(out)
+
+    def body_variables(self) -> frozenset[Var]:
+        return frozenset(v for atom in self._body for v in atom.variables())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return self._head == other._head and self._body == other._body
+
+    def __hash__(self) -> int:
+        return hash((self._head, self._body))
+
+    def __repr__(self) -> str:
+        if not self._body:
+            return f"{self._head!r}."
+        return f"{self._head!r} :- {', '.join(repr(a) for a in self._body)}."
+
+
+class Program:
+    """A Datalog program: rules plus a designated goal predicate."""
+
+    __slots__ = ("_rules", "_goal")
+
+    def __init__(self, rules: Iterable[Rule], goal: str):
+        self._rules = tuple(rules)
+        self._goal = goal
+        if goal not in self.idb_predicates():
+            raise ParseError(f"goal {goal!r} is not an IDB predicate of the program")
+        self._check_arities()
+
+    def _check_arities(self) -> None:
+        arities: dict[str, int] = {}
+        for rule in self._rules:
+            for atom in (rule.head, *rule.body):
+                if atom.predicate in arities:
+                    if arities[atom.predicate] != atom.arity:
+                        raise ParseError(
+                            f"predicate {atom.predicate!r} used with two arities"
+                        )
+                else:
+                    arities[atom.predicate] = atom.arity
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return self._rules
+
+    @property
+    def goal(self) -> str:
+        return self._goal
+
+    def idb_predicates(self) -> frozenset[str]:
+        """Predicates defined by rule heads."""
+        return frozenset(rule.head.predicate for rule in self._rules)
+
+    def edb_predicates(self) -> frozenset[str]:
+        """Predicates used in bodies but never defined."""
+        idbs = self.idb_predicates()
+        return frozenset(
+            atom.predicate
+            for rule in self._rules
+            for atom in rule.body
+            if atom.predicate not in idbs
+        )
+
+    def arities(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for rule in self._rules:
+            for atom in (rule.head, *rule.body):
+                out[atom.predicate] = atom.arity
+        return out
+
+    def max_body_variables(self) -> int:
+        """The largest number of distinct variables in any rule body."""
+        return max((len(r.body_variables()) for r in self._rules), default=0)
+
+    def max_head_variables(self) -> int:
+        return max((len(r.head.variables()) for r in self._rules), default=0)
+
+    def is_k_datalog(self, k: int) -> bool:
+        """Section 4's k-Datalog: every body has at most k distinct variables
+        and every head has at most k variables."""
+        return self.max_body_variables() <= k and self.max_head_variables() <= k
+
+    def dependency_graph(self) -> dict[str, frozenset[str]]:
+        """IDB dependency edges: ``P → Q`` when some rule defining ``P``
+        mentions IDB ``Q`` in its body."""
+        idbs = self.idb_predicates()
+        deps: dict[str, set[str]] = {p: set() for p in idbs}
+        for rule in self._rules:
+            for atom in rule.body:
+                if atom.predicate in idbs:
+                    deps[rule.head.predicate].add(atom.predicate)
+        return {p: frozenset(q) for p, q in deps.items()}
+
+    def is_recursive(self) -> bool:
+        """Whether some IDB transitively depends on itself."""
+        deps = self.dependency_graph()
+
+        def reaches(start: str, target: str, seen: set[str]) -> bool:
+            for nxt in deps[start]:
+                if nxt == target:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    if reaches(nxt, target, seen):
+                        return True
+            return False
+
+        return any(reaches(p, p, set()) for p in deps)
+
+    def is_linear(self) -> bool:
+        """Linear Datalog: every rule body contains at most one IDB atom —
+        the fragment where semi-naive evaluation needs no delta cross terms.
+        """
+        idbs = self.idb_predicates()
+        return all(
+            sum(1 for atom in rule.body if atom.predicate in idbs) <= 1
+            for rule in self._rules
+        )
+
+    def width(self) -> int:
+        """The least ``k`` for which the program is k-Datalog."""
+        return max(self.max_body_variables(), self.max_head_variables())
+
+    def __repr__(self) -> str:
+        return f"Program({len(self._rules)} rules, goal={self._goal!r})"

@@ -1,0 +1,91 @@
+"""Dichotomy theorems made executable: Schaefer's Boolean classes with
+dedicated polynomial solvers, Hell–Nešetřil H-coloring, and the
+polymorphism machinery underlying both (Section 3)."""
+
+from repro.dichotomy.boolean_solvers import (
+    relation_to_2cnf_clauses,
+    relation_to_linear_system,
+    solve_affine,
+    solve_bijunctive,
+    solve_boolean,
+    solve_dual_horn,
+    solve_horn,
+    solve_one_valid,
+    solve_zero_valid,
+)
+from repro.dichotomy.coset import (
+    coset_linear_system,
+    is_coset_instance,
+    is_coset_relation,
+    maltsev,
+    solve_coset_csp,
+)
+from repro.dichotomy.cnf import CNF, cnf_to_csp, dpll, horn_sat, two_sat
+from repro.dichotomy.hcoloring import (
+    HColoringClass,
+    classify_target,
+    graph_to_structure,
+    is_hcolorable,
+    solve_hcoloring,
+    structure_to_graph,
+)
+from repro.dichotomy.polymorphisms import (
+    boolean_max,
+    boolean_min,
+    constant_operation,
+    find_polymorphisms,
+    is_polymorphism,
+    majority,
+    minority,
+    projection_operation,
+    relation_closed_under,
+)
+from repro.dichotomy.schaefer import (
+    SchaeferClass,
+    classify,
+    classify_instance,
+    classify_relations,
+    is_tractable,
+)
+
+__all__ = [
+    "SchaeferClass",
+    "classify",
+    "classify_instance",
+    "classify_relations",
+    "is_tractable",
+    "solve_boolean",
+    "solve_zero_valid",
+    "solve_one_valid",
+    "solve_horn",
+    "solve_dual_horn",
+    "solve_bijunctive",
+    "solve_affine",
+    "relation_to_2cnf_clauses",
+    "relation_to_linear_system",
+    "CNF",
+    "horn_sat",
+    "two_sat",
+    "dpll",
+    "cnf_to_csp",
+    "HColoringClass",
+    "classify_target",
+    "solve_hcoloring",
+    "is_hcolorable",
+    "graph_to_structure",
+    "structure_to_graph",
+    "is_polymorphism",
+    "relation_closed_under",
+    "find_polymorphisms",
+    "boolean_min",
+    "boolean_max",
+    "majority",
+    "minority",
+    "constant_operation",
+    "projection_operation",
+    "maltsev",
+    "is_coset_relation",
+    "is_coset_instance",
+    "coset_linear_system",
+    "solve_coset_csp",
+]

@@ -1,0 +1,255 @@
+"""CNF formulas and the classical satisfiability algorithms.
+
+The concrete problems Schaefer's theorem organizes — Horn-SAT, 2-SAT,
+affine SAT, One-in-Three SAT — live naturally in clausal form.  This module
+provides a small CNF type (clauses of signed integer literals, DIMACS
+convention: variable ``v`` positive, ``-v`` negated), the classical
+polynomial algorithms (unit propagation for Horn, implication-graph SCC for
+2-SAT), a DPLL solver for the general case, and converters to CSP instances
+so the two views can be differentially tested.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.errors import DomainError
+
+__all__ = ["CNF", "horn_sat", "two_sat", "dpll", "cnf_to_csp"]
+
+Clause = tuple[int, ...]
+
+
+class CNF:
+    """A CNF formula: a tuple of clauses over positive-integer variables."""
+
+    __slots__ = ("_clauses", "_variables")
+
+    def __init__(self, clauses: Iterable[Sequence[int]]):
+        cl = []
+        variables: set[int] = set()
+        for clause in clauses:
+            c = tuple(clause)
+            for lit in c:
+                if lit == 0:
+                    raise DomainError("0 is not a valid literal")
+                variables.add(abs(lit))
+            cl.append(c)
+        self._clauses = tuple(cl)
+        self._variables = frozenset(variables)
+
+    @property
+    def clauses(self) -> tuple[Clause, ...]:
+        return self._clauses
+
+    @property
+    def variables(self) -> frozenset[int]:
+        return self._variables
+
+    def is_horn(self) -> bool:
+        """At most one positive literal per clause."""
+        return all(sum(1 for lit in c if lit > 0) <= 1 for c in self._clauses)
+
+    def is_dual_horn(self) -> bool:
+        """At most one negative literal per clause."""
+        return all(sum(1 for lit in c if lit < 0) <= 1 for c in self._clauses)
+
+    def is_2cnf(self) -> bool:
+        return all(len(c) <= 2 for c in self._clauses)
+
+    def satisfied_by(self, assignment: dict[int, bool]) -> bool:
+        return all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in c) for c in self._clauses
+        )
+
+    def __repr__(self) -> str:
+        return f"CNF({len(self._clauses)} clauses, {len(self._variables)} vars)"
+
+
+def horn_sat(formula: CNF) -> dict[int, bool] | None:
+    """Horn satisfiability by unit propagation — a minimal model or ``None``.
+
+    Start with everything false; a clause whose negative literals are all
+    true forces its (sole) positive literal.  Linear-shaped in formula size.
+    """
+    if not formula.is_horn():
+        raise DomainError("horn_sat requires a Horn formula")
+    true_vars: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for clause in formula.clauses:
+            positives = [lit for lit in clause if lit > 0]
+            if any(lit > 0 and lit in true_vars for lit in clause):
+                continue
+            negatives_all_true = all(-lit in true_vars for lit in clause if lit < 0)
+            if not negatives_all_true:
+                continue
+            if not positives:
+                return None  # all-negative clause violated by forced trues
+            true_vars.add(positives[0])
+            changed = True
+    return {v: v in true_vars for v in formula.variables}
+
+
+def two_sat(formula: CNF) -> dict[int, bool] | None:
+    """2-SAT via the implication graph and Tarjan SCCs.
+
+    A clause ``(a ∨ b)`` yields implications ``¬a → b`` and ``¬b → a``;
+    satisfiable iff no variable shares an SCC with its negation, and a model
+    is read off the reverse topological order of the condensation.
+    """
+    if not formula.is_2cnf():
+        raise DomainError("two_sat requires clauses of size <= 2")
+
+    succ: dict[int, list[int]] = {}
+
+    def add_implication(a: int, b: int) -> None:
+        succ.setdefault(a, []).append(b)
+
+    nodes: set[int] = set()
+    for v in formula.variables:
+        nodes.add(v)
+        nodes.add(-v)
+    for clause in formula.clauses:
+        if len(clause) == 0:
+            return None
+        if len(clause) == 1:
+            (a,) = clause
+            add_implication(-a, a)
+        else:
+            a, b = clause
+            add_implication(-a, b)
+            add_implication(-b, a)
+
+    # Iterative Tarjan SCC.
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    comp: dict[int, int] = {}
+    counter = [0]
+    comp_counter = [0]
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_i = work[-1]
+            if child_i == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            children = succ.get(node, [])
+            advanced = False
+            while child_i < len(children):
+                child = children[child_i]
+                child_i += 1
+                if child not in index:
+                    work[-1] = (node, child_i)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work[-1] = (node, child_i)
+            if child_i >= len(children):
+                if low[node] == index[node]:
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp[w] = comp_counter[0]
+                        if w == node:
+                            break
+                    comp_counter[0] += 1
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+
+    for v in formula.variables:
+        if comp[v] == comp[-v]:
+            return None
+    # Tarjan completes sink components first, so smaller component ids are
+    # later in topological order; a literal is true iff its component comes
+    # after its negation's in topological order, i.e. has the smaller id.
+    return {v: comp[v] < comp[-v] for v in formula.variables}
+
+
+def dpll(formula: CNF) -> dict[int, bool] | None:
+    """A DPLL solver with unit propagation — the general-case baseline."""
+    variables = sorted(formula.variables)
+
+    def propagate(
+        clauses: list[Clause], assignment: dict[int, bool]
+    ) -> tuple[list[Clause], dict[int, bool]] | None:
+        clauses = list(clauses)
+        assignment = dict(assignment)
+        changed = True
+        while changed:
+            changed = False
+            next_clauses: list[Clause] = []
+            for clause in clauses:
+                unassigned: list[int] = []
+                satisfied = False
+                for lit in clause:
+                    var = abs(lit)
+                    if var in assignment:
+                        if assignment[var] == (lit > 0):
+                            satisfied = True
+                            break
+                    else:
+                        unassigned.append(lit)
+                if satisfied:
+                    continue
+                if not unassigned:
+                    return None
+                if len(unassigned) == 1:
+                    lit = unassigned[0]
+                    assignment[abs(lit)] = lit > 0
+                    changed = True
+                else:
+                    next_clauses.append(tuple(unassigned))
+            clauses = next_clauses
+        return clauses, assignment
+
+    def search(clauses: list[Clause], assignment: dict[int, bool]) -> dict[int, bool] | None:
+        state = propagate(clauses, assignment)
+        if state is None:
+            return None
+        clauses, assignment = state
+        free = [v for v in variables if v not in assignment]
+        if not clauses or not free:
+            full = dict(assignment)
+            for v in free:
+                full[v] = False
+            return full
+        v = free[0]
+        for value in (True, False):
+            result = search(clauses, {**assignment, v: value})
+            if result is not None:
+                return result
+        return None
+
+    return search(list(formula.clauses), {})
+
+
+def cnf_to_csp(formula: CNF) -> CSPInstance:
+    """Encode a CNF formula as a CSP instance over {0, 1}: one constraint per
+    clause, whose relation is the set of satisfying rows of the clause."""
+    constraints = []
+    for clause in formula.clauses:
+        scope = tuple(dict.fromkeys(abs(lit) for lit in clause))
+        rows = set()
+        for values in product((0, 1), repeat=len(scope)):
+            env = dict(zip(scope, values))
+            if any(env[abs(lit)] == (1 if lit > 0 else 0) for lit in clause):
+                rows.add(values)
+        constraints.append(Constraint(scope, rows))
+    return CSPInstance(sorted(formula.variables), (0, 1), constraints)

@@ -1,0 +1,179 @@
+"""Group-theoretic tractability — the *first condition* of Feder–Vardi (§3).
+
+Section 3 reports that Feder and Vardi isolated two conditions implying
+tractability of ``CSP(B)``; the paper develops the Datalog condition at
+length and says of the other only that it "is group-theoretic and covers
+Schaefer's tractable class of affine satisfiability problems".  This module
+makes that condition executable over the cyclic groups ``Z_p`` (``p``
+prime):
+
+* a relation ``R ⊆ Z_p^r`` is a **coset** of a subgroup of ``Z_p^r`` iff it
+  is closed under the Mal'tsev operation ``x − y + z`` (coordinatewise) —
+  :func:`is_coset_relation` checks exactly this;
+* every coset is the solution set of a linear system ``Mx = c`` over the
+  field ``GF(p)`` — :func:`coset_linear_system` recovers one by enumerating
+  the satisfied linear constraints (exact, exponential only in the arity);
+* a CSP instance all of whose relations are cosets is solved by Gaussian
+  elimination over ``GF(p)`` — :func:`solve_coset_csp`.
+
+For ``p = 2`` this is precisely Schaefer's affine class (and the two
+implementations are differentially tested against each other).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Iterable
+
+from repro.csp.instance import CSPInstance
+from repro.errors import DomainError, SolverError
+
+__all__ = [
+    "maltsev",
+    "is_coset_relation",
+    "is_coset_instance",
+    "coset_linear_system",
+    "solve_coset_csp",
+]
+
+
+def _check_prime(p: int) -> None:
+    if p < 2 or any(p % q == 0 for q in range(2, int(p**0.5) + 1)):
+        raise DomainError(f"modulus must be prime, got {p}")
+
+
+def maltsev(p: int):
+    """The Mal'tsev operation ``(x, y, z) ↦ x − y + z  (mod p)``."""
+
+    def op(x: int, y: int, z: int) -> int:
+        return (x - y + z) % p
+
+    return op
+
+
+def is_coset_relation(relation: Iterable[tuple[int, ...]], p: int) -> bool:
+    """Whether ``relation ⊆ Z_p^r`` is a coset of a subgroup of ``Z_p^r``
+    (equivalently: nonempty and closed under ``x − y + z``).
+
+    The empty relation is *not* a coset (cosets are nonempty).
+    """
+    _check_prime(p)
+    rows = [tuple(t) for t in relation]
+    if not rows:
+        return False
+    width = len(rows[0])
+    for t in rows:
+        if len(t) != width or not all(0 <= v < p for v in t):
+            raise DomainError(f"row {t!r} is not a Z_{p} tuple of arity {width}")
+    row_set = set(rows)
+    op = maltsev(p)
+    for x in rows:
+        for y in rows:
+            for z in rows:
+                image = tuple(op(a, b, c) for a, b, c in zip(x, y, z))
+                if image not in row_set:
+                    return False
+    return True
+
+
+def is_coset_instance(instance: CSPInstance, p: int) -> bool:
+    """Whether every constraint relation of the instance is a coset."""
+    _check_prime(p)
+    if not instance.domain <= set(range(p)):
+        return False
+    return all(is_coset_relation(c.relation, p) for c in instance.constraints)
+
+
+def coset_linear_system(
+    scope: tuple[Any, ...], relation: frozenset[tuple[int, ...]], p: int
+) -> list[tuple[tuple[int, ...], int]] | None:
+    """Equations ``Σ aᵢ·xᵢ = c (mod p)`` whose common solution set equals the
+    relation, or ``None`` when the relation is not a coset.
+
+    Candidates are all nonzero coefficient vectors over the scope (``p^r``
+    of them — arity stays small in practice); an equation is kept when every
+    row satisfies it, and exactness is verified by re-solving.
+    """
+    _check_prime(p)
+    if not relation:
+        return None
+    arity = len(scope)
+    equations: list[tuple[tuple[int, ...], int]] = []
+    for coefficients in product(range(p), repeat=arity):
+        if not any(coefficients):
+            continue
+        values = {
+            sum(a * v for a, v in zip(coefficients, row)) % p for row in relation
+        }
+        if len(values) == 1:
+            equations.append((coefficients, values.pop()))
+    solutions = {
+        row
+        for row in product(range(p), repeat=arity)
+        if all(
+            sum(a * v for a, v in zip(coeffs, row)) % p == rhs
+            for coeffs, rhs in equations
+        )
+    }
+    if solutions != set(relation):
+        return None
+    return equations
+
+
+def solve_coset_csp(instance: CSPInstance, p: int) -> dict[Any, int] | None:
+    """Solve a coset-CSP over ``Z_p`` by Gaussian elimination over GF(p).
+
+    Raises :class:`SolverError` if some relation is not a coset (use
+    :func:`is_coset_instance` to pre-check); returns ``None`` when the
+    accumulated linear system is inconsistent or some relation is empty.
+    """
+    _check_prime(p)
+    instance = instance.normalize()
+    if not instance.domain <= set(range(p)):
+        raise DomainError(f"domain must be within Z_{p}")
+    variables = list(instance.variables)
+    index = {v: i for i, v in enumerate(variables)}
+    n = len(variables)
+
+    rows: list[list[int]] = []  # n coefficients + rhs, over GF(p)
+    for constraint in instance.constraints:
+        if not constraint.relation:
+            return None
+        system = coset_linear_system(constraint.scope, constraint.relation, p)
+        if system is None:
+            raise SolverError(
+                f"constraint on {constraint.scope!r} is not a coset of Z_{p}^r"
+            )
+        for coefficients, rhs in system:
+            row = [0] * (n + 1)
+            for variable, a in zip(constraint.scope, coefficients):
+                row[index[variable]] = (row[index[variable]] + a) % p
+            row[n] = rhs
+            rows.append(row)
+
+    # Gaussian elimination over GF(p).
+    pivot_of: dict[int, int] = {}
+    rank = 0
+    for col in range(n):
+        pivot = next((r for r in range(rank, len(rows)) if rows[r][col] % p), None)
+        if pivot is None:
+            continue
+        rows[rank], rows[pivot] = rows[pivot], rows[rank]
+        inv = pow(rows[rank][col], p - 2, p)
+        rows[rank] = [(x * inv) % p for x in rows[rank]]
+        for r in range(len(rows)):
+            if r != rank and rows[r][col] % p:
+                factor = rows[r][col]
+                rows[r] = [(a - factor * b) % p for a, b in zip(rows[r], rows[rank])]
+        pivot_of[col] = rank
+        rank += 1
+    for r in range(rank, len(rows)):
+        if rows[r][n] % p:
+            return None
+
+    assignment = {v: 0 for v in variables}
+    for col, r in pivot_of.items():
+        assignment[variables[col]] = rows[r][n] % p
+    if not instance.is_solution(assignment):
+        raise SolverError("coset solver produced an invalid assignment")
+    return assignment

@@ -1,0 +1,124 @@
+"""H-coloring and the Hell–Nešetřil dichotomy (Section 3).
+
+For an undirected graph ``H``, the ``H``-coloring problem ``CSP(H)`` asks
+whether an input graph ``G`` maps homomorphically into ``H``.  Hell and
+Nešetřil [33] proved the dichotomy: polynomial when ``H`` is 2-colorable
+(bipartite) — or trivial when ``H`` has a loop — and NP-complete otherwise.
+Since ``CSP(K_k)`` is k-colorability, this subsumes the coloring hierarchy.
+
+Graphs here are :class:`repro.width.graph.Graph` objects plus an optional
+set of looped vertices; converters to/from symmetric binary structures let
+the generic homomorphism machinery interoperate.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.relational.homomorphism import find_homomorphism
+from repro.relational.structure import Structure
+from repro.width.graph import Graph
+
+__all__ = [
+    "HColoringClass",
+    "classify_target",
+    "solve_hcoloring",
+    "is_hcolorable",
+    "graph_to_structure",
+    "structure_to_graph",
+]
+
+
+class HColoringClass(enum.Enum):
+    """Hell–Nešetřil classification of the target graph."""
+
+    TRIVIAL = "trivial"  # H has a loop, or no edges: constant-time answers
+    POLYNOMIAL = "polynomial"  # H bipartite with an edge: reduces to 2-coloring
+    NP_COMPLETE = "np-complete"  # H loopless, non-bipartite
+
+
+def graph_to_structure(graph: Graph, loops: frozenset = frozenset()) -> Structure:
+    """An undirected graph as a structure with a symmetric binary ``E``."""
+    edges = set()
+    for u, v in graph.edges():
+        edges.add((u, v))
+        edges.add((v, u))
+    for v in loops:
+        edges.add((v, v))
+    return Structure({"E": 2}, graph.vertices | loops, {"E": edges})
+
+
+def structure_to_graph(structure: Structure) -> tuple[Graph, frozenset]:
+    """Back from a symmetric binary structure to ``(graph, looped_vertices)``.
+
+    The edge relation is symmetrized if it is not already.
+    """
+    g = Graph(vertices=structure.domain)
+    loops = set()
+    for u, v in structure.relation("E"):
+        if u == v:
+            loops.add(u)
+        else:
+            g.add_edge(u, v)
+    return g, frozenset(loops)
+
+
+def classify_target(h: Graph, loops: frozenset = frozenset()) -> HColoringClass:
+    """Classify ``H`` per the Hell–Nešetřil dichotomy."""
+    if loops or h.num_edges() == 0:
+        return HColoringClass.TRIVIAL
+    if h.is_bipartite():
+        return HColoringClass.POLYNOMIAL
+    return HColoringClass.NP_COMPLETE
+
+
+def solve_hcoloring(
+    g: Graph, h: Graph, h_loops: frozenset = frozenset()
+) -> dict[Any, Any] | None:
+    """Find an ``H``-coloring of ``G`` (a homomorphism ``G → H``), or ``None``.
+
+    Dispatches on the dichotomy class of ``H``:
+
+    * a loop in ``H`` absorbs everything;
+    * an edgeless ``H`` admits a homomorphism iff ``G`` is edgeless (and
+      ``H`` nonempty when ``G`` is not);
+    * a bipartite ``H`` with an edge admits one iff ``G`` is bipartite —
+      found by 2-coloring ``G`` onto any edge of ``H``;
+    * otherwise (NP-complete side) backtracking homomorphism search.
+    """
+    klass = classify_target(h, h_loops)
+    if klass is HColoringClass.TRIVIAL:
+        if h_loops:
+            loop = min(h_loops, key=repr)
+            return {v: loop for v in g.vertices}
+        # H edgeless and loopless.
+        if g.num_edges() > 0:
+            return None
+        if g.vertices and not h.vertices:
+            return None
+        target = min(h.vertices, key=repr) if h.vertices else None
+        return {v: target for v in g.vertices}
+    if klass is HColoringClass.POLYNOMIAL:
+        mapping: dict[Any, Any] = {}
+        anchor_edge = next(iter(h.edges()))
+        for component in g.connected_components():
+            sub = g.subgraph(component)
+            parts = sub.bipartition()
+            if parts is None:
+                return None
+            left, right = parts
+            for v in left:
+                mapping[v] = anchor_edge[0]
+            for v in right:
+                mapping[v] = anchor_edge[1]
+        return mapping
+    # NP-complete side: generic search.
+    return find_homomorphism(
+        graph_to_structure(g), graph_to_structure(h, h_loops)
+    )
+
+
+def is_hcolorable(g: Graph, h: Graph, h_loops: frozenset = frozenset()) -> bool:
+    """Decide ``CSP(H)`` on input ``G``."""
+    return solve_hcoloring(g, h, h_loops) is not None

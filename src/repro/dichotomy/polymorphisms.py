@@ -1,0 +1,129 @@
+"""Polymorphisms: the closure properties behind the tractability landscape.
+
+Section 3 cites Jeavons–Cohen–Gyssens [34–36] for the algebraic "line of
+attack" on the classification of non-uniform CSP.  An ``m``-ary operation
+``f: D^m → D`` is a *polymorphism* of a structure ``B`` when every relation
+of ``B`` is closed under applying ``f`` coordinatewise to any ``m`` of its
+tuples.  Schaefer's tractable Boolean classes are precisely characterized by
+four polymorphisms (min, max, majority, minority), which is how
+:mod:`repro.dichotomy.schaefer` recognizes them.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Callable, Iterable
+
+from repro.relational.structure import Structure
+
+__all__ = [
+    "is_polymorphism",
+    "relation_closed_under",
+    "find_polymorphisms",
+    "boolean_min",
+    "boolean_max",
+    "majority",
+    "minority",
+    "constant_operation",
+    "projection_operation",
+]
+
+Operation = Callable[..., Any]
+
+
+def relation_closed_under(
+    relation: Iterable[tuple], op: Operation, arity: int
+) -> bool:
+    """Whether ``relation`` is closed under the ``arity``-ary operation:
+    for all choices of ``arity`` tuples, the coordinatewise image is in the
+    relation."""
+    rows = list(relation)
+    if not rows:
+        return True
+    width = len(rows[0])
+    for choice in product(rows, repeat=arity):
+        image = tuple(op(*(choice[m][i] for m in range(arity))) for i in range(width))
+        if image not in set(rows):
+            return False
+    return True
+
+
+def is_polymorphism(op: Operation, structure: Structure, arity: int) -> bool:
+    """Whether ``op`` (of the given arity) is a polymorphism of the structure.
+
+    ``op`` must be total on the structure's domain.
+    """
+    return all(
+        relation_closed_under(structure.relation(symbol), op, arity)
+        for symbol in structure.vocabulary
+    )
+
+
+def find_polymorphisms(structure: Structure, arity: int) -> list[dict[tuple, Any]]:
+    """Enumerate all ``arity``-ary polymorphisms of a small structure, each
+    returned as a table ``{input-tuple: output}``.
+
+    Exhaustive over all ``|D|^(|D|^arity)`` operations — strictly a
+    small-domain tool (|D| ≤ 3, arity ≤ 2, or |D| = 2, arity ≤ 3).
+    """
+    domain = sorted(structure.domain, key=repr)
+    inputs = list(product(domain, repeat=arity))
+    found = []
+    for outputs in product(domain, repeat=len(inputs)):
+        table = dict(zip(inputs, outputs))
+
+        def op(*args: Any) -> Any:
+            return table[args]
+
+        if is_polymorphism(op, structure, arity):
+            found.append(table)
+    return found
+
+
+# -- the four Schaefer operations over {0, 1} --------------------------------
+
+
+def boolean_min(x: int, y: int) -> int:
+    """Binary AND — the polymorphism of Horn (weakly negative) relations."""
+    return x & y
+
+
+def boolean_max(x: int, y: int) -> int:
+    """Binary OR — the polymorphism of dual-Horn (weakly positive) relations."""
+    return x | y
+
+
+def majority(x: Any, y: Any, z: Any) -> Any:
+    """The ternary majority operation — polymorphism of bijunctive (2-CNF)
+    relations.  Defined over any domain (returns ``x`` when all differ)."""
+    if x == y or x == z:
+        return x
+    if y == z:
+        return y
+    return x
+
+
+def minority(x: int, y: int, z: int) -> int:
+    """x ⊕ y ⊕ z over {0,1} — the polymorphism of affine relations."""
+    return x ^ y ^ z
+
+
+def constant_operation(value: Any) -> Operation:
+    """The unary constant operation ``x ↦ value``; a polymorphism exactly of
+    structures where ``value`` induces a one-element substructure satisfying
+    everything (0-valid / 1-valid in the Boolean case)."""
+
+    def op(_x: Any) -> Any:
+        return value
+
+    return op
+
+
+def projection_operation(arity: int, position: int) -> Operation:
+    """The ``position``-th projection — a polymorphism of *every* structure
+    (the trivial case; useful in tests)."""
+
+    def op(*args: Any) -> Any:
+        return args[position]
+
+    return op

@@ -1,0 +1,116 @@
+"""Schaefer's dichotomy for Boolean constraint satisfaction (Section 3).
+
+Schaefer [50] proved that ``CSP(B)`` for a Boolean structure ``B`` is
+polynomial-time solvable when ``B`` falls in one of six classes — and
+NP-complete otherwise.  The six classes, with their modern polymorphism
+characterizations used by :func:`classify`:
+
+=================  ==========================================  ==============
+class              definition                                  recognized by
+=================  ==========================================  ==============
+0-valid            every relation contains the all-0 tuple     direct check
+1-valid            every relation contains the all-1 tuple     direct check
+Horn               every relation closed under AND (min)       polymorphism
+dual-Horn          every relation closed under OR (max)        polymorphism
+bijunctive         every relation closed under majority        polymorphism
+affine             every relation closed under x⊕y⊕z           polymorphism
+=================  ==========================================  ==============
+
+This explains the tractability of Horn-SAT, 2-SAT, affine satisfiability,
+and the NP-completeness of e.g. One-in-Three SAT (whose relation lies in
+none of the classes) — benchmark E7 exercises both sides.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from repro.csp.instance import CSPInstance
+from repro.dichotomy.polymorphisms import (
+    boolean_max,
+    boolean_min,
+    majority,
+    minority,
+    relation_closed_under,
+)
+from repro.errors import DomainError
+from repro.relational.structure import Structure
+
+__all__ = ["SchaeferClass", "classify_relations", "classify", "classify_instance", "is_tractable"]
+
+BOOLEAN_DOMAIN = frozenset({0, 1})
+
+
+class SchaeferClass(enum.Enum):
+    """The six tractable classes of Schaefer's dichotomy theorem."""
+
+    ZERO_VALID = "0-valid"
+    ONE_VALID = "1-valid"
+    HORN = "horn"
+    DUAL_HORN = "dual-horn"
+    BIJUNCTIVE = "bijunctive"
+    AFFINE = "affine"
+
+
+def _check_boolean(relations: Iterable[frozenset[tuple]]) -> list[frozenset[tuple]]:
+    rels = [frozenset(map(tuple, r)) for r in relations]
+    for r in rels:
+        for row in r:
+            if not set(row) <= BOOLEAN_DOMAIN:
+                raise DomainError(f"non-Boolean value in relation row {row!r}")
+    return rels
+
+
+def classify_relations(
+    relations: Iterable[frozenset[tuple]],
+) -> frozenset[SchaeferClass]:
+    """All Schaefer classes containing *every* given relation.
+
+    Empty relations belong to every class (they never witness failure);
+    templates with only empty relations are trivially everything.
+    """
+    rels = _check_boolean(relations)
+    found = set()
+    # Note: an *empty* relation is vacuously closed under every operation
+    # (so it is Horn, dual-Horn, bijunctive, affine) but is not 0- or
+    # 1-valid — it contains no tuple at all.
+    if all(r and (0,) * _width(r) in r for r in rels):
+        found.add(SchaeferClass.ZERO_VALID)
+    if all(r and (1,) * _width(r) in r for r in rels):
+        found.add(SchaeferClass.ONE_VALID)
+    if all(relation_closed_under(r, boolean_min, 2) for r in rels):
+        found.add(SchaeferClass.HORN)
+    if all(relation_closed_under(r, boolean_max, 2) for r in rels):
+        found.add(SchaeferClass.DUAL_HORN)
+    if all(relation_closed_under(r, majority, 3) for r in rels):
+        found.add(SchaeferClass.BIJUNCTIVE)
+    if all(relation_closed_under(r, minority, 3) for r in rels):
+        found.add(SchaeferClass.AFFINE)
+    return frozenset(found)
+
+
+def _width(relation: frozenset[tuple]) -> int:
+    return len(next(iter(relation)))
+
+
+def classify(template: Structure) -> frozenset[SchaeferClass]:
+    """Classify a Boolean template structure (domain must be ⊆ {0, 1})."""
+    if not template.domain <= BOOLEAN_DOMAIN:
+        raise DomainError("Schaefer classification requires a Boolean domain")
+    return classify_relations(
+        template.relation(symbol) for symbol in template.vocabulary
+    )
+
+
+def classify_instance(instance: CSPInstance) -> frozenset[SchaeferClass]:
+    """Classify the set of relations used by a Boolean CSP instance."""
+    if not instance.domain <= BOOLEAN_DOMAIN:
+        raise DomainError("Schaefer classification requires a Boolean domain")
+    return classify_relations(c.relation for c in instance.constraints)
+
+
+def is_tractable(classes: frozenset[SchaeferClass]) -> bool:
+    """Schaefer's dichotomy: tractable iff at least one class applies;
+    NP-complete otherwise."""
+    return bool(classes)

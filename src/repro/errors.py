@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch any library failure with a single ``except`` clause while still
+being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "ArityError",
+    "VocabularyError",
+    "DomainError",
+    "ParseError",
+    "DecompositionError",
+    "UnsatisfiableError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A relation was built or combined with an inconsistent attribute scheme."""
+
+
+class ArityError(ReproError):
+    """A tuple's length does not match the arity of its relation symbol."""
+
+
+class VocabularyError(ReproError):
+    """Two structures that must share a vocabulary do not."""
+
+
+class DomainError(ReproError):
+    """A value or variable falls outside the expected domain."""
+
+
+class ParseError(ReproError):
+    """A textual query, rule, or regular expression could not be parsed."""
+
+
+class DecompositionError(ReproError):
+    """A tree/query/hypertree decomposition is invalid or cannot be built."""
+
+
+class UnsatisfiableError(ReproError):
+    """Raised when a solution was required but the instance has none."""
+
+
+class SolverError(ReproError):
+    """A solver was invoked on an instance it cannot handle."""

@@ -1,0 +1,42 @@
+"""Existential k-pebble games (Sections 4–5 of the tutorial).
+
+Two independent engines compute the same object and are differentially
+tested against each other:
+
+* :mod:`repro.games.pebble` — the largest-winning-strategy greatest-fixpoint
+  pruning (the workhorse used by the consistency machinery);
+* :mod:`repro.games.lfp` — the least-fixed-point induction of Theorem 4.5(1)
+  over configurations.
+"""
+
+from repro.games.lfp import (
+    bad_configurations,
+    configuration_is_winning,
+    duplicator_wins_via_lfp,
+    winning_configurations,
+)
+from repro.games.pebble import (
+    PebbleGameResult,
+    configurations,
+    duplicator_wins,
+    has_forth_property,
+    is_winning_strategy,
+    largest_winning_strategy,
+    solve_game,
+    spoiler_wins,
+)
+
+__all__ = [
+    "PebbleGameResult",
+    "solve_game",
+    "duplicator_wins",
+    "spoiler_wins",
+    "largest_winning_strategy",
+    "is_winning_strategy",
+    "has_forth_property",
+    "configurations",
+    "bad_configurations",
+    "winning_configurations",
+    "configuration_is_winning",
+    "duplicator_wins_via_lfp",
+]

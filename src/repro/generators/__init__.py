@@ -1,0 +1,67 @@
+"""Workload generators backing the examples, tests, and benchmarks."""
+
+from repro.generators.csp_random import (
+    coloring_instance,
+    csp_from_graph,
+    homomorphism_instance_csp,
+    random_binary_csp,
+)
+from repro.generators.graphs import (
+    complete_graph,
+    cycle_graph,
+    directed_cycle_structure,
+    graph_as_digraph_structure,
+    grid_graph,
+    partial_ktree,
+    path_graph,
+    random_digraph,
+    random_graph,
+)
+from repro.generators.queries import (
+    chain_query,
+    random_query,
+    random_tree_query,
+    star_query,
+)
+from repro.generators.sat import (
+    ONE_IN_THREE,
+    random_2sat,
+    random_affine_instance,
+    random_horn,
+    random_ksat,
+    random_one_in_three_instance,
+)
+from repro.generators.views_random import (
+    chain_extensions,
+    random_extensions,
+    random_graph_database,
+)
+
+__all__ = [
+    "random_binary_csp",
+    "coloring_instance",
+    "csp_from_graph",
+    "homomorphism_instance_csp",
+    "cycle_graph",
+    "path_graph",
+    "complete_graph",
+    "grid_graph",
+    "random_graph",
+    "random_digraph",
+    "partial_ktree",
+    "graph_as_digraph_structure",
+    "directed_cycle_structure",
+    "chain_query",
+    "star_query",
+    "random_tree_query",
+    "random_query",
+    "random_ksat",
+    "random_2sat",
+    "random_horn",
+    "random_affine_instance",
+    "random_one_in_three_instance",
+    "ONE_IN_THREE",
+    "chain_extensions",
+    "random_extensions",
+    "random_graph_database",
+]

@@ -1,0 +1,68 @@
+"""Random CSP instance generators (model-B style) and coloring encodings."""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+from typing import Any
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.width.graph import Graph
+
+__all__ = [
+    "random_binary_csp",
+    "coloring_instance",
+    "homomorphism_instance_csp",
+    "csp_from_graph",
+]
+
+
+def random_binary_csp(
+    n_variables: int,
+    domain_size: int,
+    n_constraints: int,
+    tightness: float,
+    seed: int = 0,
+) -> CSPInstance:
+    """The classical model-B random binary CSP: ``n_constraints`` distinct
+    variable pairs, each forbidding a ``tightness`` fraction of the
+    ``domain_size²`` value pairs."""
+    rng = random.Random(seed)
+    variables = list(range(n_variables))
+    domain = list(range(domain_size))
+    all_pairs = [
+        (i, j) for i in range(n_variables) for j in range(i + 1, n_variables)
+    ]
+    rng.shuffle(all_pairs)
+    chosen = all_pairs[: min(n_constraints, len(all_pairs))]
+    value_pairs = list(product(domain, repeat=2))
+    forbidden_count = round(tightness * len(value_pairs))
+    constraints = []
+    for i, j in chosen:
+        forbidden = set(rng.sample(value_pairs, forbidden_count))
+        allowed = [p for p in value_pairs if p not in forbidden]
+        constraints.append(Constraint((i, j), allowed))
+    return CSPInstance(variables, domain, constraints)
+
+
+def coloring_instance(graph: Graph, colors: int) -> CSPInstance:
+    """Proper ``colors``-coloring of an undirected graph as a CSP."""
+    domain = list(range(colors))
+    disequal = [(a, b) for a in domain for b in domain if a != b]
+    constraints = [Constraint((u, v), disequal) for u, v in graph.edges()]
+    return CSPInstance(sorted(graph.vertices, key=repr), domain, constraints)
+
+
+def csp_from_graph(
+    graph: Graph, relation: frozenset[tuple[Any, Any]], domain: list[Any]
+) -> CSPInstance:
+    """A CSP placing the same binary relation on every edge of a graph —
+    handy for building instances of prescribed constraint-graph topology."""
+    constraints = [Constraint((u, v), relation) for u, v in graph.edges()]
+    return CSPInstance(sorted(graph.vertices, key=repr), domain, constraints)
+
+
+def homomorphism_instance_csp(a_edges, b_edges, a_nodes, b_nodes) -> CSPInstance:
+    """The CSP asking for a digraph homomorphism A → B given edge lists."""
+    constraints = [Constraint((u, v), set(map(tuple, b_edges))) for u, v in a_edges]
+    return CSPInstance(list(a_nodes), list(b_nodes), constraints)

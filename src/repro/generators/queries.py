@@ -1,0 +1,64 @@
+"""Random conjunctive-query generators for property-based testing."""
+
+from __future__ import annotations
+
+import random
+
+from repro.cq.query import Atom, ConjunctiveQuery, Var
+
+__all__ = ["chain_query", "star_query", "random_tree_query", "random_query"]
+
+
+def chain_query(length: int, head_name: str = "Q") -> ConjunctiveQuery:
+    """``Q(X0) :- E(X0, X1), …, E(X_{n-1}, X_n)``."""
+    atoms = [Atom("E", (Var(f"X{i}"), Var(f"X{i+1}"))) for i in range(length)]
+    return ConjunctiveQuery(head_name, (Var("X0"),), atoms)
+
+
+def star_query(rays: int, head_name: str = "Q") -> ConjunctiveQuery:
+    """``Q(C) :- E(C, L1), …, E(C, Ln)``."""
+    atoms = [Atom("E", (Var("C"), Var(f"L{i}"))) for i in range(rays)]
+    return ConjunctiveQuery(head_name, (Var("C"),), atoms)
+
+
+def random_tree_query(
+    n_atoms: int, seed: int = 0, head_name: str = "Q"
+) -> ConjunctiveQuery:
+    """A random tree-shaped Boolean query over a binary ``E``: each new atom
+    attaches a fresh variable to an existing one (with random direction).
+
+    Tree-shaped bodies are acyclic, so these queries have querywidth 1 and
+    their canonical structures have treewidth 1 — a family with known
+    ground truth for the width machinery.
+    """
+    rng = random.Random(seed)
+    variables = [Var("X0")]
+    atoms: list[Atom] = []
+    for i in range(n_atoms):
+        anchor = rng.choice(variables)
+        fresh = Var(f"X{i+1}")
+        variables.append(fresh)
+        if rng.random() < 0.5:
+            atoms.append(Atom("E", (anchor, fresh)))
+        else:
+            atoms.append(Atom("E", (fresh, anchor)))
+    return ConjunctiveQuery(head_name, (), atoms)
+
+
+def random_query(
+    n_atoms: int,
+    n_variables: int,
+    seed: int = 0,
+    head_arity: int = 0,
+    head_name: str = "Q",
+) -> ConjunctiveQuery:
+    """A random Boolean or unary/binary-headed query over a binary ``E``
+    with a bounded variable pool (cyclic bodies allowed)."""
+    rng = random.Random(seed)
+    pool = [Var(f"X{i}") for i in range(max(n_variables, 1))]
+    atoms = [
+        Atom("E", (rng.choice(pool), rng.choice(pool))) for _ in range(max(n_atoms, 1))
+    ]
+    body_vars = list(dict.fromkeys(v for a in atoms for v in a.variables()))
+    head = tuple(body_vars[:head_arity])
+    return ConjunctiveQuery(head_name, head, atoms)

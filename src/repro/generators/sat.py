@@ -1,0 +1,84 @@
+"""SAT workload generators: Horn, 2-SAT, k-SAT, affine, One-in-Three."""
+
+from __future__ import annotations
+
+import random
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.dichotomy.cnf import CNF
+
+__all__ = [
+    "random_ksat",
+    "random_2sat",
+    "random_horn",
+    "random_affine_instance",
+    "random_one_in_three_instance",
+]
+
+
+def random_ksat(n_variables: int, n_clauses: int, k: int, seed: int = 0) -> CNF:
+    """Uniform random k-SAT over ``n_variables`` variables."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(n_clauses):
+        variables = rng.sample(range(1, n_variables + 1), min(k, n_variables))
+        clauses.append(tuple(v if rng.random() < 0.5 else -v for v in variables))
+    return CNF(clauses)
+
+
+def random_2sat(n_variables: int, n_clauses: int, seed: int = 0) -> CNF:
+    """Uniform random 2-SAT."""
+    return random_ksat(n_variables, n_clauses, 2, seed)
+
+
+def random_horn(n_variables: int, n_clauses: int, seed: int = 0, width: int = 3) -> CNF:
+    """Random Horn formulas: ≤ ``width`` literals, at most one positive."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(n_clauses):
+        size = rng.randint(1, width)
+        variables = rng.sample(range(1, n_variables + 1), min(size, n_variables))
+        lits = [-v for v in variables]
+        if rng.random() < 0.6:
+            lits[0] = abs(lits[0])
+        clauses.append(tuple(lits))
+    return CNF(clauses)
+
+
+def random_affine_instance(
+    n_variables: int, n_equations: int, width: int = 3, seed: int = 0
+) -> CSPInstance:
+    """Random XOR (affine) constraints ``x1 ⊕ … ⊕ xw = b`` as a Boolean CSP."""
+    from itertools import product
+
+    rng = random.Random(seed)
+    variables = list(range(n_variables))
+    constraints = []
+    for _ in range(n_equations):
+        size = rng.randint(2, width)
+        scope = tuple(rng.sample(variables, min(size, n_variables)))
+        rhs = rng.randint(0, 1)
+        rows = {
+            row
+            for row in product((0, 1), repeat=len(scope))
+            if sum(row) % 2 == rhs
+        }
+        constraints.append(Constraint(scope, rows))
+    return CSPInstance(variables, (0, 1), constraints)
+
+
+ONE_IN_THREE = frozenset({(1, 0, 0), (0, 1, 0), (0, 0, 1)})
+
+
+def random_one_in_three_instance(
+    n_variables: int, n_clauses: int, seed: int = 0
+) -> CSPInstance:
+    """Random positive One-in-Three SAT — Schaefer's canonical NP-complete
+    template (it lies in none of the six tractable classes)."""
+    rng = random.Random(seed)
+    variables = list(range(max(n_variables, 3)))
+    constraints = [
+        Constraint(tuple(rng.sample(variables, 3)), ONE_IN_THREE)
+        for _ in range(n_clauses)
+    ]
+    return CSPInstance(variables, (0, 1), constraints)

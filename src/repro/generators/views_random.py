@@ -1,0 +1,49 @@
+"""Random view setups and graph databases for the Section 7 benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.views.certain import ViewSetup
+from repro.views.graphdb import GraphDatabase
+
+__all__ = ["random_graph_database", "random_extensions", "chain_extensions"]
+
+
+def random_graph_database(
+    n_nodes: int, n_edges: int, alphabet: list[str], seed: int = 0
+) -> GraphDatabase:
+    """A random edge-labeled graph database."""
+    rng = random.Random(seed)
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    db = GraphDatabase(nodes=nodes)
+    for _ in range(n_edges):
+        db.add_edge(rng.choice(nodes), rng.choice(alphabet), rng.choice(nodes))
+    return db
+
+
+def random_extensions(
+    views: ViewSetup, n_objects: int, pairs_per_view: int, seed: int = 0
+) -> ViewSetup:
+    """Fresh random extensions over ``n_objects`` objects for given
+    definitions."""
+    rng = random.Random(seed)
+    objects = [f"o{i}" for i in range(n_objects)]
+    extensions: dict[str, set[tuple[Any, Any]]] = {}
+    for name in views.definitions:
+        extensions[name] = {
+            (rng.choice(objects), rng.choice(objects))
+            for _ in range(pairs_per_view)
+        }
+    return views.with_extensions(extensions)
+
+
+def chain_extensions(views: ViewSetup, view_order: list[str], length: int) -> ViewSetup:
+    """Extensions forming a chain ``o0 → o1 → … → o_length`` cycling through
+    the named views — the structured workload of benchmark E9."""
+    extensions: dict[str, set[tuple[Any, Any]]] = {name: set() for name in views.definitions}
+    for i in range(length):
+        name = view_order[i % len(view_order)]
+        extensions[name].add((f"o{i}", f"o{i + 1}"))
+    return views.with_extensions(extensions)

@@ -1,0 +1,247 @@
+"""Serialization: fact files, DIMACS, and JSON round trips.
+
+Interchange formats for the library's main objects:
+
+* **fact files** — structures as Datalog-style ground facts
+  (``E(1, 2).``), the natural format for the homomorphism/CSP view;
+* **DIMACS cnf** — the standard SAT interchange format, read into
+  :class:`~repro.dichotomy.cnf.CNF`;
+* **DIMACS edge** (``p edge n m`` / ``e u v``) — graphs for the
+  coloring/width machinery;
+* **JSON** — CSP instances, for configuration-driven benchmarks.
+
+All readers accept strings; ``*_file`` variants take paths.  Writers are
+inverse to readers (round-trip property-tested).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.cq.parser import _Cursor, _tokenize
+from repro.csp.instance import Constraint, CSPInstance
+from repro.dichotomy.cnf import CNF
+from repro.errors import ParseError
+from repro.relational.structure import Structure, Vocabulary
+from repro.width.graph import Graph
+
+__all__ = [
+    "structure_to_facts",
+    "structure_from_facts",
+    "cnf_from_dimacs",
+    "cnf_to_dimacs",
+    "graph_from_dimacs",
+    "graph_to_dimacs",
+    "instance_to_json",
+    "instance_from_json",
+    "load_structure",
+    "save_structure",
+]
+
+
+# -- structures as fact files ---------------------------------------------------
+
+
+def structure_to_facts(structure: Structure) -> str:
+    """Serialize a structure as ground facts, one per line, with a header
+    comment recording the full domain (isolated elements included)."""
+    lines = [
+        "% domain: " + " ".join(repr(v) for v in sorted(structure.domain, key=repr))
+    ]
+    lines.append(
+        "% arities: "
+        + " ".join(f"{s}/{a}" for s, a in sorted(structure.vocabulary.items()))
+    )
+    for symbol, t in structure.facts():
+        args = ", ".join(repr(v) for v in t)
+        lines.append(f"{symbol}({args}).")
+    return "\n".join(lines) + "\n"
+
+
+def structure_from_facts(text: str) -> Structure:
+    """Parse a fact file back into a structure.
+
+    Constants follow the CQ parser conventions (integers, quoted strings,
+    lowercase names); the ``% domain:`` and ``% arities:`` headers, when
+    present, restore isolated elements and empty relations.
+    """
+    domain: set[Any] = set()
+    arities: dict[str, int] = {}
+    facts: dict[str, list[tuple]] = {}
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("%"):
+            body = line[1:].strip()
+            if body.startswith("domain:"):
+                for token in body[len("domain:"):].split():
+                    domain.add(_parse_value(token))
+            elif body.startswith("arities:"):
+                for entry in body[len("arities:"):].split():
+                    name, _, arity = entry.partition("/")
+                    arities[name] = int(arity)
+            continue
+        if not line.endswith("."):
+            raise ParseError(f"fact line must end with '.': {line!r}")
+        cursor = _Cursor(_tokenize(line[:-1]))
+        kind, name = cursor.next()
+        if kind != "name":
+            raise ParseError(f"expected predicate name in {line!r}")
+        cursor.expect("(")
+        values: list[Any] = []
+        tok = cursor.peek()
+        if tok and tok[1] == ")":
+            cursor.next()
+        else:
+            while True:
+                values.append(_parse_value_token(cursor.next()))
+                kind2, value2 = cursor.next()
+                if value2 == ")":
+                    break
+                if value2 != ",":
+                    raise ParseError(f"expected ',' or ')' in {line!r}")
+        arities.setdefault(name, len(values))
+        if arities[name] != len(values):
+            raise ParseError(f"inconsistent arity for {name!r}")
+        facts.setdefault(name, []).append(tuple(values))
+        domain.update(values)
+
+    return Structure(Vocabulary(arities), domain, facts)
+
+
+def _parse_value(token: str) -> Any:
+    if token.startswith("'") and token.endswith("'"):
+        return token[1:-1]
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _parse_value_token(token: tuple[str, str]) -> Any:
+    kind, value = token
+    if kind == "int":
+        return int(value)
+    if kind == "str":
+        return value[1:-1]
+    if kind == "name":
+        return value
+    raise ParseError(f"unexpected token in fact: {value!r}")
+
+
+def save_structure(structure: Structure, path: str | Path) -> None:
+    """Write a structure to a fact file."""
+    Path(path).write_text(structure_to_facts(structure))
+
+
+def load_structure(path: str | Path) -> Structure:
+    """Read a structure from a fact file."""
+    return structure_from_facts(Path(path).read_text())
+
+
+# -- DIMACS CNF -----------------------------------------------------------------
+
+
+def cnf_from_dimacs(text: str) -> CNF:
+    """Parse DIMACS CNF (``p cnf n m`` header, clauses ended by 0)."""
+    clauses: list[tuple[int, ...]] = []
+    current: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith(("c", "%")):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) < 2 or parts[1] != "cnf":
+                raise ParseError(f"bad DIMACS header: {line!r}")
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                clauses.append(tuple(current))
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        clauses.append(tuple(current))  # tolerate a missing trailing 0
+    return CNF(clauses)
+
+
+def cnf_to_dimacs(formula: CNF, comment: str | None = None) -> str:
+    """Serialize a CNF formula in DIMACS format (optionally with a comment)."""
+    n = max(formula.variables, default=0)
+    lines = []
+    if comment:
+        lines.append(f"c {comment}")
+    lines.append(f"p cnf {n} {len(formula.clauses)}")
+    for clause in formula.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+# -- DIMACS graphs ----------------------------------------------------------------
+
+
+def graph_from_dimacs(text: str) -> Graph:
+    """Parse the DIMACS edge format (``p edge n m`` / ``e u v``), with
+    1-based vertex ids preserved."""
+    graph = Graph()
+    declared = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "p":
+            if len(parts) < 4 or parts[1] not in ("edge", "col"):
+                raise ParseError(f"bad DIMACS graph header: {line!r}")
+            declared = int(parts[2])
+            for v in range(1, declared + 1):
+                graph.add_vertex(v)
+        elif parts[0] == "e":
+            graph.add_edge(int(parts[1]), int(parts[2]))
+        else:
+            raise ParseError(f"unknown DIMACS graph line: {line!r}")
+    return graph
+
+
+def graph_to_dimacs(graph: Graph) -> str:
+    """Serialize a graph in the DIMACS edge format (vertices renumbered 1..n)."""
+    vertices = sorted(graph.vertices)
+    index = {v: i + 1 for i, v in enumerate(vertices)}
+    lines = [f"p edge {len(vertices)} {graph.num_edges()}"]
+    for u, v in sorted(graph.edges(), key=lambda e: (index[e[0]], index[e[1]])):
+        a, b = sorted((index[u], index[v]))
+        lines.append(f"e {a} {b}")
+    return "\n".join(lines) + "\n"
+
+
+# -- CSP instances as JSON ----------------------------------------------------------
+
+
+def instance_to_json(instance: CSPInstance) -> str:
+    """Serialize an instance; variables/values must be JSON-representable
+    (strings or numbers)."""
+    payload = {
+        "variables": list(instance.variables),
+        "domain": sorted(instance.domain, key=repr),
+        "constraints": [
+            {"scope": list(c.scope), "relation": [list(row) for row in sorted(c.relation, key=repr)]}
+            for c in instance.constraints
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def instance_from_json(text: str) -> CSPInstance:
+    """Parse a CSP instance serialized by :func:`instance_to_json`."""
+    payload = json.loads(text)
+    constraints = [
+        Constraint(tuple(c["scope"]), [tuple(row) for row in c["relation"]])
+        for c in payload["constraints"]
+    ]
+    return CSPInstance(payload["variables"], payload["domain"], constraints)

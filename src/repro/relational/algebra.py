@@ -1,0 +1,201 @@
+"""Relational algebra over :class:`~repro.relational.relation.Relation`.
+
+The tutorial's Proposition 2.1 reads constraint satisfaction as a
+*join-evaluation problem*: a CSP instance ``(V, D, C)`` is solvable iff the
+natural join of its constraint relations is nonempty.  This module provides
+the natural join (hash-join implementation) plus the standard companions —
+projection, selection, renaming, semijoin, and the set operations — which the
+acyclic-join and Yannakakis machinery in :mod:`repro.width` builds on.
+
+All operations are pure: they return new relations and never mutate inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+
+__all__ = [
+    "project",
+    "select",
+    "rename",
+    "natural_join",
+    "join_all",
+    "semijoin",
+    "union",
+    "intersection",
+    "difference",
+    "product",
+    "division",
+]
+
+
+def project(relation: Relation, attributes: Sequence[str]) -> Relation:
+    """Project onto ``attributes`` (which may reorder columns).
+
+    >>> r = Relation(("x", "y"), [(1, 2), (1, 3)])
+    >>> sorted(project(r, ("x",)).tuples)
+    [(1,)]
+    """
+    attrs = tuple(attributes)
+    indices = [relation.index_of(a) for a in attrs]
+    return Relation(attrs, (tuple(t[i] for i in indices) for t in relation))
+
+
+def select(relation: Relation, predicate: Callable[[Mapping[str, Any]], bool]) -> Relation:
+    """Keep the rows on which ``predicate`` (given the row as a mapping) is true."""
+    attrs = relation.attributes
+    kept = (
+        t for t in relation if predicate(dict(zip(attrs, t)))
+    )
+    return Relation(attrs, kept)
+
+
+def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
+    """Rename attributes according to ``mapping`` (attributes absent from the
+    mapping keep their names).  The resulting scheme must still be distinct.
+    """
+    new_attrs = tuple(mapping.get(a, a) for a in relation.attributes)
+    if len(set(new_attrs)) != len(new_attrs):
+        raise SchemaError(
+            f"renaming {dict(mapping)!r} collapses scheme "
+            f"{relation.attributes!r} to non-distinct {new_attrs!r}"
+        )
+    return Relation(new_attrs, relation.tuples)
+
+
+def _shared_and_private(
+    left: Relation, right: Relation
+) -> tuple[list[str], list[str]]:
+    """Attributes shared by both schemes, and attributes private to ``right``."""
+    left_set = set(left.attributes)
+    shared = [a for a in right.attributes if a in left_set]
+    private = [a for a in right.attributes if a not in left_set]
+    return shared, private
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """The natural join ``left ⋈ right`` (hash join on the shared attributes).
+
+    When the schemes are disjoint this degenerates to the Cartesian product;
+    when they are identical it degenerates to intersection.
+    """
+    shared, right_private = _shared_and_private(left, right)
+    left_key = [left.index_of(a) for a in shared]
+    right_key = [right.index_of(a) for a in shared]
+    right_private_idx = [right.index_of(a) for a in right_private]
+
+    # Build a hash index on the smaller operand's key columns.
+    index: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+    for t in right:
+        key = tuple(t[i] for i in right_key)
+        index.setdefault(key, []).append(t)
+
+    out_attrs = left.attributes + tuple(right_private)
+
+    def rows() -> Iterable[tuple[Any, ...]]:
+        for lt in left:
+            key = tuple(lt[i] for i in left_key)
+            for rt in index.get(key, ()):
+                yield lt + tuple(rt[i] for i in right_private_idx)
+
+    return Relation(out_attrs, rows())
+
+
+def join_all(relations: Iterable[Relation]) -> Relation:
+    """Natural join of a collection of relations, smallest-first.
+
+    Joining the empty collection yields :meth:`Relation.unit`, the join
+    identity, so ``join_all`` is a proper monoid fold.
+    """
+    pending = sorted(relations, key=len)
+    result = Relation.unit()
+    for rel in pending:
+        result = natural_join(result, rel)
+        if not result:
+            # Early exit: a join with an empty intermediate stays empty.
+            all_attrs = list(result.attributes)
+            for other in pending:
+                for a in other.attributes:
+                    if a not in all_attrs:
+                        all_attrs.append(a)
+            return Relation.empty(all_attrs)
+    return result
+
+
+def semijoin(left: Relation, right: Relation) -> Relation:
+    """The semijoin ``left ⋉ right``: rows of ``left`` that join with ``right``.
+
+    This is the primitive of the Yannakakis algorithm for acyclic joins
+    (discussed in Section 6 of the tutorial via [45]).
+    """
+    shared, _ = _shared_and_private(left, right)
+    left_key = [left.index_of(a) for a in shared]
+    right_key = [right.index_of(a) for a in shared]
+    keys = {tuple(t[i] for i in right_key) for t in right}
+    return Relation(
+        left.attributes,
+        (t for t in left if tuple(t[i] for i in left_key) in keys),
+    )
+
+
+def _require_same_scheme(left: Relation, right: Relation, op: str) -> None:
+    if left.attributes != right.attributes:
+        raise SchemaError(
+            f"{op} requires identical schemes, got "
+            f"{left.attributes!r} and {right.attributes!r}"
+        )
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union of two relations over the same scheme."""
+    _require_same_scheme(left, right, "union")
+    return Relation(left.attributes, left.tuples | right.tuples)
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """Set intersection of two relations over the same scheme."""
+    _require_same_scheme(left, right, "intersection")
+    return Relation(left.attributes, left.tuples & right.tuples)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference ``left - right`` of two relations over the same scheme."""
+    _require_same_scheme(left, right, "difference")
+    return Relation(left.attributes, left.tuples - right.tuples)
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product; the schemes must be disjoint."""
+    overlap = set(left.attributes) & set(right.attributes)
+    if overlap:
+        raise SchemaError(f"product requires disjoint schemes, shared: {sorted(overlap)!r}")
+    return natural_join(left, right)
+
+
+def division(left: Relation, right: Relation) -> Relation:
+    """Relational division ``left ÷ right``: the tuples over the attributes
+    of ``left`` *not* in ``right`` that pair with **every** tuple of
+    ``right`` inside ``left`` — the algebra's universal quantifier.
+
+    ``right``'s attributes must be a proper subset of ``left``'s.
+    """
+    right_attrs = set(right.attributes)
+    left_attrs = set(left.attributes)
+    if not right_attrs < left_attrs:
+        raise SchemaError(
+            "division requires the divisor scheme to be a proper subset of "
+            f"the dividend scheme; got {right.attributes!r} vs {left.attributes!r}"
+        )
+    quotient_attrs = tuple(a for a in left.attributes if a not in right_attrs)
+
+    candidates = project(left, quotient_attrs)
+    # A candidate survives iff {candidate} × right ⊆ left: compute the
+    # required combinations, remove those present, and drop any candidate
+    # with a missing combination.
+    required = project(natural_join(candidates, right), left.attributes)
+    missing = difference(required, left)
+    bad = project(missing, quotient_attrs)
+    return difference(candidates, bad)

@@ -1,0 +1,167 @@
+"""Named-attribute relations — the basic value type of the library.
+
+A :class:`Relation` is an immutable set of equal-length tuples together with
+a *scheme*: a tuple of distinct attribute names, one per column.  This is the
+classical named perspective of the relational model (Codd; see also
+Abiteboul–Hull–Vianu, *Foundations of Databases*), and it is exactly the view
+the tutorial takes in Section 2 when it reads a CSP constraint ``(t, R)`` as
+"a relation ``R`` over the scheme ``t``".
+
+Relations are hashable and comparable, so they can be shared freely between
+the CSP, conjunctive-query, and structure representations that the library
+converts between.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import ArityError, SchemaError
+
+__all__ = ["Relation"]
+
+
+def _check_scheme(attributes: Sequence[str]) -> tuple[str, ...]:
+    attrs = tuple(attributes)
+    if len(set(attrs)) != len(attrs):
+        raise SchemaError(f"attribute names must be distinct, got {attrs!r}")
+    for name in attrs:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"attribute names must be non-empty strings, got {name!r}")
+    return attrs
+
+
+class Relation:
+    """An immutable relation over a scheme of named attributes.
+
+    Parameters
+    ----------
+    attributes:
+        The scheme — a sequence of distinct, non-empty attribute names.
+    tuples:
+        The rows.  Every row must have exactly ``len(attributes)`` entries.
+        Rows may contain any hashable Python values.
+
+    Examples
+    --------
+    >>> r = Relation(("x", "y"), [(1, 2), (2, 3)])
+    >>> r.arity
+    2
+    >>> (1, 2) in r
+    True
+    """
+
+    __slots__ = ("_attributes", "_tuples", "_hash")
+
+    def __init__(self, attributes: Sequence[str], tuples: Iterable[Sequence[Any]] = ()):
+        self._attributes = _check_scheme(attributes)
+        arity = len(self._attributes)
+        rows = set()
+        for row in tuples:
+            t = tuple(row)
+            if len(t) != arity:
+                raise ArityError(
+                    f"tuple {t!r} has {len(t)} entries but the scheme "
+                    f"{self._attributes!r} has arity {arity}"
+                )
+            rows.add(t)
+        self._tuples: frozenset[tuple[Any, ...]] = frozenset(rows)
+        self._hash: int | None = None
+
+    # -- basic protocol ---------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The scheme of this relation (a tuple of distinct attribute names)."""
+        return self._attributes
+
+    @property
+    def tuples(self) -> frozenset[tuple[Any, ...]]:
+        """The set of rows."""
+        return self._tuples
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._tuples)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._tuples
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._attributes == other._attributes and self._tuples == other._tuples
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._attributes, self._tuples))
+        return self._hash
+
+    def __repr__(self) -> str:
+        shown = sorted(self._tuples, key=repr)[:4]
+        more = "" if len(self._tuples) <= 4 else f", …(+{len(self._tuples) - 4})"
+        body = ", ".join(repr(t) for t in shown)
+        return f"Relation({self._attributes!r}, {{{body}{more}}})"
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def empty(cls, attributes: Sequence[str]) -> "Relation":
+        """The empty relation over the given scheme."""
+        return cls(attributes, ())
+
+    @classmethod
+    def unit(cls) -> "Relation":
+        """The nullary relation containing the empty tuple.
+
+        This is the identity of the natural join: joining any relation with
+        ``Relation.unit()`` returns that relation unchanged.
+        """
+        return cls((), [()])
+
+    @classmethod
+    def from_mappings(
+        cls, attributes: Sequence[str], rows: Iterable[Mapping[str, Any]]
+    ) -> "Relation":
+        """Build a relation from dict-like rows keyed by attribute name."""
+        attrs = tuple(attributes)
+        return cls(attrs, (tuple(row[a] for a in attrs) for row in rows))
+
+    # -- row/value views ---------------------------------------------------
+
+    def rows_as_mappings(self) -> Iterator[dict[str, Any]]:
+        """Iterate the rows as ``{attribute: value}`` dictionaries."""
+        for t in self._tuples:
+            yield dict(zip(self._attributes, t))
+
+    def active_domain(self) -> frozenset[Any]:
+        """All values appearing anywhere in the relation."""
+        return frozenset(v for t in self._tuples for v in t)
+
+    def column(self, attribute: str) -> frozenset[Any]:
+        """The set of values appearing in the named column."""
+        idx = self.index_of(attribute)
+        return frozenset(t[idx] for t in self._tuples)
+
+    def index_of(self, attribute: str) -> int:
+        """Position of ``attribute`` in the scheme; raises ``SchemaError`` if absent."""
+        try:
+            return self._attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"attribute {attribute!r} not in scheme {self._attributes!r}"
+            ) from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        """Whether ``attribute`` occurs in the scheme."""
+        return attribute in self._attributes

@@ -1,0 +1,73 @@
+"""View-based query processing for regular-path queries (Section 7):
+graph databases, RPQ evaluation, certain answers, the constraint-template
+reduction to CSP (Thm 7.5), the converse reduction from CSP (Thm 7.3), and
+maximal rewritings."""
+
+from repro.views.automata import DFA, NFA
+from repro.views.datalog_rewriting import (
+    certain_answer_datalog,
+    certain_answer_kconsistency,
+    datalog_rewriting,
+)
+from repro.views.certain import (
+    ViewSetup,
+    certain_answer,
+    certain_answer_bruteforce,
+    certain_answer_exact_views,
+    is_consistent,
+    witness_databases,
+)
+from repro.views.graphdb import (
+    GraphDatabase,
+    rpq_answers,
+    rpq_pairs_from,
+    rpq_witness_path,
+)
+from repro.views.reduction import ViewReduction, csp_to_view_reduction
+from repro.views.regex import Regex, parse_regex, regex_to_nfa, symbols_of
+from repro.views.rewriting import (
+    evaluate_rewriting,
+    expansion_nfa,
+    is_sound_rewriting_word,
+    maximal_rewriting,
+    view_transition_relation,
+)
+from repro.views.template import (
+    certain_answer_via_csp,
+    constraint_template,
+    extension_structure,
+    remove_epsilons,
+)
+
+__all__ = [
+    "NFA",
+    "DFA",
+    "Regex",
+    "parse_regex",
+    "regex_to_nfa",
+    "symbols_of",
+    "GraphDatabase",
+    "rpq_answers",
+    "rpq_pairs_from",
+    "rpq_witness_path",
+    "ViewSetup",
+    "is_consistent",
+    "certain_answer",
+    "certain_answer_bruteforce",
+    "certain_answer_exact_views",
+    "witness_databases",
+    "constraint_template",
+    "extension_structure",
+    "certain_answer_via_csp",
+    "remove_epsilons",
+    "ViewReduction",
+    "csp_to_view_reduction",
+    "maximal_rewriting",
+    "view_transition_relation",
+    "expansion_nfa",
+    "is_sound_rewriting_word",
+    "evaluate_rewriting",
+    "datalog_rewriting",
+    "certain_answer_datalog",
+    "certain_answer_kconsistency",
+]

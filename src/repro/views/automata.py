@@ -1,0 +1,356 @@
+"""Nondeterministic and deterministic finite automata.
+
+RPQs (Section 7) are "expressed by means of regular expressions or finite
+automata"; everything downstream — query answering, the constraint template,
+maximal rewritings — is automata manipulation.  This module implements NFAs
+with ε-transitions, the subset construction, products, complementation, and
+word enumeration, from scratch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import DomainError
+
+__all__ = ["NFA", "DFA"]
+
+EPSILON = None  # the ε label in transition keys
+
+
+class NFA:
+    """An NFA with ε-moves.
+
+    Parameters
+    ----------
+    states, alphabet:
+        Finite sets.  ``None`` is reserved for ε and may not be a symbol.
+    transitions:
+        ``{(state, symbol-or-None): set-of-states}``.
+    initial, accepting:
+        Subsets of ``states``.
+    """
+
+    __slots__ = ("states", "alphabet", "transitions", "initial", "accepting")
+
+    def __init__(
+        self,
+        states: Iterable[Hashable],
+        alphabet: Iterable[str],
+        transitions: Mapping[tuple[Any, Any], Iterable[Any]],
+        initial: Iterable[Any],
+        accepting: Iterable[Any],
+    ):
+        self.states = frozenset(states)
+        self.alphabet = frozenset(alphabet)
+        if EPSILON in self.alphabet:
+            raise DomainError("None is reserved for epsilon")
+        self.transitions: dict[tuple[Any, Any], frozenset] = {}
+        for (state, symbol), targets in transitions.items():
+            if state not in self.states:
+                raise DomainError(f"transition from unknown state {state!r}")
+            if symbol is not EPSILON and symbol not in self.alphabet:
+                raise DomainError(f"transition on unknown symbol {symbol!r}")
+            targets = frozenset(targets)
+            if not targets <= self.states:
+                raise DomainError("transition to unknown state")
+            if targets:
+                self.transitions[(state, symbol)] = targets
+        self.initial = frozenset(initial)
+        self.accepting = frozenset(accepting)
+        if not self.initial <= self.states or not self.accepting <= self.states:
+            raise DomainError("initial/accepting must be subsets of the states")
+
+    # -- core operations -----------------------------------------------------
+
+    def epsilon_closure(self, states: Iterable[Any]) -> frozenset:
+        """All states reachable from ``states`` by ε-moves."""
+        closure = set(states)
+        stack = list(closure)
+        while stack:
+            s = stack.pop()
+            for t in self.transitions.get((s, EPSILON), ()):
+                if t not in closure:
+                    closure.add(t)
+                    stack.append(t)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[Any], symbol: str) -> frozenset:
+        """``ρ(states, symbol)`` including ε-closure on both sides."""
+        current = self.epsilon_closure(states)
+        nxt: set[Any] = set()
+        for s in current:
+            nxt |= self.transitions.get((s, symbol), frozenset())
+        return self.epsilon_closure(nxt)
+
+    def run(self, word: Iterable[str]) -> frozenset:
+        """The state set after reading ``word`` from the initial states."""
+        current = self.epsilon_closure(self.initial)
+        for symbol in word:
+            current = self.step(current, symbol)
+        return current
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        return bool(self.run(word) & self.accepting)
+
+    # -- constructions -----------------------------------------------------------
+
+    def to_dfa(self) -> "DFA":
+        """The subset construction (complete over this NFA's alphabet)."""
+        start = self.epsilon_closure(self.initial)
+        states = {start}
+        delta: dict[tuple[frozenset, str], frozenset] = {}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for symbol in self.alphabet:
+                nxt = self.step(current, symbol)
+                delta[(current, symbol)] = nxt
+                if nxt not in states:
+                    states.add(nxt)
+                    queue.append(nxt)
+        accepting = {s for s in states if s & self.accepting}
+        return DFA(states, self.alphabet, delta, start, accepting)
+
+    def trimmed(self) -> "NFA":
+        """Remove states unreachable from the initial set or from which no
+        accepting state is reachable."""
+        forward = set(self.epsilon_closure(self.initial))
+        queue = deque(forward)
+        while queue:
+            s = queue.popleft()
+            for (state, _symbol), targets in self.transitions.items():
+                if state == s:
+                    for t in targets:
+                        if t not in forward:
+                            forward.add(t)
+                            queue.append(t)
+        backward: set[Any] = set(self.accepting)
+        changed = True
+        while changed:
+            changed = False
+            for (state, _symbol), targets in self.transitions.items():
+                if state not in backward and targets & backward:
+                    backward.add(state)
+                    changed = True
+        keep = forward & backward
+        transitions = {
+            key: targets & keep
+            for key, targets in self.transitions.items()
+            if key[0] in keep
+        }
+        return NFA(
+            keep or {("dead",)},
+            self.alphabet,
+            transitions if keep else {},
+            self.initial & keep,
+            self.accepting & keep,
+        )
+
+    def is_empty(self) -> bool:
+        """Whether the accepted language is empty."""
+        return not (self.trimmed().initial)
+
+    def enumerate_words(self, max_length: int) -> Iterator[tuple[str, ...]]:
+        """All accepted words of length ≤ ``max_length``, shortest first.
+
+        BFS over (word, state-set) — exponential in ``max_length`` in the
+        worst case; for cross-validation on tiny languages only.
+        """
+        alphabet = sorted(self.alphabet)
+        queue: deque[tuple[tuple[str, ...], frozenset]] = deque(
+            [((), self.epsilon_closure(self.initial))]
+        )
+        while queue:
+            word, states = queue.popleft()
+            if states & self.accepting:
+                yield word
+            if len(word) < max_length:
+                for symbol in alphabet:
+                    nxt = self.step(states, symbol)
+                    if nxt:
+                        queue.append((word + (symbol,), nxt))
+
+    def with_alphabet(self, alphabet: Iterable[str]) -> "NFA":
+        """The same automaton over an enlarged alphabet (new symbols have no
+        transitions, so the language is unchanged)."""
+        return NFA(
+            self.states,
+            self.alphabet | frozenset(alphabet),
+            self.transitions,
+            self.initial,
+            self.accepting,
+        )
+
+    def shortest_word(self) -> tuple[str, ...] | None:
+        """A shortest accepted word, or ``None`` for the empty language."""
+        seen = {self.epsilon_closure(self.initial)}
+        queue: deque[tuple[tuple[str, ...], frozenset]] = deque(
+            [((), self.epsilon_closure(self.initial))]
+        )
+        while queue:
+            word, states = queue.popleft()
+            if states & self.accepting:
+                return word
+            for symbol in sorted(self.alphabet):
+                nxt = self.step(states, symbol)
+                if nxt and nxt not in seen:
+                    seen.add(nxt)
+                    queue.append((word + (symbol,), nxt))
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(|Q|={len(self.states)}, |Σ|={len(self.alphabet)}, "
+            f"|δ|={len(self.transitions)})"
+        )
+
+
+class DFA:
+    """A complete DFA (missing transitions are rejected at construction)."""
+
+    __slots__ = ("states", "alphabet", "delta", "initial", "accepting")
+
+    def __init__(
+        self,
+        states: Iterable[Any],
+        alphabet: Iterable[str],
+        delta: Mapping[tuple[Any, str], Any],
+        initial: Any,
+        accepting: Iterable[Any],
+    ):
+        self.states = frozenset(states)
+        self.alphabet = frozenset(alphabet)
+        self.delta = dict(delta)
+        self.initial = initial
+        self.accepting = frozenset(accepting)
+        if initial not in self.states:
+            raise DomainError("initial state unknown")
+        for s in self.states:
+            for a in self.alphabet:
+                if (s, a) not in self.delta:
+                    raise DomainError(f"DFA incomplete at ({s!r}, {a!r})")
+
+    def run(self, word: Iterable[str]) -> Any:
+        state = self.initial
+        for symbol in word:
+            state = self.delta[(state, symbol)]
+        return state
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        return self.run(word) in self.accepting
+
+    def complement(self) -> "DFA":
+        """The complement DFA (same structure, flipped acceptance)."""
+        return DFA(
+            self.states,
+            self.alphabet,
+            self.delta,
+            self.initial,
+            self.states - self.accepting,
+        )
+
+    def to_nfa(self) -> NFA:
+        transitions = {
+            (s, a): {t} for (s, a), t in self.delta.items()
+        }
+        return NFA(self.states, self.alphabet, transitions, {self.initial}, self.accepting)
+
+    def product(self, other: "DFA", accept_both: bool = True) -> "DFA":
+        """Product DFA: intersection (``accept_both``) or union of languages.
+
+        Both automata must share an alphabet.
+        """
+        if self.alphabet != other.alphabet:
+            raise DomainError("product requires a common alphabet")
+        states = {(s, t) for s in self.states for t in other.states}
+        delta = {
+            ((s, t), a): (self.delta[(s, a)], other.delta[(t, a)])
+            for s in self.states
+            for t in other.states
+            for a in self.alphabet
+        }
+        if accept_both:
+            accepting = {
+                (s, t)
+                for s in self.accepting
+                for t in other.accepting
+            }
+        else:
+            accepting = {
+                (s, t)
+                for s in self.states
+                for t in other.states
+                if s in self.accepting or t in other.accepting
+            }
+        return DFA(states, self.alphabet, delta, (self.initial, other.initial), accepting)
+
+    def is_empty(self) -> bool:
+        return self.to_nfa().is_empty()
+
+    def reachable(self) -> "DFA":
+        """Restrict to the states reachable from the initial state."""
+        seen = {self.initial}
+        queue = deque([self.initial])
+        while queue:
+            s = queue.popleft()
+            for a in self.alphabet:
+                t = self.delta[(s, a)]
+                if t not in seen:
+                    seen.add(t)
+                    queue.append(t)
+        delta = {(s, a): t for (s, a), t in self.delta.items() if s in seen}
+        return DFA(seen, self.alphabet, delta, self.initial, self.accepting & seen)
+
+    def minimized(self) -> "DFA":
+        """The minimal DFA (Moore's partition-refinement algorithm).
+
+        States of the result are frozensets of original states (the
+        equivalence classes); a dead class is kept so the DFA stays
+        complete.
+        """
+        dfa = self.reachable()
+        partition = [dfa.accepting, dfa.states - dfa.accepting]
+        partition = [p for p in partition if p]
+        changed = True
+        while changed:
+            changed = False
+            new_partition: list[frozenset] = []
+            block_of = {}
+            for i, block in enumerate(partition):
+                for s in block:
+                    block_of[s] = i
+            for block in partition:
+                groups: dict[tuple, set] = {}
+                for s in block:
+                    signature = tuple(
+                        block_of[dfa.delta[(s, a)]] for a in sorted(dfa.alphabet)
+                    )
+                    groups.setdefault(signature, set()).add(s)
+                if len(groups) > 1:
+                    changed = True
+                new_partition.extend(frozenset(g) for g in groups.values())
+            partition = new_partition
+        class_of = {}
+        for block in partition:
+            fb = frozenset(block)
+            for s in block:
+                class_of[s] = fb
+        states = set(class_of.values())
+        delta = {
+            (class_of[s], a): class_of[dfa.delta[(s, a)]]
+            for s in dfa.states
+            for a in dfa.alphabet
+        }
+        accepting = {class_of[s] for s in dfa.accepting}
+        return DFA(states, dfa.alphabet, delta, class_of[dfa.initial], accepting)
+
+    def equivalent(self, other: "DFA") -> bool:
+        """Language equality via emptiness of the symmetric difference."""
+        diff1 = self.product(other.complement())
+        diff2 = other.product(self.complement())
+        return diff1.is_empty() and diff2.is_empty()
+
+    def __repr__(self) -> str:
+        return f"DFA(|Q|={len(self.states)}, |Σ|={len(self.alphabet)})"

@@ -1,0 +1,218 @@
+"""View-based query answering: certain answers (Section 7).
+
+A database is accessible only through views ``V = {V1, …, Vk}``, each with a
+definition ``def(Vi)`` (an RPQ) and an extension ``ext(Vi)`` (pairs of
+objects).  A database is *consistent* with the views when
+``ext(Vi) ⊆ ans(def(Vi), DB)`` (sound views, open domain).  The certain
+answer set ``cert(Q, V)`` holds the pairs in ``ans(Q, DB)`` for *every*
+consistent DB — deciding membership is co-NP-complete in data complexity
+(Theorem 7.1).
+
+Two deciders are provided:
+
+* :func:`certain_answer` — via the paper's own reduction to CSP against the
+  constraint template (Theorem 7.5; see :mod:`repro.views.template`);
+* :func:`certain_answer_bruteforce` — enumerate *witness-choice* databases:
+  every consistent DB contains, per extension pair, a path spelling some
+  word of the view language, and answers are monotone, so it suffices that
+  every choice of witness words yields a match.  Exact whenever the view
+  languages are finite and ``max_word_length`` covers them (the reduction in
+  :mod:`repro.views.reduction` is in that regime); a documented
+  under-approximation of consistency checking otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.errors import DomainError
+from repro.views.automata import NFA
+from repro.views.graphdb import GraphDatabase, rpq_answers
+from repro.views.regex import Regex, regex_to_nfa
+
+__all__ = [
+    "ViewSetup",
+    "is_consistent",
+    "certain_answer",
+    "certain_answer_bruteforce",
+    "certain_answer_exact_views",
+    "witness_databases",
+]
+
+
+@dataclass
+class ViewSetup:
+    """View definitions and extensions, with the query alphabet Σ.
+
+    ``definitions`` values may be NFAs, regex ASTs, or regex strings; they
+    are normalized to NFAs over the joint alphabet.
+    """
+
+    definitions: dict[str, NFA]
+    extensions: dict[str, frozenset[tuple[Any, Any]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        alphabet: frozenset[str] = frozenset()
+        normalized: dict[str, NFA] = {}
+        for name, definition in self.definitions.items():
+            nfa = definition if isinstance(definition, NFA) else regex_to_nfa(definition)
+            normalized[name] = nfa
+            alphabet |= nfa.alphabet
+        self.definitions = normalized
+        self.extensions = {
+            name: frozenset(map(tuple, pairs))
+            for name, pairs in self.extensions.items()
+        }
+        for name in self.extensions:
+            if name not in self.definitions:
+                raise DomainError(f"extension for undefined view {name!r}")
+        for name in self.definitions:
+            self.extensions.setdefault(name, frozenset())
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for nfa in self.definitions.values():
+            out |= nfa.alphabet
+        return out
+
+    def objects(self) -> frozenset:
+        """``D_V`` — all objects appearing in the extensions."""
+        return frozenset(
+            obj for pairs in self.extensions.values() for pair in pairs for obj in pair
+        )
+
+    def with_extensions(
+        self, extensions: Mapping[str, Iterable[tuple[Any, Any]]]
+    ) -> "ViewSetup":
+        return ViewSetup(dict(self.definitions), {k: frozenset(v) for k, v in extensions.items()})
+
+
+def is_consistent(db: GraphDatabase, views: ViewSetup) -> bool:
+    """Sound-view consistency: ``ext(Vi) ⊆ ans(def(Vi), DB)`` for every view."""
+    for name, nfa in views.definitions.items():
+        answers = rpq_answers(nfa, db)
+        if not views.extensions[name] <= answers:
+            return False
+    return True
+
+
+def certain_answer(
+    query: NFA | Regex | str, views: ViewSetup, c: Any, d: Any
+) -> bool:
+    """Decide ``(c, d) ∈ cert(Q, V)`` via the constraint-template CSP
+    reduction of Theorem 7.5 (exact, and the default)."""
+    from repro.views.template import certain_answer_via_csp
+
+    return certain_answer_via_csp(query, views, c, d)
+
+
+def witness_databases(
+    views: ViewSetup, max_word_length: int
+):
+    """Iterate the *witness-choice* databases: one word of ``L(def(Vi))``
+    (length ≤ ``max_word_length``) per extension pair, realized by a fresh
+    path between the pair's endpoints.
+
+    Raises :class:`DomainError` when some view language has no word within
+    the bound but is needed by a nonempty extension (no consistent database
+    can be built from words of that length).
+    """
+    choices: list[list[tuple[str, tuple[Any, Any], tuple[str, ...]]]] = []
+    for name, pairs in sorted(views.extensions.items()):
+        if not pairs:
+            continue
+        words = list(views.definitions[name].enumerate_words(max_word_length))
+        for pair in sorted(pairs, key=repr):
+            # The empty word witnesses a pair only when its endpoints
+            # coincide (a length-0 path from a to a).
+            usable = [w for w in words if w or pair[0] == pair[1]]
+            if not usable:
+                raise DomainError(
+                    f"view {name!r} cannot witness pair {pair!r} with words "
+                    f"of length <= {max_word_length}"
+                )
+            choices.append([(name, pair, w) for w in usable])
+
+    objects = views.objects()
+    for combo in itertools.product(*choices):
+        db = GraphDatabase(nodes=objects)
+        fresh = itertools.count()
+        for name, (a, b), word in combo:
+            current = a
+            for i, letter in enumerate(word):
+                nxt = b if i == len(word) - 1 else ("w", next(fresh))
+                db.add_edge(current, letter, nxt)
+                current = nxt
+        yield db
+
+
+def certain_answer_bruteforce(
+    query: NFA | Regex | str,
+    views: ViewSetup,
+    c: Any,
+    d: Any,
+    max_word_length: int = 4,
+) -> bool:
+    """Decide certain membership by enumerating witness-choice databases.
+
+    ``(c, d) ∈ cert(Q, V)`` iff every witness-choice database answers
+    ``(c, d)`` — by monotonicity of RPQ answers, any consistent database
+    contains some witness choice as a subgraph.  Exact for finite view
+    languages covered by ``max_word_length``.
+    """
+    query_nfa = query if isinstance(query, NFA) else regex_to_nfa(query)
+    for db in witness_databases(views, max_word_length):
+        # The named constants exist in every database (they are constants
+        # under the unique-name assumption), even if no extension mentions
+        # them.
+        db.add_node(c)
+        db.add_node(d)
+        if (c, d) not in rpq_answers(query_nfa, db):
+            return False
+    return True
+
+
+def certain_answer_exact_views(
+    query: NFA | Regex | str,
+    views: ViewSetup,
+    c: Any,
+    d: Any,
+    max_word_length: int = 4,
+) -> bool:
+    """Certain answers under the *exact-view* assumption.
+
+    Section 7 notes that assumptions other than sound/open have been studied
+    [1, 31, 9].  Under exact views, a database is consistent only when
+    ``ext(Vi) = ans(def(Vi), DB) ↾ D_V × D_V`` — the extensions are complete
+    over the known objects, not mere lower bounds.  Exactness *shrinks* the
+    set of consistent databases, so the certain answers can only grow:
+
+        cert_sound(Q, V)  ⊆  cert_exact(Q, V)
+
+    (verified as a property test).  Decided here by filtering the
+    witness-choice databases through the exactness check; when no witness
+    database is exact-consistent, the certain answer set is vacuously
+    everything (the views are inconsistent under exactness).  Same finite-
+    language caveat as :func:`certain_answer_bruteforce`.
+    """
+    query_nfa = query if isinstance(query, NFA) else regex_to_nfa(query)
+    objects = views.objects() | {c, d}
+    for db in witness_databases(views, max_word_length):
+        db.add_node(c)
+        db.add_node(d)
+        exact = True
+        for name, nfa in views.definitions.items():
+            answers_on_objects = {
+                pair
+                for pair in rpq_answers(nfa, db)
+                if pair[0] in objects and pair[1] in objects
+            }
+            if answers_on_objects != views.extensions[name]:
+                exact = False
+                break
+        if exact and (c, d) not in rpq_answers(query_nfa, db):
+            return False
+    return True

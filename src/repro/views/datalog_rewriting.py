@@ -1,0 +1,100 @@
+"""Non-perfect Datalog rewritings for RPQs wrt RPQ views.
+
+The closing remark of Section 7: "it is shown in [10] how the connection
+between CSP and Datalog described in Section 4 can be used to derive
+(non-perfect) Datalog rewritings for RPQs with respect to RPQ views."
+
+The derivation chains two reductions already in the library:
+
+1. view answering → CSP: ``(c, d) ∈ cert(Q, V)`` iff there is **no**
+   homomorphism from the extension structure into the constraint template
+   **B** (Theorem 7.5);
+2. CSP → Datalog: the canonical k-Datalog program ρ_B derives its goal iff
+   the Spoiler wins the k-pebble game — a *sound* refutation of
+   homomorphism existence (Theorem 4.5(3) + the sound half of Theorem 4.6).
+
+Composing: running ρ_B over the view extensions (as EDB facts) is a sound
+Datalog *under-approximation* of the certain answers — goal derived ⟹
+``(c, d) ∈ cert(Q, V)``.  It is perfect exactly when ¬CSP(B) is k-Datalog
+expressible, which is the longstanding open characterization problem the
+section discusses; hence "non-perfect".
+
+Two evaluation routes are provided:
+
+* :func:`datalog_rewriting` materializes ρ_B for the template — an actual
+  Datalog program over the view names.  Obstruction-set closures grow
+  quickly with the template (the domain is a powerset), so this is for
+  *small* queries; the size guard raises early otherwise.
+* :func:`certain_answer_kconsistency` evaluates the same query without
+  materialization, by playing the existential k-pebble game against the
+  template — by Theorem 4.6 this computes exactly what ρ_B would derive.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datalog.canonical import CanonicalProgram, canonical_program
+from repro.games.pebble import spoiler_wins
+from repro.views.automata import NFA
+from repro.views.certain import ViewSetup
+from repro.views.regex import Regex
+from repro.views.template import constraint_template, extension_structure
+
+__all__ = [
+    "datalog_rewriting",
+    "certain_answer_datalog",
+    "certain_answer_kconsistency",
+]
+
+
+def datalog_rewriting(
+    query: NFA | Regex | str, views: ViewSetup, k: int = 2, max_sets: int = 4000
+) -> CanonicalProgram:
+    """The (non-perfect) Datalog rewriting of ``Q`` wrt the views: the
+    canonical k-Datalog program of the constraint template.
+
+    The returned program's EDB predicates are the view names (binary),
+    ``U_c``/``U_d`` (unary), and the active-domain predicate; evaluate it
+    over any extensions via :func:`certain_answer_datalog`.
+
+    Raises :class:`~repro.errors.SolverError` when the obstruction closure
+    exceeds ``max_sets`` — use :func:`certain_answer_kconsistency`, which
+    computes the same answers without materializing the program.
+    """
+    template = constraint_template(query, views)
+    return canonical_program(template, k, max_sets=max_sets)
+
+
+def certain_answer_datalog(
+    program: CanonicalProgram,
+    views: ViewSetup,
+    c: Any,
+    d: Any,
+) -> bool:
+    """Evaluate a materialized Datalog rewriting on given extensions.
+
+    Sound: ``True`` implies ``(c, d) ∈ cert(Q, V)``.  Incomplete in
+    general: ``False`` means "not derivable at this k", not necessarily
+    "not certain".
+    """
+    a = extension_structure(views, c, d)
+    return program.spoiler_wins(a)
+
+
+def certain_answer_kconsistency(
+    query: NFA | Regex | str,
+    views: ViewSetup,
+    c: Any,
+    d: Any,
+    k: int = 2,
+) -> bool:
+    """The Datalog rewriting evaluated semantically: play the existential
+    k-pebble game between the extension structure and the constraint
+    template (equal, by Theorem 4.6, to evaluating ρ_B).
+
+    Sound under-approximation of certain answers; polynomial in the data.
+    """
+    template = constraint_template(query, views)
+    a = extension_structure(views, c, d)
+    return spoiler_wins(a, template, k)

@@ -1,0 +1,169 @@
+"""Edge-labeled graph databases and RPQ evaluation (Section 7).
+
+A database is an edge-labeled graph ``DB = (D, E)``: nodes are objects,
+edges are binary relations indexed by an alphabet Σ.  A regular-path query
+``Q`` returns ``ans(Q, DB) = {(x, y) : some path x → … → y spells a word of
+L(Q)}``, computed by BFS over the product of the database with the query
+automaton.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable, Iterable, Iterator
+
+from repro.errors import DomainError
+from repro.views.automata import NFA
+from repro.views.regex import Regex, regex_to_nfa
+
+__all__ = ["GraphDatabase", "rpq_answers", "rpq_pairs_from", "rpq_witness_path"]
+
+
+class GraphDatabase:
+    """A mutable edge-labeled graph database."""
+
+    __slots__ = ("_nodes", "_edges")
+
+    def __init__(
+        self,
+        nodes: Iterable[Hashable] = (),
+        edges: Iterable[tuple[Any, str, Any]] = (),
+    ):
+        self._nodes: set[Any] = set(nodes)
+        self._edges: dict[str, set[tuple[Any, Any]]] = {}
+        for u, label, v in edges:
+            self.add_edge(u, label, v)
+
+    def add_node(self, node: Hashable) -> None:
+        self._nodes.add(node)
+
+    def add_edge(self, u: Hashable, label: str, v: Hashable) -> None:
+        """Add ``u --label--> v`` (nodes are created as needed)."""
+        if not isinstance(label, str) or not label:
+            raise DomainError(f"edge labels must be non-empty strings: {label!r}")
+        self._nodes.add(u)
+        self._nodes.add(v)
+        self._edges.setdefault(label, set()).add((u, v))
+
+    @property
+    def nodes(self) -> frozenset:
+        return frozenset(self._nodes)
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return frozenset(self._edges)
+
+    def edges(self, label: str | None = None) -> Iterator[tuple[Any, str, Any]]:
+        labels = [label] if label is not None else sorted(self._edges)
+        for lbl in labels:
+            for u, v in sorted(self._edges.get(lbl, ()), key=repr):
+                yield u, lbl, v
+
+    def successors(self, node: Any) -> Iterator[tuple[str, Any]]:
+        for label, pairs in self._edges.items():
+            for u, v in pairs:
+                if u == node:
+                    yield label, v
+
+    def num_edges(self) -> int:
+        return sum(len(p) for p in self._edges.values())
+
+    def relation(self, label: str) -> frozenset[tuple[Any, Any]]:
+        return frozenset(self._edges.get(label, set()))
+
+    def copy(self) -> "GraphDatabase":
+        db = GraphDatabase(self._nodes)
+        for label, pairs in self._edges.items():
+            db._edges[label] = set(pairs)
+        return db
+
+    def __repr__(self) -> str:
+        return f"GraphDatabase(|D|={len(self._nodes)}, |E|={self.num_edges()})"
+
+
+def _as_nfa(query: NFA | Regex | str) -> NFA:
+    if isinstance(query, NFA):
+        return query
+    return regex_to_nfa(query)
+
+
+def rpq_pairs_from(
+    query: NFA | Regex | str, db: GraphDatabase, start: Any
+) -> frozenset:
+    """The nodes ``y`` with ``(start, y) ∈ ans(Q, DB)`` — BFS over the
+    product of the database and the query NFA."""
+    nfa = _as_nfa(query)
+    init = nfa.epsilon_closure(nfa.initial)
+    out: set[Any] = set()
+    seen: set[tuple[Any, frozenset]] = {(start, init)}
+    queue = deque([(start, init)])
+    # Pre-index successors per node for the BFS.
+    succ: dict[Any, list[tuple[str, Any]]] = {}
+    for u, label, v in db.edges():
+        succ.setdefault(u, []).append((label, v))
+    while queue:
+        node, states = queue.popleft()
+        if states & nfa.accepting:
+            out.add(node)
+        for label, nxt_node in succ.get(node, ()):
+            nxt_states = nfa.step(states, label)
+            if nxt_states:
+                key = (nxt_node, nxt_states)
+                if key not in seen:
+                    seen.add(key)
+                    queue.append(key)
+    return frozenset(out)
+
+
+def rpq_witness_path(
+    query: NFA | Regex | str, db: GraphDatabase, source: Any, target: Any
+) -> list[tuple[Any, str, Any]] | None:
+    """A shortest witness path for ``(source, target) ∈ ans(Q, DB)``: the
+    labeled edges of a path from ``source`` to ``target`` spelling a word of
+    ``L(Q)`` — or ``None`` when the pair is not an answer.
+
+    BFS over the product graph with parent pointers; the empty list
+    witnesses ``source == target`` with ``ε ∈ L(Q)``.
+    """
+    nfa = _as_nfa(query)
+    init = nfa.epsilon_closure(nfa.initial)
+    start = (source, init)
+    parents: dict[tuple[Any, frozenset], tuple | None] = {start: None}
+    queue = deque([start])
+    succ: dict[Any, list[tuple[str, Any]]] = {}
+    for u, label, v in db.edges():
+        succ.setdefault(u, []).append((label, v))
+
+    goal: tuple[Any, frozenset] | None = None
+    while queue:
+        node, states = queue.popleft()
+        if node == target and states & nfa.accepting:
+            goal = (node, states)
+            break
+        for label, nxt_node in succ.get(node, ()):
+            nxt_states = nfa.step(states, label)
+            if nxt_states:
+                key = (nxt_node, nxt_states)
+                if key not in parents:
+                    parents[key] = ((node, states), label)
+                    queue.append(key)
+    if goal is None:
+        return None
+    path: list[tuple[Any, str, Any]] = []
+    current = goal
+    while parents[current] is not None:
+        (prev, label) = parents[current]
+        path.append((prev[0], label, current[0]))
+        current = prev
+    path.reverse()
+    return path
+
+
+def rpq_answers(query: NFA | Regex | str, db: GraphDatabase) -> frozenset[tuple]:
+    """``ans(Q, DB)``: all pairs connected by a path spelling a word of L(Q)."""
+    nfa = _as_nfa(query)
+    pairs: set[tuple] = set()
+    for x in sorted(db.nodes, key=repr):
+        for y in rpq_pairs_from(nfa, db, x):
+            pairs.add((x, y))
+    return frozenset(pairs)

@@ -1,0 +1,136 @@
+"""The reduction from CSP to view-based query answering (Theorem 7.3).
+
+For every directed graph **B** there are an RPQ ``Q`` and views ``V`` with
+definitions ``def(V)`` — *depending on B only* — such that for every
+directed graph **A** one can compute extensions ``ext(V)`` and objects
+``c, d`` with::
+
+    (c, d) ∉ cert(Q, V)   ⟺   CSP(A, B) is solvable.
+
+The gadget construction used here (equivalent in power to the one of
+Calvanese–De Giacomo–Lenzerini–Vardi [10]):
+
+* alphabet: one *color* letter per node of ``B``, plus markers ``s``/``t``;
+* ``V_loop``, with definition ``∪_b (b·b)`` and extension ``{(x,x)}`` for
+  every node ``x`` of ``A`` — a consistent database must give each node a
+  color, recorded as a 2-letter loop through a fresh midpoint;
+* ``V_edge``, with definition ``∪_{(b,b') ∈ E(B)} (b·b')`` and extension
+  ``E(A)`` — every edge must pick a **B**-edge of colors;
+* ``V_s`` / ``V_t`` (definitions ``s``/``t``) connecting a global source
+  ``c`` to every node and every node to a global sink ``d``;
+* the query accepts ``s · (violation) · t``, where a violation is either a
+  node loop followed by an edge leaving in a different color
+  (``b b b̂ c'`` with ``b̂ ≠ b``) or an edge arriving in a color other than
+  the target's loop (``e1 e2 b b`` with ``b ≠ e2``).
+
+A homomorphism ``A → B`` yields a coloring under which no violation is
+readable, hence a consistent counterexample database; conversely any
+consistent database contains a witness-choice sub-database whose coloring,
+were it not a homomorphism, would expose a violation between ``c`` and
+``d``.  Correctness is tested against the brute-force certain-answer checker
+(the view languages here are finite with words of length ≤ 2, where that
+checker is exact) in ``tests/views/test_reduction.py`` and benchmark E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import DomainError
+from repro.relational.structure import Structure
+from repro.views.automata import NFA
+from repro.views.certain import ViewSetup
+from repro.views.regex import ConcatRe, Regex, SymbolRe, UnionRe, regex_to_nfa
+
+__all__ = ["ViewReduction", "csp_to_view_reduction", "SOURCE", "SINK"]
+
+SOURCE = "__source__"
+SINK = "__sink__"
+
+V_LOOP = "Vloop"
+V_EDGE = "Vedge"
+V_S = "Vs"
+V_T = "Vt"
+
+
+def _color(node: Any) -> str:
+    return f"c_{node!r}".replace(" ", "").replace("'", "").replace('"', "")
+
+
+@dataclass
+class ViewReduction:
+    """``Q`` and ``def(V)`` for a fixed template ``B`` (Theorem 7.3)."""
+
+    b: Structure
+    query: NFA
+    definitions: dict[str, NFA]
+
+    def setup_for(self, a: Structure) -> tuple[ViewSetup, Any, Any]:
+        """Extensions (plus the objects ``c, d``) encoding an input ``A``.
+
+        ``A`` must be a digraph over the same ``{"E": 2}`` vocabulary.
+        """
+        if "E" not in a.vocabulary or a.vocabulary.arity("E") != 2:
+            raise DomainError("the reduction expects digraphs with a binary E")
+        nodes = sorted(a.domain, key=repr)
+        extensions = {
+            V_LOOP: {(x, x) for x in nodes},
+            V_EDGE: set(a.relation("E")),
+            V_S: {(SOURCE, x) for x in nodes},
+            V_T: {(x, SINK) for x in nodes},
+        }
+        views = ViewSetup(dict(self.definitions), extensions)
+        return views, SOURCE, SINK
+
+
+def _word(letters: list[str]) -> Regex:
+    parts = tuple(SymbolRe(letter) for letter in letters)
+    return parts[0] if len(parts) == 1 else ConcatRe(parts)
+
+
+def csp_to_view_reduction(b: Structure) -> ViewReduction:
+    """Build ``Q`` and ``def(V)`` from the digraph template ``B``.
+
+    Raises :class:`DomainError` for templates without nodes or edges (the
+    reduction needs at least one color and one permissible edge word; those
+    degenerate CSPs are trivial anyway).
+    """
+    if "E" not in b.vocabulary or b.vocabulary.arity("E") != 2:
+        raise DomainError("the reduction expects digraph templates with a binary E")
+    colors = {node: _color(node) for node in sorted(b.domain, key=repr)}
+    if not colors:
+        raise DomainError("template B has no nodes; CSP(A, B) is trivially unsolvable")
+    edges = sorted(b.relation("E"), key=repr)
+    if not edges:
+        raise DomainError("template B has no edges; handle edgeless templates directly")
+
+    loop_def = UnionRe(tuple(_word([c, c]) for c in colors.values()))
+    edge_def = UnionRe(tuple(_word([colors[u], colors[v]]) for u, v in edges))
+
+    violations: list[Regex] = []
+    color_list = sorted(colors.values())
+    for b_color in color_list:
+        for bad in color_list:
+            if bad == b_color:
+                continue
+            for anything in color_list:
+                # loop(x) = b b, then an edge starting with b̂ ≠ b.
+                violations.append(_word([b_color, b_color, bad, anything]))
+    for e1 in color_list:
+        for e2 in color_list:
+            for bad in color_list:
+                if bad == e2:
+                    continue
+                # edge e1 e2 into y, then loop(y) = b b with b ≠ e2.
+                violations.append(_word([e1, e2, bad, bad]))
+
+    query_re = ConcatRe((SymbolRe("s"), UnionRe(tuple(violations)), SymbolRe("t")))
+    alphabet = frozenset(color_list) | {"s", "t"}
+    definitions = {
+        V_LOOP: regex_to_nfa(loop_def, alphabet),
+        V_EDGE: regex_to_nfa(edge_def, alphabet),
+        V_S: regex_to_nfa(SymbolRe("s"), alphabet),
+        V_T: regex_to_nfa(SymbolRe("t"), alphabet),
+    }
+    return ViewReduction(b=b, query=regex_to_nfa(query_re, alphabet), definitions=definitions)

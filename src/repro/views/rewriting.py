@@ -1,0 +1,142 @@
+"""Maximal RPQ rewritings over views — the algorithm of [8] (PODS'99).
+
+Given a query ``Q`` and view definitions over Σ, a *rewriting* is a query
+over the view alphabet ``V`` whose every expansion (replace each view name
+by a word of its definition) lies in ``L(Q)``.  The maximal RPQ rewriting is
+computed by the classical double-complement:
+
+1. determinize & complement ``Q`` into ``D̄`` (words **not** in ``L(Q)``);
+2. for each view ``Vi`` compute the relation
+   ``R_i = {(p, q) : ∃w ∈ L(def(Vi)), δ̄(p, w) = q}`` on ``D̄``'s states;
+3. the NFA ``Bad`` over ``V`` with those transition relations accepts
+   exactly the view words having *some* expansion outside ``L(Q)``;
+4. the maximal rewriting is the complement of ``Bad``.
+
+Evaluating the rewriting over the view extensions (treating each ``ext(Vi)``
+as a ``Vi``-labeled edge set) under-approximates the certain answers —
+Section 7's point that the maximal *RPQ* rewriting need not be perfect; the
+gap is demonstrated in ``tests/views/test_rewriting.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.views.automata import DFA, NFA
+from repro.views.certain import ViewSetup
+from repro.views.graphdb import GraphDatabase, rpq_answers
+from repro.views.regex import Regex, regex_to_nfa
+
+__all__ = [
+    "view_transition_relation",
+    "maximal_rewriting",
+    "expansion_nfa",
+    "is_sound_rewriting_word",
+    "evaluate_rewriting",
+]
+
+
+def _query_complement_dfa(query: NFA | Regex | str, alphabet: frozenset[str]) -> DFA:
+    q = query if isinstance(query, NFA) else regex_to_nfa(query)
+    q = q.with_alphabet(alphabet)
+    return q.to_dfa().minimized().complement()
+
+
+def view_transition_relation(dfa: DFA, view: NFA) -> frozenset[tuple[Any, Any]]:
+    """``{(p, q) : ∃w ∈ L(view) with δ(p, w) = q}`` over a DFA's states —
+    BFS from each ``p`` over (DFA state, view NFA state set)."""
+    pairs: set[tuple[Any, Any]] = set()
+    for p in dfa.states:
+        start = (p, view.epsilon_closure(view.initial))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            state, vstates = queue.popleft()
+            if vstates & view.accepting:
+                pairs.add((p, state))
+            for a in sorted(dfa.alphabet):
+                v_next = view.step(vstates, a)
+                if not v_next:
+                    continue
+                key = (dfa.delta[(state, a)], v_next)
+                if key not in seen:
+                    seen.add(key)
+                    queue.append(key)
+    return frozenset(pairs)
+
+
+def maximal_rewriting(query: NFA | Regex | str, views: ViewSetup) -> DFA:
+    """The maximal rewriting of ``Q`` wrt the views, as a DFA over the view
+    names (the alphabet of the result is ``set(views.definitions)``)."""
+    alphabet = views.alphabet
+    if isinstance(query, NFA):
+        alphabet = alphabet | query.alphabet
+    else:
+        alphabet = alphabet | regex_to_nfa(query).alphabet
+    complement = _query_complement_dfa(query, alphabet)
+
+    view_names = sorted(views.definitions)
+    transitions: dict[tuple[Any, Any], set] = {}
+    for name in view_names:
+        relation = view_transition_relation(complement, views.definitions[name])
+        for p, q in relation:
+            transitions.setdefault((p, name), set()).add(q)
+
+    bad = NFA(
+        complement.states,
+        frozenset(view_names),
+        transitions,
+        {complement.initial},
+        complement.accepting,
+    )
+    return bad.to_dfa().minimized().complement()
+
+
+def expansion_nfa(word: tuple[str, ...], views: ViewSetup) -> NFA:
+    """The language of expansions of a view word: the concatenation
+    ``L(def(V_{i1})) ⋯ L(def(V_im))`` as one NFA."""
+    alphabet = views.alphabet
+    states: set = {("start",)}
+    transitions: dict[tuple, set] = {}
+    current_accepting: set = {("start",)}
+    for step, name in enumerate(word):
+        nfa = views.definitions[name]
+        rename = {s: (step, s) for s in nfa.states}
+        states.update(rename.values())
+        for (s, a), targets in nfa.transitions.items():
+            transitions.setdefault((rename[s], a), set()).update(
+                rename[t] for t in targets
+            )
+        for acc in current_accepting:
+            transitions.setdefault((acc, None), set()).update(
+                rename[i] for i in nfa.initial
+            )
+        current_accepting = {rename[f] for f in nfa.accepting}
+    return NFA(states, alphabet, transitions, {("start",)}, current_accepting)
+
+
+def is_sound_rewriting_word(
+    word: tuple[str, ...], query: NFA | Regex | str, views: ViewSetup
+) -> bool:
+    """Whether *every* expansion of ``word`` lies in ``L(Q)`` — decided by
+    emptiness of (expansions ∩ complement of Q)."""
+    q = query if isinstance(query, NFA) else regex_to_nfa(query)
+    alphabet = views.alphabet | q.alphabet
+    complement = _query_complement_dfa(q, alphabet)
+    expansions = expansion_nfa(word, views).with_alphabet(alphabet)
+    product = expansions.to_dfa().product(complement)
+    return product.is_empty()
+
+
+def evaluate_rewriting(rewriting: DFA, views: ViewSetup) -> frozenset[tuple]:
+    """Evaluate a rewriting over the view extensions: build the view-labeled
+    graph with an edge ``a --Vi--> b`` per ``(a, b) ∈ ext(Vi)`` and answer
+    the rewriting as an RPQ on it.  Always a subset of ``cert(Q, V)``."""
+    db = GraphDatabase()
+    for name, pairs in views.extensions.items():
+        for a, b in pairs:
+            db.add_edge(a, name, b)
+    for obj in views.objects():
+        db.add_node(obj)
+    return rpq_answers(rewriting.to_nfa(), db)

@@ -1,0 +1,103 @@
+"""Widths and decompositions: treewidth, acyclicity, querywidth, hypertree width.
+
+Executable counterpart of Section 6 of the tutorial: tree decompositions of
+structures and CSP instances, the GYO/join-tree/Yannakakis machinery for
+acyclic instances, and the querywidth / hypertree-width bounds used to
+compare the notions of "width" the section surveys.
+"""
+
+from repro.width.acyclic import (
+    JoinTree,
+    gyo_reduction,
+    is_acyclic,
+    join_tree,
+    yannakakis_is_solvable,
+    yannakakis_solve,
+)
+from repro.width.gaifman import (
+    constraint_graph,
+    gaifman_graph,
+    incidence_graph,
+    instance_hypergraph,
+    structure_hypergraph,
+)
+from repro.width.graph import Graph
+from repro.width.lowerbounds import (
+    clique_lower_bound,
+    clique_number,
+    degeneracy,
+    mmd_plus_lower_bound,
+    treewidth_lower_bound,
+)
+from repro.width.hypertree import (
+    HypertreeDecomposition,
+    exact_generalized_hypertree_width,
+    hypertree_width_interval,
+    hypertree_width_lower_bound,
+    hypertree_width_upper_bound,
+    instance_hypertree_interval,
+    minimum_edge_cover,
+)
+from repro.width.querywidth import (
+    QueryDecomposition,
+    incidence_treewidth,
+    query_decomposition_from_incidence,
+    query_width_interval,
+    query_width_lower_bound,
+    query_width_upper_bound,
+)
+from repro.width.treedecomp import (
+    TreeDecomposition,
+    decomposition_of_instance,
+    from_elimination_order,
+    heuristic_decomposition,
+    min_degree_order,
+    min_fill_order,
+    treewidth_exact,
+    treewidth_of_instance,
+    treewidth_of_structure,
+    treewidth_upper_bound,
+)
+
+__all__ = [
+    "Graph",
+    "TreeDecomposition",
+    "from_elimination_order",
+    "min_degree_order",
+    "min_fill_order",
+    "heuristic_decomposition",
+    "treewidth_exact",
+    "treewidth_upper_bound",
+    "treewidth_of_structure",
+    "treewidth_of_instance",
+    "decomposition_of_instance",
+    "gaifman_graph",
+    "constraint_graph",
+    "structure_hypergraph",
+    "instance_hypergraph",
+    "incidence_graph",
+    "gyo_reduction",
+    "is_acyclic",
+    "join_tree",
+    "JoinTree",
+    "yannakakis_is_solvable",
+    "yannakakis_solve",
+    "minimum_edge_cover",
+    "HypertreeDecomposition",
+    "hypertree_width_upper_bound",
+    "hypertree_width_lower_bound",
+    "hypertree_width_interval",
+    "exact_generalized_hypertree_width",
+    "instance_hypertree_interval",
+    "degeneracy",
+    "clique_number",
+    "clique_lower_bound",
+    "mmd_plus_lower_bound",
+    "treewidth_lower_bound",
+    "incidence_treewidth",
+    "QueryDecomposition",
+    "query_decomposition_from_incidence",
+    "query_width_upper_bound",
+    "query_width_lower_bound",
+    "query_width_interval",
+]

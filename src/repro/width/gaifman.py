@@ -1,0 +1,83 @@
+"""Gaifman (primal) graphs and constraint hypergraphs.
+
+The treewidth of a relational structure (Section 6; Feder–Vardi [21]) is the
+treewidth of its *Gaifman graph*: vertices are the domain elements, with an
+edge between two elements whenever they co-occur in some tuple.  For a CSP
+instance the same construction on variables and constraint scopes yields the
+classical *constraint graph*.  The hypergraph view (one hyperedge per
+tuple/scope) feeds the acyclicity and hypertree-width machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.csp.instance import CSPInstance
+from repro.relational.structure import Structure
+from repro.width.graph import Graph
+
+__all__ = [
+    "gaifman_graph",
+    "constraint_graph",
+    "structure_hypergraph",
+    "instance_hypergraph",
+    "incidence_graph",
+]
+
+
+def gaifman_graph(structure: Structure) -> Graph:
+    """The Gaifman graph of a relational structure: domain elements adjacent
+    iff they co-occur in a tuple of some relation."""
+    g = Graph(vertices=structure.domain)
+    for symbol in structure.vocabulary:
+        for t in structure.relation(symbol):
+            distinct = sorted(set(t), key=repr)
+            for i, u in enumerate(distinct):
+                for v in distinct[i + 1 :]:
+                    g.add_edge(u, v)
+    return g
+
+
+def constraint_graph(instance: CSPInstance) -> Graph:
+    """The constraint (primal) graph of a CSP instance: variables adjacent
+    iff they share a constraint scope."""
+    g = Graph(vertices=instance.variables)
+    for c in instance.constraints:
+        scope = sorted(set(c.scope), key=repr)
+        for i, u in enumerate(scope):
+            for v in scope[i + 1 :]:
+                g.add_edge(u, v)
+    return g
+
+
+def structure_hypergraph(structure: Structure) -> list[frozenset[Any]]:
+    """The hyperedges of a structure: one per tuple (as a set of elements).
+
+    Singleton and empty hyperedges are kept — they matter for covering
+    isolated elements in decompositions.
+    """
+    edges = {frozenset(t) for symbol in structure.vocabulary for t in structure.relation(symbol)}
+    return sorted(edges, key=lambda e: (len(e), repr(sorted(e, key=repr))))
+
+
+def instance_hypergraph(instance: CSPInstance) -> list[frozenset[Any]]:
+    """The constraint hypergraph: one hyperedge per constraint scope."""
+    edges = {frozenset(c.scope) for c in instance.constraints}
+    return sorted(edges, key=lambda e: (len(e), repr(sorted(e, key=repr))))
+
+
+def incidence_graph(instance: CSPInstance) -> Graph:
+    """The incidence graph: a bipartite graph between variables and
+    constraints, with an edge when the variable occurs in the scope.
+
+    Chekuri–Rajaraman (discussed at the end of Section 6) show a tree
+    decomposition of the incidence graph is a *query decomposition*, so its
+    treewidth upper-bounds the querywidth.
+    """
+    g = Graph(vertices=instance.variables)
+    for i, c in enumerate(instance.constraints):
+        node = ("constraint", i)
+        g.add_vertex(node)
+        for v in set(c.scope):
+            g.add_edge(node, v)
+    return g

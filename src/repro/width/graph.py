@@ -1,0 +1,148 @@
+"""A minimal undirected-graph type used by the width machinery.
+
+The library core is dependency-free, so this small adjacency-set graph backs
+the Gaifman-graph construction, elimination-order treewidth algorithms, and
+bipartiteness tests.  (networkx is used only in the test suite, as an
+independent oracle.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A simple undirected graph with hashable vertices, no self-loops."""
+
+    __slots__ = ("_adj",)
+
+    def __init__(
+        self,
+        vertices: Iterable[Hashable] = (),
+        edges: Iterable[tuple[Hashable, Hashable]] = (),
+    ):
+        self._adj: dict[Any, set[Any]] = {}
+        for v in vertices:
+            self.add_vertex(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_vertex(self, v: Hashable) -> None:
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Add an undirected edge (self-loops are ignored)."""
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if u != v:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+
+    def remove_vertex(self, v: Hashable) -> None:
+        for u in self._adj.pop(v, ()):
+            self._adj[u].discard(v)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def vertices(self) -> frozenset:
+        return frozenset(self._adj)
+
+    def edges(self) -> Iterator[tuple[Any, Any]]:
+        seen = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if (v, u) not in seen:
+                    seen.add((u, v))
+                    yield u, v
+
+    def neighbors(self, v: Hashable) -> frozenset:
+        return frozenset(self._adj.get(v, ()))
+
+    def degree(self, v: Hashable) -> int:
+        return len(self._adj.get(v, ()))
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return v in self._adj.get(u, ())
+
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        return sum(len(n) for n in self._adj.values()) // 2
+
+    def copy(self) -> "Graph":
+        g = Graph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        return g
+
+    def subgraph(self, vertices: Iterable[Hashable]) -> "Graph":
+        keep = set(vertices) & set(self._adj)
+        g = Graph(vertices=keep)
+        for u in keep:
+            for v in self._adj[u]:
+                if v in keep:
+                    g.add_edge(u, v)
+        return g
+
+    # -- standard algorithms -------------------------------------------------
+
+    def connected_components(self) -> list[frozenset]:
+        """The vertex sets of the connected components."""
+        seen: set[Any] = set()
+        components = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            stack = [start]
+            comp = set()
+            while stack:
+                v = stack.pop()
+                if v in comp:
+                    continue
+                comp.add(v)
+                stack.extend(self._adj[v] - comp)
+            seen |= comp
+            components.append(frozenset(comp))
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) <= 1
+
+    def is_bipartite(self) -> bool:
+        """Two-colorability by BFS layering."""
+        return self.bipartition() is not None
+
+    def bipartition(self) -> tuple[frozenset, frozenset] | None:
+        """A 2-coloring ``(left, right)`` of the vertices, or ``None``."""
+        color: dict[Any, int] = {}
+        for start in self._adj:
+            if start in color:
+                continue
+            color[start] = 0
+            queue = [start]
+            while queue:
+                v = queue.pop()
+                for u in self._adj[v]:
+                    if u not in color:
+                        color[u] = 1 - color[v]
+                        queue.append(u)
+                    elif color[u] == color[v]:
+                        return None
+        left = frozenset(v for v, c in color.items() if c == 0)
+        right = frozenset(v for v, c in color.items() if c == 1)
+        return left, right
+
+    def is_tree(self) -> bool:
+        """Connected and acyclic (the empty graph counts as a tree)."""
+        n = self.num_vertices()
+        if n == 0:
+            return True
+        return self.is_connected() and self.num_edges() == n - 1
+
+    def __repr__(self) -> str:
+        return f"Graph(|V|={self.num_vertices()}, |E|={self.num_edges()})"

@@ -1,0 +1,237 @@
+"""Hypertree width and generalized hypertree decompositions.
+
+Gottlob–Leone–Scarcello (end of Section 6) introduce *hypertree width*:
+decompositions whose bags are covered by at most ``k`` hyperedges; CSPs of
+bounded hypertree width are tractable and the notion dominates both
+treewidth and querywidth.  Exactly computing hypertree width is itself
+hard beyond small ``k``, so this module provides the standard sandwich:
+
+* **exact width 1** — hypertree width 1 coincides with α-acyclicity, decided
+  by the GYO reduction;
+* **upper bound** — any tree decomposition of the primal graph plus an
+  optimal per-bag hyperedge cover is a generalized hypertree decomposition,
+  so its maximal cover size bounds ghw (and ghw ≤ hw ≤ 3·ghw+1 in general;
+  for our bound the decomposition itself is returned as a certificate);
+* **lower bound** — 1, or 2 when the hypergraph is cyclic.
+
+Benchmark E6 uses these to reproduce the paper's qualitative comparison of
+the width notions (clique: tw = n−1 but ghw = 1; cycle: tw = 2 = ghw; …).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any
+
+from repro.csp.instance import CSPInstance
+from repro.errors import DecompositionError
+from repro.width.acyclic import is_acyclic
+from repro.width.gaifman import instance_hypergraph
+from repro.width.graph import Graph
+from repro.width.treedecomp import TreeDecomposition, heuristic_decomposition
+
+__all__ = [
+    "minimum_edge_cover",
+    "HypertreeDecomposition",
+    "hypertree_width_upper_bound",
+    "hypertree_width_lower_bound",
+    "exact_generalized_hypertree_width",
+    "hypertree_width_interval",
+    "instance_hypertree_interval",
+]
+
+
+def minimum_edge_cover(
+    bag: frozenset[Any], hyperedges: list[frozenset[Any]]
+) -> list[int] | None:
+    """A minimum-cardinality set of hyperedges whose union covers ``bag``.
+
+    Exact branch-and-bound set cover (bags are small — one per decomposition
+    node).  Returns hyperedge indices, or ``None`` if the bag has a vertex in
+    no hyperedge.
+    """
+    useful = [
+        (i, bag & e) for i, e in enumerate(hyperedges) if bag & e
+    ]
+    covered_all = frozenset().union(*(c for _, c in useful)) if useful else frozenset()
+    if not bag <= covered_all:
+        return None
+    for size in range(1, len(useful) + 1):
+        for combo in combinations(useful, size):
+            union: set[Any] = set()
+            for _, contribution in combo:
+                union |= contribution
+            if bag <= union:
+                return [i for i, _ in combo]
+    return None  # unreachable: the full set covers
+
+
+class HypertreeDecomposition:
+    """A generalized hypertree decomposition: a tree decomposition together
+    with, for each node, a cover of its bag by hyperedges.  Its width is the
+    largest cover size."""
+
+    __slots__ = ("decomposition", "covers", "hyperedges")
+
+    def __init__(
+        self,
+        decomposition: TreeDecomposition,
+        covers: dict[Any, list[int]],
+        hyperedges: list[frozenset[Any]],
+    ):
+        self.decomposition = decomposition
+        self.covers = covers
+        self.hyperedges = hyperedges
+
+    @property
+    def width(self) -> int:
+        return max((len(c) for c in self.covers.values()), default=0)
+
+    def is_valid(self) -> bool:
+        """Covers must actually cover their bags."""
+        for node, cover in self.covers.items():
+            bag = self.decomposition.bag(node)
+            union: set[Any] = set()
+            for i in cover:
+                union |= self.hyperedges[i]
+            if not bag <= union:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"HypertreeDecomposition(width={self.width})"
+
+
+def _primal_graph(hyperedges: list[frozenset[Any]]) -> Graph:
+    g = Graph()
+    for e in hyperedges:
+        elems = sorted(e, key=repr)
+        for v in elems:
+            g.add_vertex(v)
+        for i, u in enumerate(elems):
+            for v in elems[i + 1 :]:
+                g.add_edge(u, v)
+    return g
+
+
+def hypertree_width_upper_bound(
+    hyperedges: list[frozenset[Any]],
+) -> HypertreeDecomposition:
+    """A generalized hypertree decomposition witnessing an upper bound.
+
+    Built from a heuristic tree decomposition of the primal graph with an
+    exact minimum edge cover per bag.
+    """
+    nonempty = [e for e in hyperedges if e]
+    if not nonempty:
+        raise DecompositionError("cannot decompose a hypergraph with no nonempty edges")
+    graph = _primal_graph(nonempty)
+    td = heuristic_decomposition(graph)
+    covers: dict[Any, list[int]] = {}
+    for node, bag in td.bags.items():
+        cover = minimum_edge_cover(bag, nonempty)
+        if cover is None:
+            raise DecompositionError(f"bag {set(bag)!r} not coverable by hyperedges")
+        covers[node] = cover
+    return HypertreeDecomposition(td, covers, nonempty)
+
+
+def exact_generalized_hypertree_width(
+    hyperedges: list[frozenset[Any]], max_vertices: int = 12
+) -> int:
+    """Exact generalized hypertree width, for small hypergraphs.
+
+    Uses the elimination-order characterization: every tree decomposition
+    refines to one generated by an elimination order whose bags are subsets
+    of the original bags, and the cover number is monotone under ⊆ — so
+
+        ghw(H) = min over elimination orders of max bag cover number
+
+    computed by memoized branch-and-bound over orders (exponential in the
+    number of vertices; guarded by ``max_vertices``).
+    """
+    from repro.width.graph import Graph
+
+    nonempty = [e for e in hyperedges if e]
+    if not nonempty:
+        return 0
+    vertices = {v for e in nonempty for v in e}
+    if len(vertices) > max_vertices:
+        raise DecompositionError(
+            f"{len(vertices)} vertices exceed max_vertices={max_vertices}; "
+            "use hypertree_width_interval for bounds"
+        )
+    if is_acyclic(nonempty):
+        return 1
+
+    graph = _primal_graph(nonempty)
+    cover_cache: dict[frozenset, int] = {}
+
+    def cover_size(bag: frozenset) -> int:
+        if bag not in cover_cache:
+            cover = minimum_edge_cover(bag, nonempty)
+            cover_cache[bag] = len(cover) if cover is not None else len(bag)
+        return cover_cache[bag]
+
+    memo: dict[frozenset, int] = {}
+    upper = hypertree_width_upper_bound(nonempty).width
+
+    def eliminate(g: "Graph", v: Any) -> "Graph":
+        h = g.copy()
+        nbrs = sorted(h.neighbors(v), key=repr)
+        for i, a in enumerate(nbrs):
+            for b in nbrs[i + 1 :]:
+                h.add_edge(a, b)
+        h.remove_vertex(v)
+        return h
+
+    def search(g: "Graph", bound: int) -> int:
+        if g.num_vertices() == 0:
+            return 1
+        key = frozenset(g.edges()) | frozenset((v,) for v in g.vertices)
+        if key in memo:
+            return memo[key]
+        best = cover_size(frozenset(g.vertices))  # eliminate into one bag
+        for v in sorted(g.vertices, key=repr):
+            bag = frozenset(g.neighbors(v) | {v})
+            c = cover_size(bag)
+            if c >= best or c > bound:
+                continue
+            sub = search(eliminate(g, v), min(bound, best))
+            best = min(best, max(c, sub))
+        memo[key] = best
+        return best
+
+    return min(upper, search(graph, upper))
+
+
+def hypertree_width_lower_bound(hyperedges: list[frozenset[Any]]) -> int:
+    """1 for acyclic hypergraphs (exact there); 2 for cyclic ones."""
+    nonempty = [e for e in hyperedges if e]
+    if not nonempty:
+        return 0
+    return 1 if is_acyclic(nonempty) else 2
+
+
+def hypertree_width_interval(
+    hyperedges: list[frozenset[Any]],
+) -> tuple[int, int]:
+    """``(lower, upper)`` bounds on generalized hypertree width.
+
+    The interval collapses (lower == upper) exactly on acyclic hypergraphs
+    and on cyclic ones whose heuristic bound is 2 — which covers every
+    workload in the E6 benchmark.
+    """
+    nonempty = [e for e in hyperedges if e]
+    if not nonempty:
+        return 0, 0
+    lower = hypertree_width_lower_bound(nonempty)
+    if lower == 1:
+        return 1, 1  # acyclic: ghw = hw = 1 exactly
+    upper = hypertree_width_upper_bound(nonempty).width
+    return lower, max(lower, upper)
+
+
+def instance_hypertree_interval(instance: CSPInstance) -> tuple[int, int]:
+    """Hypertree-width bounds for a CSP instance's constraint hypergraph."""
+    return hypertree_width_interval(instance_hypergraph(instance))

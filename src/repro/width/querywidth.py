@@ -1,0 +1,201 @@
+"""Querywidth (Chekuri–Rajaraman) bounds.
+
+Section 6 reports two facts about query decompositions that this module
+operationalizes:
+
+* ``CSP(Q(k), F)`` is tractable for bounded querywidth ``k``;
+* a tree decomposition of the *incidence graph* of a query is also a query
+  decomposition, so the incidence treewidth strictly upper-bounds the
+  querywidth — while *recognizing* querywidth 4 is NP-complete, which is why
+  we work with bounds rather than an exact recognizer.
+
+The sandwich offered: querywidth 1 ⟺ acyclicity (exact), and an upper bound
+read off a heuristic incidence-graph tree decomposition: each bag is charged
+the number of constraint-side vertices it contains, plus (when necessary)
+one covering atom per variable-side vertex not already covered by those
+atoms; the maximum charge over bags bounds the querywidth.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.csp.instance import CSPInstance
+from repro.width.acyclic import is_acyclic
+from repro.width.gaifman import incidence_graph, instance_hypergraph
+from repro.width.treedecomp import heuristic_decomposition, treewidth_exact
+
+__all__ = [
+    "QueryDecomposition",
+    "incidence_treewidth",
+    "query_decomposition_from_incidence",
+    "query_width_upper_bound",
+    "query_width_lower_bound",
+    "query_width_interval",
+]
+
+
+class QueryDecomposition:
+    """A query decomposition in the Chekuri–Rajaraman sense: a tree whose
+    nodes are labeled by sets of *atoms* (constraint indices) and loose
+    *variables*, such that
+
+    1. every atom appears in some node label;
+    2. for every atom, the nodes whose label contains it (as an atom) or
+       contains one of its variables form a connected subtree;
+    3. for every variable, the nodes whose label *covers* it (mentions it
+       loosely or via an atom) form a connected subtree.
+
+    Width = the maximum total label size — atoms **plus** loose variables
+    (the Gottlob–Leone–Scarcello reading of Chekuri–Rajaraman's definition,
+    under which querywidth 1 coincides with acyclicity).
+    """
+
+    __slots__ = ("atoms_of", "variables_of", "tree", "scopes")
+
+    def __init__(
+        self,
+        atoms_of: dict[Any, frozenset[int]],
+        variables_of: dict[Any, frozenset[Any]],
+        edges: list[tuple[Any, Any]],
+        scopes: list[frozenset[Any]],
+    ):
+        from repro.errors import DecompositionError
+        from repro.width.graph import Graph
+
+        self.atoms_of = {n: frozenset(a) for n, a in atoms_of.items()}
+        self.variables_of = {n: frozenset(v) for n, v in variables_of.items()}
+        self.scopes = list(scopes)
+        self.tree = Graph(vertices=self.atoms_of, edges=edges)
+        if not self.tree.is_tree():
+            raise DecompositionError("query decomposition edges must form a tree")
+
+    @property
+    def width(self) -> int:
+        return max(
+            (
+                len(self.atoms_of[n]) + len(self.variables_of[n])
+                for n in self.atoms_of
+            ),
+            default=0,
+        )
+
+    def _covers_variable(self, node: Any, variable: Any) -> bool:
+        if variable in self.variables_of[node]:
+            return True
+        return any(variable in self.scopes[i] for i in self.atoms_of[node])
+
+    def is_valid(self) -> bool:
+        """Check the three conditions above."""
+        nodes = list(self.atoms_of)
+        # 1. atom coverage
+        covered = set()
+        for atoms in self.atoms_of.values():
+            covered |= atoms
+        if covered != set(range(len(self.scopes))):
+            return False
+        # 2. connectedness per atom (nodes listing the atom)
+        for i in range(len(self.scopes)):
+            where = [n for n in nodes if i in self.atoms_of[n]]
+            if where and not self.tree.subgraph(where).is_connected():
+                return False
+        # 3. connectedness per variable
+        variables = {v for s in self.scopes for v in s}
+        for v in variables:
+            where = [n for n in nodes if self._covers_variable(n, v)]
+            if where and not self.tree.subgraph(where).is_connected():
+                return False
+        return True
+
+
+def query_decomposition_from_incidence(instance: CSPInstance) -> "QueryDecomposition":
+    """Chekuri–Rajaraman's construction, executed: a tree decomposition of
+    the incidence graph *is* a query decomposition — constraint-side bag
+    members become atoms, variable-side members loose variables."""
+    from repro.width.treedecomp import heuristic_decomposition
+
+    instance = instance.normalize()
+    scopes = [frozenset(c.scope) for c in instance.constraints]
+    graph = incidence_graph(instance)
+    td = heuristic_decomposition(graph)
+    atoms_of: dict[Any, frozenset[int]] = {}
+    variables_of: dict[Any, frozenset[Any]] = {}
+    for node, bag in td.bags.items():
+        atoms = frozenset(
+            member[1]
+            for member in bag
+            if isinstance(member, tuple) and member and member[0] == "constraint"
+        )
+        loose = frozenset(
+            member
+            for member in bag
+            if not (isinstance(member, tuple) and member and member[0] == "constraint")
+        )
+        atoms_of[node] = atoms
+        variables_of[node] = loose
+    return QueryDecomposition(atoms_of, variables_of, td.edges, scopes)
+
+
+def incidence_treewidth(instance: CSPInstance, exact: bool = False) -> int:
+    """Treewidth of the instance's incidence graph (variables vs constraints)."""
+    graph = incidence_graph(instance)
+    if not graph.vertices:
+        return -1
+    if exact:
+        return treewidth_exact(graph)
+    return heuristic_decomposition(graph).width
+
+
+def query_width_upper_bound(instance: CSPInstance) -> int:
+    """An upper bound on the querywidth from the incidence-graph
+    decomposition (Chekuri–Rajaraman's construction).
+
+    Each incidence bag is converted to a query-decomposition node: its
+    constraint vertices stay as atoms, and each uncovered variable vertex is
+    covered by one additional atom mentioning it (or counts as a singleton
+    when no constraint mentions it at all)."""
+    instance = instance.normalize()
+    if not instance.constraints:
+        return 0
+    graph = incidence_graph(instance)
+    td = heuristic_decomposition(graph)
+    scopes = [frozenset(c.scope) for c in instance.constraints]
+
+    def atoms_for(bag: frozenset[Any]) -> int:
+        atoms = {node[1] for node in bag if isinstance(node, tuple) and node[0] == "constraint"}
+        covered: set[Any] = set()
+        for i in atoms:
+            covered |= scopes[i]
+        extra = 0
+        for v in bag:
+            if isinstance(v, tuple) and v and v[0] == "constraint":
+                continue
+            if v in covered:
+                continue
+            home = next((i for i, s in enumerate(scopes) if v in s), None)
+            if home is None:
+                extra += 1  # isolated variable: counts as its own singleton atom
+            else:
+                atoms.add(home)
+                covered |= scopes[home]
+        return len(atoms) + extra
+
+    return max(atoms_for(bag) for bag in td.bags.values())
+
+
+def query_width_lower_bound(instance: CSPInstance) -> int:
+    """1 when the constraint hypergraph is acyclic (then exact); else 2."""
+    instance = instance.normalize()
+    edges = [e for e in instance_hypergraph(instance) if e]
+    if not edges:
+        return 0
+    return 1 if is_acyclic(edges) else 2
+
+
+def query_width_interval(instance: CSPInstance) -> tuple[int, int]:
+    """``(lower, upper)`` querywidth bounds; collapses on acyclic inputs."""
+    lower = query_width_lower_bound(instance)
+    if lower <= 1:
+        return lower, lower
+    upper = query_width_upper_bound(instance)
+    return lower, max(lower, upper)

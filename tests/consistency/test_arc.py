@@ -1,0 +1,153 @@
+"""Arc and path consistency."""
+
+import pytest
+
+from repro.consistency.arc import ac3, enforce_arc_consistency, path_consistency
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.solvers import brute
+from repro.generators.csp_random import coloring_instance, random_binary_csp
+from repro.generators.graphs import cycle_graph, path_graph
+
+NE = {(0, 1), (1, 0)}
+
+
+class TestAC3:
+    def test_filters_unsupported_values(self):
+        inst = CSPInstance(
+            ["x", "y"],
+            [0, 1, 2],
+            [Constraint(("x", "y"), {(0, 1), (1, 2)}), Constraint(("y",), [(2,)])],
+        )
+        result = ac3(inst)
+        assert result.consistent
+        assert result.domains["y"] == {2}
+        assert result.domains["x"] == {1}
+
+    def test_detects_wipeout(self):
+        inst = CSPInstance(
+            ["x"],
+            [0, 1],
+            [Constraint(("x",), [(0,)]), Constraint(("x",), [(1,)])],
+        )
+        # Normalization intersects the two unary constraints to ∅.
+        assert not ac3(inst).consistent
+
+    def test_soundness_never_removes_solution_values(self):
+        for seed in range(10):
+            inst = random_binary_csp(4, 3, 5, 0.4, seed=seed)
+            result = ac3(inst)
+            for solution in brute.all_solutions(inst):
+                if not result.consistent:
+                    # wipeout must mean no solutions at all
+                    raise AssertionError("AC-3 wiped out a solvable instance")
+                for v, value in solution.items():
+                    assert value in result.domains[v]
+
+    def test_arc_consistent_instance_unchanged(self):
+        inst = coloring_instance(cycle_graph(4), 2)
+        result = ac3(inst)
+        assert result.consistent
+        assert all(len(d) == 2 for d in result.domains.values())
+
+    def test_ternary_constraints_supported(self):
+        rows = {(0, 0, 1), (1, 1, 0)}
+        inst = CSPInstance(["x", "y", "z"], [0, 1], [Constraint(("x", "y", "z"), rows)])
+        result = ac3(inst)
+        assert result.consistent
+        assert result.domains["x"] == {0, 1}
+
+
+class TestEnforce:
+    def test_returns_none_on_wipeout(self):
+        inst = CSPInstance(["x"], [0], [Constraint(("x",), [])])
+        assert enforce_arc_consistency(inst) is None
+
+    def test_equivalent_filtered_instance(self):
+        inst = CSPInstance(
+            ["x", "y"],
+            [0, 1, 2],
+            [Constraint(("x", "y"), {(0, 1), (1, 2)}), Constraint(("y",), [(2,)])],
+        )
+        filtered = enforce_arc_consistency(inst)
+        assert filtered is not None
+        assert brute.count_solutions(filtered) == brute.count_solutions(inst)
+
+
+class TestPathConsistency:
+    def test_refutes_triangle_2col(self):
+        inst = coloring_instance(cycle_graph(3), 2)
+        assert path_consistency(inst) is None
+
+    def test_keeps_solvable_instances(self):
+        inst = coloring_instance(path_graph(4), 2)
+        out = path_consistency(inst)
+        assert out is not None
+        assert brute.is_solvable(out)
+
+    def test_tightens_transitive_information(self):
+        eq = {(0, 0), (1, 1)}
+        inst = CSPInstance(
+            ["x", "y", "z"],
+            [0, 1],
+            [Constraint(("x", "y"), eq), Constraint(("y", "z"), eq)],
+        )
+        out = path_consistency(inst)
+        assert out is not None
+        xz = next(
+            c for c in out.constraints if set(c.scope) == {"x", "z"} and c.arity == 2
+        )
+        assert xz.relation == frozenset(eq) or xz.relation <= frozenset(
+            {(0, 0), (1, 1)}
+        )
+
+    def test_preserves_solution_set(self):
+        for seed in range(8):
+            inst = random_binary_csp(4, 2, 4, 0.5, seed=seed)
+            out = path_consistency(inst)
+            if out is None:
+                assert not brute.is_solvable(inst)
+            else:
+                before = {tuple(sorted(s.items())) for s in brute.all_solutions(inst)}
+                after = {tuple(sorted(s.items())) for s in brute.all_solutions(out)}
+                assert before == after
+
+
+class TestSingletonArcConsistency:
+    def test_refutes_odd_cycle_where_ac_cannot(self):
+        from repro.consistency.arc import singleton_arc_consistency
+
+        inst = coloring_instance(cycle_graph(5), 2)
+        assert ac3(inst).consistent  # plain AC is blind to the odd cycle
+        assert not singleton_arc_consistency(inst).consistent
+
+    def test_keeps_solvable_instances(self):
+        from repro.consistency.arc import singleton_arc_consistency
+
+        inst = coloring_instance(cycle_graph(6), 2)
+        result = singleton_arc_consistency(inst)
+        assert result.consistent
+        assert all(len(d) == 2 for d in result.domains.values())
+
+    def test_never_removes_solution_values(self):
+        from repro.consistency.arc import singleton_arc_consistency
+
+        for seed in range(8):
+            inst = random_binary_csp(4, 2, 4, 0.45, seed=seed)
+            result = singleton_arc_consistency(inst)
+            for solution in brute.all_solutions(inst):
+                assert result.consistent
+                for v, value in solution.items():
+                    assert value in result.domains[v]
+
+    def test_stronger_than_ac(self):
+        from repro.consistency.arc import singleton_arc_consistency
+
+        for seed in range(6):
+            inst = random_binary_csp(4, 2, 5, 0.55, seed=seed)
+            ac_result = ac3(inst)
+            sac_result = singleton_arc_consistency(inst)
+            if not ac_result.consistent:
+                assert not sac_result.consistent
+            elif sac_result.consistent:
+                for v in inst.variables:
+                    assert sac_result.domains[v] <= ac_result.domains[v]

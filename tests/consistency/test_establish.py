@@ -1,0 +1,104 @@
+"""Establishing strong k-consistency — Theorem 5.6 end to end."""
+
+import pytest
+
+from repro.consistency.establish import (
+    can_establish,
+    check_establishes,
+    establish_strong_k_consistency,
+    establishment_csp,
+    is_coherent,
+)
+from repro.consistency.local import is_strongly_k_consistent
+from repro.csp.convert import csp_to_homomorphism, homomorphism_to_csp
+from repro.errors import UnsatisfiableError
+from repro.games.pebble import duplicator_wins
+from repro.generators.csp_random import coloring_instance
+from repro.generators.graphs import cycle_graph, path_graph, random_digraph
+
+
+def sym_structure_pair(n_cycle, colors):
+    inst = coloring_instance(cycle_graph(n_cycle), colors)
+    return csp_to_homomorphism(inst)
+
+
+class TestCanEstablish:
+    def test_matches_game_winner(self):
+        a, b = sym_structure_pair(3, 2)
+        assert can_establish(a, b, 2) == duplicator_wins(a, b, 2)
+        assert can_establish(a, b, 3) == duplicator_wins(a, b, 3)
+
+    def test_spoiler_win_raises_in_establishment(self):
+        a, b = sym_structure_pair(3, 2)
+        with pytest.raises(UnsatisfiableError):
+            establishment_csp(a, b, 3)  # Spoiler wins with 3 pebbles
+
+
+class TestTheorem56:
+    @pytest.mark.parametrize("n,colors,k", [(4, 2, 2), (3, 3, 2), (5, 3, 2)])
+    def test_procedure_establishes(self, n, colors, k):
+        a, b = sym_structure_pair(n, colors)
+        a_prime, b_prime = establish_strong_k_consistency(a, b, k)
+        assert check_establishes(a, b, a_prime, b_prime, k)
+
+    def test_establishment_instance_is_strongly_k_consistent(self):
+        a, b = sym_structure_pair(4, 2)
+        instance = establishment_csp(a, b, 2)
+        assert is_strongly_k_consistent(instance, 2)
+
+    def test_result_is_coherent(self):
+        a, b = sym_structure_pair(4, 2)
+        a_prime, b_prime = establish_strong_k_consistency(a, b, 2)
+        assert is_coherent(a_prime, b_prime)
+
+    def test_largest_coherent_property(self):
+        """Every coherent establishing instance's constraints are contained
+        in the R_ā constraints of the canonical one (spot check: the
+        original instance's own relations, made coherent, are inside)."""
+        a, b = sym_structure_pair(4, 2)
+        from repro.games.pebble import solve_game
+
+        game = solve_game(a, b, 2)
+        inst = establishment_csp(a, b, 2, game)
+        by_scope = {c.scope: c.relation for c in inst.constraints}
+        # The winning strategy respects the original constraints: for each
+        # original A-tuple, R_ā ⊆ R^B.
+        original = homomorphism_to_csp(a, b)
+        for c in original.normalize().constraints:
+            if c.scope in by_scope:
+                assert by_scope[c.scope] <= c.relation
+
+    def test_preserves_total_homomorphisms(self):
+        from itertools import product
+
+        from repro.relational.homomorphism import is_homomorphism
+
+        a, b = sym_structure_pair(4, 2)
+        a_prime, b_prime = establish_strong_k_consistency(a, b, 2)
+        a_elems = sorted(a.domain, key=repr)
+        for image in product(sorted(b.domain, key=repr), repeat=len(a_elems)):
+            h = dict(zip(a_elems, image))
+            assert is_homomorphism(h, a, b) == is_homomorphism(h, a_prime, b_prime)
+
+
+class TestCoherence:
+    def test_original_instance_may_be_incoherent(self):
+        # A pair where some B-tuple row is not a partial homomorphism.
+        from repro.relational.structure import Structure
+
+        a = Structure({"E": 2, "F": 2}, [0, 1], {"E": [(0, 1)], "F": [(0, 1)]})
+        b = Structure({"E": 2, "F": 2}, [0, 1], {"E": [(0, 1)], "F": [(1, 0)]})
+        # Constraint (0,1)->E^B allows (0,1) but F also constrains (0,1):
+        # h = {0:0, 1:1} violates F, so the E-row (0,1) is not a partial hom.
+        assert not is_coherent(a, b)
+
+    def test_established_pair_is_coherent_on_random_inputs(self):
+        for seed in range(5):
+            a = random_digraph(3, 0.5, seed=seed)
+            b = random_digraph(3, 0.7, seed=seed + 10)
+            if not a.relation("E") or not b.relation("E"):
+                continue
+            if can_establish(a, b, 2):
+                a_prime, b_prime = establish_strong_k_consistency(a, b, 2)
+                assert is_coherent(a_prime, b_prime)
+                assert check_establishes(a, b, a_prime, b_prime, 2)

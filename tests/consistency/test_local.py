@@ -1,0 +1,108 @@
+"""Local consistency (Definitions 5.2, Proposition 5.3)."""
+
+import pytest
+
+from repro.consistency.local import (
+    is_i_consistent,
+    is_i_consistent_via_homomorphisms,
+    is_strongly_k_consistent,
+    is_strongly_k_consistent_via_game,
+    partial_solutions_on,
+)
+from repro.csp.instance import Constraint, CSPInstance
+from repro.errors import DomainError
+from repro.generators.csp_random import coloring_instance, random_binary_csp
+from repro.generators.graphs import cycle_graph, path_graph
+
+NE = {(0, 1), (1, 0)}
+
+
+def triangle_2col():
+    return coloring_instance(cycle_graph(3), 2)
+
+
+class TestPartialSolutions:
+    def test_enumerates_consistent_assignments(self):
+        inst = CSPInstance(["x", "y"], [0, 1], [Constraint(("x", "y"), NE)])
+        sols = partial_solutions_on(inst, ("x", "y"))
+        assert len(sols) == 2
+
+    def test_ignores_uncovered_constraints(self):
+        inst = CSPInstance(["x", "y"], [0, 1], [Constraint(("x", "y"), NE)])
+        sols = partial_solutions_on(inst, ("x",))
+        assert len(sols) == 2  # constraint not fully inside {x}
+
+
+class TestIConsistency:
+    def test_i_must_be_positive(self):
+        with pytest.raises(DomainError):
+            is_i_consistent(triangle_2col(), 0)
+
+    def test_triangle_is_2_consistent(self):
+        # Any single-variable assignment extends to any second variable.
+        assert is_i_consistent(triangle_2col(), 2)
+
+    def test_triangle_not_3_consistent(self):
+        # x=0, y=1 cannot extend to z: z must differ from both colors.
+        assert not is_i_consistent(triangle_2col(), 3)
+
+    def test_even_cycle_2col_not_3_consistent(self):
+        # On C4, opposite vertices are unconstrained pairwise but x=0, y=1
+        # on non-adjacent vertices cannot extend to their common neighbor.
+        inst = coloring_instance(cycle_graph(4), 2)
+        assert not is_i_consistent(inst, 3)
+
+    def test_i_larger_than_variables_vacuous(self):
+        inst = CSPInstance(["x"], [0], [])
+        assert is_i_consistent(inst, 5)
+
+
+class TestStrongKConsistency:
+    def test_triangle_strong_2_not_3(self):
+        assert is_strongly_k_consistent(triangle_2col(), 2)
+        assert not is_strongly_k_consistent(triangle_2col(), 3)
+
+    def test_unsatisfiable_unary_not_1_consistent(self):
+        inst = CSPInstance(["x"], [0, 1], [Constraint(("x",), [])])
+        assert not is_i_consistent(inst, 1)
+        assert not is_strongly_k_consistent(inst, 1)
+
+    def test_complete_relation_always_consistent(self):
+        full = {(a, b) for a in (0, 1) for b in (0, 1)}
+        inst = CSPInstance(["x", "y", "z"], [0, 1], [Constraint(("x", "y"), full)])
+        for k in (1, 2, 3):
+            assert is_strongly_k_consistent(inst, k)
+
+
+class TestProposition53:
+    """The definitional checks coincide with the game-theoretic ones."""
+
+    @pytest.mark.parametrize("i", [1, 2, 3])
+    def test_i_consistency_via_homomorphisms_on_triangle(self, i):
+        inst = triangle_2col()
+        assert is_i_consistent(inst, i) == is_i_consistent_via_homomorphisms(inst, i)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_strong_k_via_game_on_triangle(self, k):
+        inst = triangle_2col()
+        assert is_strongly_k_consistent(inst, k) == is_strongly_k_consistent_via_game(
+            inst, k
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_on_random_instances(self, seed):
+        inst = random_binary_csp(4, 2, 4, 0.4, seed=seed)
+        for k in (1, 2):
+            assert is_strongly_k_consistent(inst, k) == (
+                is_strongly_k_consistent_via_game(inst, k)
+            )
+        for i in (2, 3):
+            assert is_i_consistent(inst, i) == is_i_consistent_via_homomorphisms(
+                inst, i
+            )
+
+    def test_path_instances(self):
+        inst = coloring_instance(path_graph(4), 2)
+        # Paths are 2-colorable; strong 2-consistency holds.
+        assert is_strongly_k_consistent(inst, 2)
+        assert is_strongly_k_consistent_via_game(inst, 2)

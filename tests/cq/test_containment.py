@@ -1,0 +1,172 @@
+"""Chandra–Merlin containment (Prop 2.2), canonical structures (Prop 2.3),
+and query minimization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.canonical import canonical_database, canonical_query
+from repro.cq.containment import (
+    are_equivalent,
+    containment_homomorphism,
+    is_contained_in,
+    is_contained_in_via_homomorphism,
+    minimize,
+)
+from repro.cq.evaluate import evaluate_boolean
+from repro.cq.parser import parse_query
+from repro.cq.query import Atom, ConjunctiveQuery, Var
+from repro.errors import DomainError
+from repro.relational.homomorphism import homomorphism_exists
+from repro.relational.structure import Structure
+
+
+class TestCanonicalDatabase:
+    def test_paper_example_facts(self):
+        q = parse_query("Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).")
+        db = canonical_database(q)
+        assert (Var("X1"), Var("Z1"), Var("Z2")) in db.relation("P")
+        assert (Var("Z2"), Var("Z3")) in db.relation("R")
+        assert (Var("X1"),) in db.relation("P1")
+        assert (Var("X2"),) in db.relation("P2")
+
+    def test_constants_become_domain_elements_with_markers(self):
+        q = parse_query("Q(X) :- E(X, alice).")
+        db = canonical_database(q)
+        assert "alice" in db.domain
+        assert ("alice",) in db.relation("Const_'alice'")
+
+
+class TestContainment:
+    def test_more_atoms_contained_in_fewer(self):
+        q1 = parse_query("Q(X) :- E(X, Y), E(Y, Z).")
+        q2 = parse_query("Q(X) :- E(X, Y).")
+        assert is_contained_in(q1, q2)
+        assert not is_contained_in(q2, q1)
+
+    def test_both_methods_agree_on_classics(self):
+        cases = [
+            ("Q(X) :- E(X, Y), E(Y, Z).", "Q(X) :- E(X, Y)."),
+            ("Q(X, Y) :- E(X, Y).", "Q(X, Y) :- E(X, Z), E(Z, Y)."),
+            ("Q() :- E(X, X).", "Q() :- E(X, Y)."),
+            ("Q() :- E(X, Y), E(Y, X).", "Q() :- E(X, Y)."),
+        ]
+        for s1, s2 in cases:
+            q1, q2 = parse_query(s1), parse_query(s2)
+            assert is_contained_in(q1, q2) == is_contained_in_via_homomorphism(q1, q2)
+            assert is_contained_in(q2, q1) == is_contained_in_via_homomorphism(q2, q1)
+
+    def test_homomorphism_witness_is_returned(self):
+        q1 = parse_query("Q(X) :- E(X, Y), E(Y, Z).")
+        q2 = parse_query("Q(X) :- E(X, Y).")
+        h = containment_homomorphism(q1, q2)
+        assert h is not None
+        assert h[Var("X")] == Var("X")
+
+    def test_distinguished_arity_mismatch_raises(self):
+        q1 = parse_query("Q(X) :- E(X, Y).")
+        q2 = parse_query("Q(X, Y) :- E(X, Y).")
+        with pytest.raises(DomainError):
+            is_contained_in(q1, q2)
+
+    def test_constants_block_containment(self):
+        q1 = parse_query("Q(X) :- E(X, a).")
+        q2 = parse_query("Q(X) :- E(X, b).")
+        assert not is_contained_in(q1, q2)
+        assert is_contained_in(q1, q1)
+
+    def test_constant_vs_variable(self):
+        specific = parse_query("Q(X) :- E(X, a).")
+        general = parse_query("Q(X) :- E(X, Y).")
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_containment_is_reflexive_and_transitive(self):
+        q1 = parse_query("Q(X) :- E(X, Y), E(Y, Z), E(Z, W).")
+        q2 = parse_query("Q(X) :- E(X, Y), E(Y, Z).")
+        q3 = parse_query("Q(X) :- E(X, Y).")
+        assert is_contained_in(q1, q1)
+        assert is_contained_in(q1, q2) and is_contained_in(q2, q3)
+        assert is_contained_in(q1, q3)
+
+    def test_cycle_queries(self):
+        # Having an odd cycle of length 3 implies having a closed walk of
+        # length 9 but not vice versa... both directions checked vs brute.
+        c3 = parse_query("Q() :- E(X, Y), E(Y, Z), E(Z, X).")
+        c6 = parse_query(
+            "Q() :- E(A, B), E(B, C), E(C, D), E(D, F), E(F, G), E(G, A)."
+        )
+        # C3 pattern maps into C6 pattern? hom D^{C6} -> D^{C3} exists (wrap
+        # around), so C3-existence implies C6-existence: C3 ⊆ C6.
+        assert is_contained_in(c3, c6)
+        assert not is_contained_in(c6, c3)
+
+
+class TestProposition23:
+    """∃hom(A→B) ⟺ B ⊨ φ_A ⟺ φ_B ⊆ φ_A."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_three_way_equivalence(self, seed):
+        from repro.generators.graphs import random_digraph
+
+        a = random_digraph(3, 0.5, seed=seed)
+        b = random_digraph(3, 0.5, seed=seed + 30)
+        if not a.relation("E") or not b.relation("E"):
+            return
+        phi_a = canonical_query(a, "PhiA")
+        phi_b = canonical_query(b, "PhiB")
+        hom = homomorphism_exists(a, b)
+        assert evaluate_boolean(phi_a, b) == hom
+        assert is_contained_in(phi_b, phi_a) == hom
+
+
+class TestMinimize:
+    def test_redundant_atom_dropped(self):
+        q = parse_query("Q(X, Y) :- E(X, Z), E(Z, Y), E(X, W), E(W, Y).")
+        core = minimize(q)
+        assert len(core.body) == 2
+        assert are_equivalent(q, core)
+
+    def test_already_minimal_unchanged(self):
+        q = parse_query("Q(X) :- E(X, Y), E(Y, X).")
+        assert len(minimize(q).body) == 2
+
+    def test_directed_four_cycle_is_its_own_core(self):
+        # The *directed* 4-cycle admits no retraction onto two vertices
+        # (E(B, A) is not an atom), so minimization must keep all 4 atoms.
+        q = parse_query("Q() :- E(A, B), E(B, C), E(C, D), E(D, A).")
+        core = minimize(q)
+        assert len(core.body) == 4
+        assert are_equivalent(q, core)
+
+    def test_two_digons_fold_onto_one(self):
+        # E(A,B),E(B,A) plus E(B,C),E(C,B): folding C ↦ A maps every atom
+        # onto an existing atom, so the core is a single 2-cycle.
+        q = parse_query("Q() :- E(A, B), E(B, A), E(B, C), E(C, B).")
+        core = minimize(q)
+        assert len(core.body) == 2
+        assert are_equivalent(q, core)
+
+    def test_minimization_keeps_distinguished_variables(self):
+        q = parse_query("Q(X) :- E(X, Y), E(X, Z).")
+        core = minimize(q)
+        assert Var("X") in {v for a in core.body for v in a.variables()}
+        assert len(core.body) == 1
+
+
+@st.composite
+def chain_queries(draw):
+    """Chains E(X0,X1),...,E(Xn-1,Xn) with head X0 — containment is decided
+    by length, giving a known ground truth."""
+    n = draw(st.integers(1, 4))
+    atoms = [Atom("E", (Var(f"X{i}"), Var(f"X{i+1}"))) for i in range(n)]
+    return ConjunctiveQuery("Q", (Var("X0"),), atoms), n
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain_queries(), chain_queries())
+def test_chain_containment_matches_length(chain1, chain2):
+    (q1, n1), (q2, n2) = chain1, chain2
+    # "X0 starts a path of length n" : longer chains are contained in shorter.
+    assert is_contained_in(q1, q2) == (n1 >= n2)
+    assert is_contained_in_via_homomorphism(q1, q2) == (n1 >= n2)

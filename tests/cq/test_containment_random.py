@@ -1,0 +1,84 @@
+"""Randomized containment properties over generated query families."""
+
+import pytest
+
+from repro.cq.canonical import structure_from_query_body
+from repro.cq.containment import (
+    are_equivalent,
+    is_contained_in,
+    is_contained_in_via_homomorphism,
+    minimize,
+)
+from repro.generators.queries import (
+    chain_query,
+    random_query,
+    random_tree_query,
+    star_query,
+)
+from repro.width.gaifman import structure_hypergraph
+from repro.width.acyclic import is_acyclic
+from repro.width.treedecomp import treewidth_of_structure
+
+
+class TestDualDecidersAgree:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_boolean_queries(self, seed):
+        q1 = random_query(3, 3, seed=seed)
+        q2 = random_query(3, 3, seed=seed + 400)
+        assert is_contained_in(q1, q2) == is_contained_in_via_homomorphism(q1, q2)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_tree_queries(self, seed):
+        q1 = random_tree_query(4, seed=seed)
+        q2 = random_tree_query(3, seed=seed + 99)
+        assert is_contained_in(q1, q2) == is_contained_in_via_homomorphism(q1, q2)
+
+
+class TestKnownGroundTruth:
+    @pytest.mark.parametrize("a,b", [(2, 4), (3, 3), (5, 2)])
+    def test_star_containment_by_ray_count(self, a, b):
+        # More rays ⊆ fewer rays: a center with n out-edges has m ≤ n too —
+        # but rays can collapse onto one another, so actually ANY star with
+        # ≥1 ray is contained in every other: all rays map to one witness.
+        assert is_contained_in(star_query(a), star_query(b))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_tree_queries_contained_in_single_edge(self, seed):
+        """Every tree query with an atom maps onto a single edge pattern?
+        No — direction matters; instead: every tree query *contains* the
+        pattern consisting of its own body (reflexivity), and minimization
+        keeps equivalence."""
+        q = random_tree_query(4, seed=seed)
+        assert is_contained_in(q, q)
+        core = minimize(q)
+        assert are_equivalent(q, core)
+        assert len(core.body) <= len(q.body)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_tree_query_structures_are_acyclic_width_one(self, seed):
+        q = random_tree_query(5, seed=seed)
+        s = structure_from_query_body(q)
+        assert is_acyclic([e for e in structure_hypergraph(s) if e])
+        assert treewidth_of_structure(s) <= 1
+
+    def test_chain_vs_tree(self):
+        # A chain is a tree query; chains of length n are contained in
+        # chains of length m ≤ n.
+        assert is_contained_in(chain_query(5), chain_query(3))
+        assert not is_contained_in(chain_query(3), chain_query(5))
+
+
+class TestMinimizationProperties:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_minimize_preserves_equivalence_and_shrinks(self, seed):
+        q = random_query(4, 3, seed=seed + 800)
+        core = minimize(q)
+        assert are_equivalent(q, core)
+        assert len(core.body) <= len(q.body)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_minimize_is_idempotent(self, seed):
+        q = random_query(4, 3, seed=seed + 900)
+        once = minimize(q)
+        twice = minimize(once)
+        assert len(once.body) == len(twice.body)

@@ -1,0 +1,87 @@
+"""Conjunctive-query evaluation Q(D)."""
+
+import pytest
+
+from repro.cq.evaluate import atom_relation, evaluate, evaluate_boolean, satisfying_assignments
+from repro.cq.parser import parse_atom, parse_query
+from repro.cq.query import Var
+from repro.errors import VocabularyError
+from repro.relational.structure import Structure
+
+
+def db(edges, nodes=None):
+    nodes = nodes if nodes is not None else sorted({v for e in edges for v in e})
+    return Structure({"E": 2}, nodes, {"E": edges})
+
+
+PATH = db([(1, 2), (2, 3), (3, 4)])
+
+
+class TestAtomRelation:
+    def test_plain_atom(self):
+        rel = atom_relation(parse_atom("E(X, Y)"), PATH)
+        assert rel.attributes == ("X", "Y")
+        assert len(rel) == 3
+
+    def test_constant_selection(self):
+        rel = atom_relation(parse_atom("E(X, 2)"), PATH)
+        assert rel.tuples == frozenset({(1,)})
+
+    def test_repeated_variable_selects_diagonal(self):
+        loop_db = db([(1, 1), (1, 2)])
+        rel = atom_relation(parse_atom("E(X, X)"), loop_db)
+        assert rel.tuples == frozenset({(1,)})
+
+    def test_unknown_predicate_raises(self):
+        with pytest.raises(VocabularyError):
+            atom_relation(parse_atom("F(X)"), PATH)
+
+    def test_all_constants(self):
+        rel = atom_relation(parse_atom("E(1, 2)"), PATH)
+        assert rel.attributes == ()
+        assert len(rel) == 1  # satisfied: nullary relation containing ()
+
+
+class TestEvaluate:
+    def test_two_hop(self):
+        q = parse_query("Q(X, Y) :- E(X, Z), E(Z, Y).")
+        answers = evaluate(q, PATH)
+        assert answers.tuples == frozenset({(1, 3), (2, 4)})
+
+    def test_projection_collapses(self):
+        q = parse_query("Q(X) :- E(X, Z), E(Z, Y).")
+        answers = evaluate(q, PATH)
+        assert answers.tuples == frozenset({(1,), (2,)})
+
+    def test_boolean_query(self):
+        q = parse_query("Q() :- E(X, Y), E(Y, X).")
+        assert not evaluate_boolean(q, PATH)
+        assert evaluate_boolean(q, db([(1, 2), (2, 1)]))
+
+    def test_cyclic_pattern(self):
+        q = parse_query("Q(X) :- E(X, Y), E(Y, Z), E(Z, X).")
+        triangle = db([(1, 2), (2, 3), (3, 1)])
+        assert evaluate(q, triangle).tuples == frozenset({(1,), (2,), (3,)})
+        assert not evaluate(q, PATH)
+
+    def test_constants_in_query(self):
+        q = parse_query("Q(X) :- E(1, X).")
+        assert evaluate(q, PATH).tuples == frozenset({(2,)})
+
+    def test_satisfying_assignments(self):
+        q = parse_query("Q(X) :- E(X, Y).")
+        assignments = list(satisfying_assignments(q, PATH))
+        assert {(a[Var("X")], a[Var("Y")]) for a in assignments} == {
+            (1, 2),
+            (2, 3),
+            (3, 4),
+        }
+
+    def test_self_join(self):
+        q = parse_query("Q(X) :- E(X, Y), E(X, Z).")
+        fan = db([(1, 2), (1, 3)])
+        assert evaluate(q, fan).tuples == frozenset({(1,)})
+
+    def test_empty_database(self):
+        q = parse_query("Q(X) :- E(X, Y).")
+        assert not evaluate(q, db([], nodes=[1]))

@@ -1,0 +1,123 @@
+"""The Section 2 equivalence: CSP ⟺ homomorphism problem."""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.convert import csp_to_homomorphism, homomorphism_to_csp
+from repro.csp.instance import Constraint, CSPInstance
+from repro.relational.homomorphism import all_homomorphisms, is_homomorphism
+from repro.relational.structure import Structure
+
+NE = {(0, 1), (1, 0)}
+
+
+def triangle_instance():
+    return CSPInstance(
+        ["a", "b", "c"],
+        [0, 1, 2],
+        [
+            Constraint(("a", "b"), {(x, y) for x in range(3) for y in range(3) if x != y}),
+            Constraint(("b", "c"), {(x, y) for x in range(3) for y in range(3) if x != y}),
+            Constraint(("a", "c"), {(x, y) for x in range(3) for y in range(3) if x != y}),
+        ],
+    )
+
+
+class TestCspToHomomorphism:
+    def test_domains(self):
+        a, b = csp_to_homomorphism(triangle_instance())
+        assert a.domain == frozenset({"a", "b", "c"})
+        assert b.domain == frozenset({0, 1, 2})
+
+    def test_identical_relations_share_a_symbol(self):
+        a, b = csp_to_homomorphism(triangle_instance())
+        # All three constraints use the same disequality relation.
+        assert len(a.vocabulary) == 1
+        symbol = next(iter(a.vocabulary))
+        assert len(a.relation(symbol)) == 3
+
+    def test_distinct_relations_get_distinct_symbols(self):
+        inst = CSPInstance(
+            ["x", "y"],
+            [0, 1],
+            [Constraint(("x", "y"), NE), Constraint(("y", "x"), {(0, 0)})],
+        )
+        a, _b = csp_to_homomorphism(inst)
+        assert len(a.vocabulary) == 2
+
+    def test_solutions_are_exactly_homomorphisms(self):
+        inst = triangle_instance()
+        a, b = csp_to_homomorphism(inst)
+        homs = {tuple(sorted(h.items())) for h in all_homomorphisms(a, b)}
+        solutions = set()
+        for values in product(range(3), repeat=3):
+            assignment = dict(zip(inst.variables, values))
+            if inst.is_solution(assignment):
+                solutions.add(tuple(sorted(assignment.items())))
+        assert homs == solutions
+        assert len(homs) == 6  # 3! proper 3-colorings of a triangle
+
+
+class TestHomomorphismToCsp:
+    def test_breaking_up(self):
+        a = Structure({"E": 2}, [0, 1, 2], {"E": [(0, 1), (1, 2)]})
+        b = Structure({"E": 2}, ["u", "v"], {"E": [("u", "v")]})
+        inst = homomorphism_to_csp(a, b)
+        assert len(inst.constraints) == 2
+        assert all(c.relation == frozenset({("u", "v")}) for c in inst.constraints)
+
+    def test_solutions_match_homomorphisms(self):
+        a = Structure({"E": 2}, [0, 1], {"E": [(0, 1)]})
+        b = Structure({"E": 2}, ["u", "v"], {"E": [("u", "v"), ("v", "u")]})
+        inst = homomorphism_to_csp(a, b)
+        for image in product(["u", "v"], repeat=2):
+            mapping = dict(zip([0, 1], image))
+            assert inst.is_solution(mapping) == is_homomorphism(mapping, a, b)
+
+
+edge_lists = st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)), max_size=6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists, edge_lists)
+def test_round_trip_preserves_homomorphisms(a_edges, b_edges):
+    """hom → CSP → hom: the mappings that solve are identical."""
+    a = Structure({"E": 2}, range(3), {"E": a_edges})
+    b = Structure({"E": 2}, range(3), {"E": b_edges})
+    inst = homomorphism_to_csp(a, b)
+    a2, b2 = csp_to_homomorphism(inst)
+    for image in product(range(3), repeat=3):
+        mapping = dict(zip(sorted(a.domain, key=repr), image))
+        direct = is_homomorphism(mapping, a, b)
+        through_csp = inst.is_solution(mapping)
+        round_trip = is_homomorphism(mapping, a2, b2)
+        assert direct == through_csp
+        if a_edges:  # with no constraints the round-trip structure is empty-vocabulary
+            assert through_csp == round_trip
+
+
+@st.composite
+def small_instances(draw):
+    n = draw(st.integers(1, 3))
+    variables = [f"v{i}" for i in range(n)]
+    constraints = []
+    for _ in range(draw(st.integers(1, 3))):
+        arity = draw(st.integers(1, 2))
+        scope = tuple(
+            draw(st.sampled_from(variables)) for _ in range(arity)
+        )
+        rows = draw(st.lists(st.tuples(*[st.integers(0, 1)] * arity), max_size=4))
+        constraints.append(Constraint(scope, rows))
+    return CSPInstance(variables, [0, 1], constraints)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_instances())
+def test_instance_solutions_equal_converted_homomorphisms(instance):
+    a, b = csp_to_homomorphism(instance)
+    norm = instance.normalize()
+    for values in product([0, 1], repeat=len(instance.variables)):
+        mapping = dict(zip(instance.variables, values))
+        assert norm.is_solution(mapping) == is_homomorphism(mapping, a, b)

@@ -1,0 +1,65 @@
+"""Solution counting by sum-product DP over tree decompositions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.solvers import brute
+from repro.csp.solvers.decomposition import count_solutions
+from repro.generators.csp_random import coloring_instance, random_binary_csp
+from repro.generators.graphs import cycle_graph, path_graph
+
+
+class TestKnownCounts:
+    def test_chromatic_polynomial_of_cycles(self):
+        """#proper q-colorings of C_n = (q-1)^n + (-1)^n (q-1)."""
+        for n, q in [(4, 2), (5, 3), (6, 2), (6, 3)]:
+            expected = (q - 1) ** n + (-1) ** n * (q - 1)
+            inst = coloring_instance(cycle_graph(n), q)
+            assert count_solutions(inst) == expected
+
+    def test_chromatic_polynomial_of_paths(self):
+        """#proper q-colorings of P_n = q (q-1)^(n-1)."""
+        for n, q in [(3, 2), (4, 3), (5, 2)]:
+            inst = coloring_instance(path_graph(n), q)
+            assert count_solutions(inst) == q * (q - 1) ** (n - 1)
+
+    def test_unsatisfiable_counts_zero(self):
+        assert count_solutions(coloring_instance(cycle_graph(5), 2)) == 0
+
+    def test_unconstrained_variables_multiply(self):
+        inst = CSPInstance(["x", "y"], [0, 1, 2], [Constraint(("x",), [(0,)])])
+        assert count_solutions(inst) == 3  # x pinned, y free over 3 values
+
+    def test_no_constraints(self):
+        inst = CSPInstance(["x", "y"], [0, 1], [])
+        assert count_solutions(inst) == 4
+
+    def test_no_variables(self):
+        assert count_solutions(CSPInstance([], [0], [])) == 1
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_counts_match_brute_force(seed):
+    inst = random_binary_csp(5, 2, 5, 0.3 + (seed % 4) * 0.15, seed=seed)
+    assert count_solutions(inst) == brute.count_solutions(inst)
+
+
+@st.composite
+def tiny_instances(draw):
+    n = draw(st.integers(1, 4))
+    variables = list(range(n))
+    constraints = []
+    for _ in range(draw(st.integers(0, 3))):
+        arity = draw(st.integers(1, min(2, n)))
+        scope = tuple(draw(st.permutations(variables))[:arity])
+        rows = draw(st.lists(st.tuples(*[st.integers(0, 1)] * arity), max_size=4))
+        constraints.append(Constraint(scope, rows))
+    return CSPInstance(variables, [0, 1], constraints)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tiny_instances())
+def test_counting_property(instance):
+    assert count_solutions(instance) == brute.count_solutions(instance)

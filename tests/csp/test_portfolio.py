@@ -1,0 +1,112 @@
+"""The portfolio solver: routing and correctness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.solvers import brute
+from repro.csp.solvers.portfolio import Route, explain, is_solvable, solve
+from repro.generators.csp_random import coloring_instance, random_binary_csp
+from repro.generators.graphs import complete_graph, cycle_graph, partial_ktree, path_graph
+from repro.generators.sat import random_horn, random_one_in_three_instance
+from repro.dichotomy.cnf import cnf_to_csp
+
+
+class TestRouting:
+    def test_trivial(self):
+        assert explain(CSPInstance([], [0], [])) == Route.TRIVIAL
+        assert explain(CSPInstance(["x"], [0, 1], [])) == Route.TRIVIAL
+
+    def test_schaefer_route(self):
+        inst = cnf_to_csp(random_horn(5, 8, seed=1))
+        assert explain(inst) == Route.SCHAEFER
+
+    def test_coset_route(self):
+        from itertools import product
+
+        eq_mod3 = frozenset(
+            r for r in product(range(3), repeat=2) if (r[0] + r[1]) % 3 == 1
+        )
+        # A cyclic constraint graph keeps it away from the acyclic route; a
+        # non-Boolean prime domain with coset relations routes to GF(3).
+        inst = CSPInstance(
+            ["x", "y", "z"],
+            range(3),
+            [
+                Constraint(("x", "y"), eq_mod3),
+                Constraint(("y", "z"), eq_mod3),
+                Constraint(("x", "z"), eq_mod3),
+            ],
+        )
+        assert explain(inst) == Route.COSET
+
+    def test_acyclic_route(self):
+        inst = coloring_instance(path_graph(5), 3)
+        assert explain(inst) == Route.ACYCLIC
+
+    def test_treewidth_route(self):
+        inst = coloring_instance(cycle_graph(6), 3)
+        assert explain(inst) == Route.TREEWIDTH
+
+    def test_search_route(self):
+        inst = coloring_instance(complete_graph(7), 3)
+        assert explain(inst) == Route.SEARCH
+
+    def test_one_in_three_not_schaefer(self):
+        inst = random_one_in_three_instance(6, 4, seed=0)
+        assert explain(inst) != Route.SCHAEFER
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: coloring_instance(cycle_graph(5), 2), False),
+            (lambda: coloring_instance(cycle_graph(6), 2), True),
+            (lambda: coloring_instance(path_graph(5), 2), True),
+            (lambda: coloring_instance(complete_graph(4), 3), False),
+            (lambda: coloring_instance(partial_ktree(10, 2, 0.9, seed=3), 3), None),
+        ],
+    )
+    def test_workloads(self, builder, expected):
+        inst = builder()
+        verdict = is_solvable(inst)
+        if expected is None:
+            expected = brute.is_solvable(inst) if len(inst.variables) <= 10 else verdict
+        assert verdict == expected
+        solution = solve(inst)
+        if solution is not None:
+            assert inst.normalize().is_solution(solution)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_instances(self, seed):
+        inst = random_binary_csp(5, 3, 6, 0.3 + (seed % 5) * 0.12, seed=seed)
+        assert is_solvable(inst) == brute.is_solvable(inst)
+
+    def test_trivial_solutions(self):
+        assert solve(CSPInstance([], [0], [])) == {}
+        assert solve(CSPInstance(["x"], [0, 1], [])) == {"x": 0}
+        assert solve(CSPInstance(["x"], [], [])) is None
+
+
+@st.composite
+def tiny_instances(draw):
+    n = draw(st.integers(1, 4))
+    variables = list(range(n))
+    constraints = []
+    for _ in range(draw(st.integers(0, 4))):
+        arity = draw(st.integers(1, min(2, n)))
+        scope = tuple(draw(st.permutations(variables))[:arity])
+        rows = draw(st.lists(st.tuples(*[st.integers(0, 1)] * arity), max_size=4))
+        constraints.append(Constraint(scope, rows))
+    return CSPInstance(variables, [0, 1], constraints)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tiny_instances())
+def test_portfolio_property(instance):
+    assert is_solvable(instance) == brute.is_solvable(instance)
+    solution = solve(instance)
+    if solution is not None:
+        assert instance.normalize().is_solution(solution)

@@ -1,0 +1,103 @@
+"""The canonical program ρ_B (Theorem 4.5(3)): differential tests against
+the direct game algorithm, and k-Datalog shape checks."""
+
+import pytest
+
+from repro.datalog.canonical import DOMAIN_PREDICATE, canonical_program
+from repro.errors import DomainError
+from repro.games.pebble import spoiler_wins
+from repro.generators.graphs import (
+    cycle_graph,
+    directed_cycle_structure,
+    graph_as_digraph_structure,
+    random_digraph,
+)
+from repro.relational.structure import Structure
+
+K2 = Structure({"E": 2}, [0, 1], {"E": [(0, 1), (1, 0)]})
+LOOP = Structure({"E": 2}, [0], {"E": [(0, 0)]})
+
+
+class TestConstruction:
+    def test_k_must_cover_vocabulary_arity(self):
+        with pytest.raises(DomainError):
+            canonical_program(K2, 1)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(DomainError):
+            canonical_program(K2, 0)
+
+    def test_program_is_k_datalog_in_the_em_variables(self):
+        cp = canonical_program(K2, 2)
+        # Rule bodies use at most k variables plus the head variables; the
+        # head always has ≤ k variables per the k-Datalog definition.
+        assert cp.program.max_head_variables() <= 2
+
+    def test_edb_predicates_are_input_relations_plus_domain(self):
+        cp = canonical_program(K2, 2)
+        edbs = cp.program.edb_predicates()
+        assert "E" in edbs
+        assert DOMAIN_PREDICATE in edbs
+
+    def test_template_with_total_loop_never_loses(self):
+        # Every structure maps into a looped vertex: the Spoiler can never
+        # win, and the closure cannot even express an empty obstruction.
+        cp = canonical_program(LOOP, 2)
+        for n in (2, 3):
+            assert not cp.spoiler_wins(directed_cycle_structure(n))
+
+
+class TestAgreementWithGame:
+    @pytest.mark.parametrize("n,k", [(3, 2), (4, 2), (5, 2), (3, 3), (4, 3), (5, 3)])
+    def test_symmetric_cycles_vs_k2(self, n, k):
+        cp = canonical_program(K2, k)
+        a = graph_as_digraph_structure(cycle_graph(n))
+        assert cp.spoiler_wins(a) == spoiler_wins(a, K2, k)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_odd_cycles_refuted_exactly_at_k3(self, k):
+        cp = canonical_program(K2, k)
+        a = graph_as_digraph_structure(cycle_graph(5))
+        assert cp.spoiler_wins(a) == (k >= 3)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_digraphs_vs_k2(self, seed):
+        cp = canonical_program(K2, 2)
+        a = random_digraph(4, 0.4, seed=seed)
+        assert cp.spoiler_wins(a) == spoiler_wins(a, K2, 2)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_digraphs_vs_random_template(self, seed):
+        b = random_digraph(2, 0.6, seed=seed + 500, loops=True)
+        cp = canonical_program(b, 2)
+        a = random_digraph(3, 0.5, seed=seed)
+        assert cp.spoiler_wins(a) == spoiler_wins(a, b, 2)
+
+    def test_empty_input_structure(self):
+        cp = canonical_program(K2, 2)
+        empty = Structure({"E": 2}, [], {})
+        assert not cp.spoiler_wins(empty)
+
+    def test_empty_template_domain(self):
+        empty_b = Structure({"E": 2}, [], {})
+        cp = canonical_program(empty_b, 2)
+        a = directed_cycle_structure(2)
+        assert cp.spoiler_wins(a)  # handled as a special case
+
+    def test_vocabulary_mismatch_rejected(self):
+        cp = canonical_program(K2, 2)
+        with pytest.raises(DomainError):
+            cp.spoiler_wins(Structure({"F": 1}, [0], {}))
+
+
+class TestSoundnessViaHomomorphism:
+    """goal derived ⇒ no homomorphism (the k-Datalog refutation is sound)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_refutations_sound(self, seed):
+        from repro.relational.homomorphism import homomorphism_exists
+
+        cp = canonical_program(K2, 3)
+        a = random_digraph(4, 0.35, seed=seed)
+        if cp.spoiler_wins(a):
+            assert not homomorphism_exists(a, K2)

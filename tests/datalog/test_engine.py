@@ -1,0 +1,206 @@
+"""Datalog syntax, parsing, and the two bottom-up evaluators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.engine import (
+    evaluate_naive,
+    evaluate_seminaive,
+    goal_holds,
+    goal_relation,
+)
+from repro.datalog.library import non_two_colorability_program, transitive_closure_program
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.syntax import Program, Rule
+from repro.cq.query import Atom, Var
+from repro.errors import ParseError
+from repro.generators.graphs import cycle_graph, graph_as_digraph_structure
+
+
+class TestSyntax:
+    def test_rule_safety(self):
+        with pytest.raises(ParseError):
+            Rule(Atom("P", (Var("X"),)), [Atom("E", (Var("Y"),))])
+
+    def test_fact_must_be_ground(self):
+        with pytest.raises(ParseError):
+            Rule(Atom("P", (Var("X"),)), [])
+        Rule(Atom("P", (1,)), [])  # ground fact fine
+
+    def test_idb_edb_partition(self):
+        p = transitive_closure_program()
+        assert p.idb_predicates() == {"T"}
+        assert p.edb_predicates() == {"E"}
+
+    def test_goal_must_be_idb(self):
+        with pytest.raises(ParseError):
+            Program([parse_rule("P(X) :- E(X).")], goal="E")
+
+    def test_arity_consistency(self):
+        with pytest.raises(ParseError):
+            Program(
+                [parse_rule("P(X) :- E(X)."), parse_rule("P(X, Y) :- E(X), E(Y).")],
+                goal="P",
+            )
+
+    def test_k_datalog_width(self):
+        p = non_two_colorability_program()
+        assert p.width() == 4
+        assert p.is_k_datalog(4)
+        assert not p.is_k_datalog(3)
+        assert transitive_closure_program().width() == 3
+
+
+class TestParser:
+    def test_comments_stripped(self):
+        p = parse_program(
+            """
+            % transitive closure
+            T(X, Y) :- E(X, Y).  % base
+            T(X, Y) :- T(X, Z), E(Z, Y).
+            """,
+            goal="T",
+        )
+        assert len(p.rules) == 2
+
+    def test_nullary_goal_without_parens(self):
+        p = parse_program("Q :- E(X, X).", goal="Q")
+        assert p.rules[0].head.arity == 0
+
+    def test_facts_in_program(self):
+        p = parse_program(
+            """
+            E(1, 2).
+            T(X, Y) :- E(X, Y).
+            """,
+            goal="T",
+        )
+        out = goal_relation(p, {})
+        assert out == frozenset({(1, 2)})
+
+
+class TestEvaluation:
+    def test_transitive_closure(self):
+        p = transitive_closure_program()
+        db = {"E": {(1, 2), (2, 3), (3, 4)}}
+        expected = {(i, j) for i in range(1, 5) for j in range(i + 1, 5)}
+        assert evaluate_seminaive(p, db)["T"] == frozenset(expected)
+
+    def test_cyclic_closure_terminates(self):
+        p = transitive_closure_program()
+        db = {"E": {(1, 2), (2, 1)}}
+        out = evaluate_seminaive(p, db)["T"]
+        assert out == frozenset({(1, 1), (1, 2), (2, 1), (2, 2)})
+
+    def test_structure_as_database(self):
+        p = non_two_colorability_program()
+        assert goal_holds(p, graph_as_digraph_structure(cycle_graph(5)))
+        assert not goal_holds(p, graph_as_digraph_structure(cycle_graph(6)))
+
+    def test_constants_in_rules(self):
+        p = parse_program("Special(X) :- E(1, X).", goal="Special")
+        out = goal_relation(p, {"E": {(1, 2), (3, 4)}})
+        assert out == frozenset({(2,)})
+
+    def test_repeated_variables_in_body(self):
+        p = parse_program("Loop(X) :- E(X, X).", goal="Loop")
+        out = goal_relation(p, {"E": {(1, 1), (1, 2)}})
+        assert out == frozenset({(1,)})
+
+    def test_constant_in_head(self):
+        p = parse_program("Tag(X, marked) :- E(X, X).", goal="Tag")
+        out = goal_relation(p, {"E": {(1, 1)}})
+        assert out == frozenset({(1, "marked")})
+
+    def test_mutual_recursion(self):
+        p = parse_program(
+            """
+            Even(X) :- Zero(X).
+            Even(X) :- Succ(Y, X), Odd(Y).
+            Odd(X) :- Succ(Y, X), Even(Y).
+            """,
+            goal="Even",
+        )
+        db = {"Zero": {(0,)}, "Succ": {(i, i + 1) for i in range(6)}}
+        assert evaluate_seminaive(p, db)["Even"] == frozenset({(0,), (2,), (4,), (6,)})
+
+    def test_wrong_edb_arity_raises(self):
+        from repro.errors import VocabularyError
+
+        p = transitive_closure_program()
+        with pytest.raises(VocabularyError):
+            evaluate_seminaive(p, {"E": {(1, 2, 3)}})
+
+
+edges = st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges)
+def test_naive_and_seminaive_agree_on_closure(edge_set):
+    p = transitive_closure_program()
+    db = {"E": edge_set}
+    assert evaluate_naive(p, db) == evaluate_seminaive(p, db)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges)
+def test_naive_and_seminaive_agree_on_non2col(edge_set):
+    p = non_two_colorability_program()
+    db = {"E": edge_set}
+    assert evaluate_naive(p, db) == evaluate_seminaive(p, db)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges)
+def test_non2col_matches_bipartiteness(edge_set):
+    """The paper's 4-Datalog program is exactly non-2-colorability on
+    symmetric inputs."""
+    from repro.width.graph import Graph
+
+    p = non_two_colorability_program()
+    symmetric = edge_set | {(b, a) for a, b in edge_set}
+    db = {"E": symmetric}
+    g = Graph(edges=[(a, b) for a, b in symmetric if a != b])
+    has_loop = any(a == b for a, b in symmetric)
+    assert goal_holds(p, db) == (has_loop or not g.is_bipartite())
+
+
+class TestProgramIntrospection:
+    def test_dependency_graph(self):
+        p = non_two_colorability_program()
+        deps = p.dependency_graph()
+        assert deps["P"] == frozenset({"P"})
+        assert deps["Q"] == frozenset({"P"})
+
+    def test_recursion_detection(self):
+        assert transitive_closure_program().is_recursive()
+        assert non_two_colorability_program().is_recursive()
+        flat = parse_program("Q(X) :- E(X, Y).", goal="Q")
+        assert not flat.is_recursive()
+
+    def test_mutual_recursion_detected(self):
+        p = parse_program(
+            """
+            Even(X) :- Zero(X).
+            Even(X) :- Succ(Y, X), Odd(Y).
+            Odd(X) :- Succ(Y, X), Even(Y).
+            """,
+            goal="Even",
+        )
+        assert p.is_recursive()
+        assert "Odd" in p.dependency_graph()["Even"]
+
+    def test_linearity(self):
+        assert transitive_closure_program().is_linear()
+        assert non_two_colorability_program().is_linear()
+        nonlinear = parse_program(
+            """
+            T(X, Y) :- E(X, Y).
+            T(X, Y) :- T(X, Z), T(Z, Y).
+            """,
+            goal="T",
+        )
+        assert not nonlinear.is_linear()
+        assert nonlinear.is_recursive()

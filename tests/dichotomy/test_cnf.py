@@ -1,0 +1,150 @@
+"""CNF algorithms: Horn unit propagation, 2-SAT SCC, DPLL, CSP encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.solvers import brute
+from repro.dichotomy.cnf import CNF, cnf_to_csp, dpll, horn_sat, two_sat
+from repro.errors import DomainError
+
+
+class TestCNF:
+    def test_variables_collected(self):
+        f = CNF([(1, -2), (3,)])
+        assert f.variables == frozenset({1, 2, 3})
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(DomainError):
+            CNF([(0,)])
+
+    def test_horn_recognition(self):
+        assert CNF([(1, -2, -3), (-1,)]).is_horn()
+        assert not CNF([(1, 2)]).is_horn()
+        assert CNF([(1, 2)]).is_dual_horn()
+
+    def test_2cnf_recognition(self):
+        assert CNF([(1, -2), (2,)]).is_2cnf()
+        assert not CNF([(1, 2, 3)]).is_2cnf()
+
+    def test_satisfied_by(self):
+        f = CNF([(1, -2)])
+        assert f.satisfied_by({1: True, 2: True})
+        assert not f.satisfied_by({1: False, 2: True})
+
+
+class TestHornSat:
+    def test_minimal_model(self):
+        f = CNF([(1,), (-1, 2), (-2, 3)])
+        model = horn_sat(f)
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_everything_false_when_possible(self):
+        f = CNF([(-1, -2)])
+        assert horn_sat(f) == {1: False, 2: False}
+
+    def test_unsat(self):
+        f = CNF([(1,), (-1,)])
+        assert horn_sat(f) is None
+
+    def test_non_horn_rejected(self):
+        with pytest.raises(DomainError):
+            horn_sat(CNF([(1, 2)]))
+
+
+class TestTwoSat:
+    def test_implication_cycle_sat(self):
+        f = CNF([(1, 2), (-1, 2), (1, -2)])
+        model = two_sat(f)
+        assert model is not None and f.satisfied_by(model)
+
+    def test_contradiction(self):
+        f = CNF([(1,), (-1,)])
+        assert two_sat(f) is None
+
+    def test_forced_chain(self):
+        f = CNF([(1,), (-1, 2), (-2, 3)])
+        model = two_sat(f)
+        assert model is not None
+        assert model[1] and model[2] and model[3]
+
+    def test_oversized_clause_rejected(self):
+        with pytest.raises(DomainError):
+            two_sat(CNF([(1, 2, 3)]))
+
+    def test_empty_clause_unsat(self):
+        assert two_sat(CNF([()])) is None
+
+
+class TestDPLL:
+    def test_basic_sat(self):
+        model = dpll(CNF([(1, 2, 3), (-1, -2), (-3,)]))
+        assert model is not None
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole: p1 ∧ p2 ∧ (¬p1 ∨ ¬p2).
+        assert dpll(CNF([(1,), (2,), (-1, -2)])) is None
+
+    def test_empty_formula_sat(self):
+        assert dpll(CNF([])) == {}
+
+
+def random_clauses(max_var=5, max_clauses=8, max_size=3):
+    literal = st.integers(1, max_var).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    return st.lists(
+        st.lists(literal, min_size=1, max_size=max_size).map(tuple),
+        max_size=max_clauses,
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_clauses(max_size=2))
+def test_two_sat_matches_dpll(clauses):
+    f = CNF(clauses)
+    a, b = two_sat(f), dpll(f)
+    assert (a is None) == (b is None)
+    if a is not None:
+        assert f.satisfied_by(a)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_clauses())
+def test_horn_matches_dpll_when_horn(clauses):
+    f = CNF(clauses)
+    if not f.is_horn():
+        return
+    a, b = horn_sat(f), dpll(f)
+    assert (a is None) == (b is None)
+    if a is not None:
+        assert f.satisfied_by(a)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_clauses(max_var=4, max_clauses=5))
+def test_cnf_to_csp_preserves_satisfiability(clauses):
+    f = CNF(clauses)
+    if not f.clauses:
+        return
+    inst = cnf_to_csp(f)
+    assert brute.is_solvable(inst) == (dpll(f) is not None)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_clauses(max_var=4, max_clauses=5))
+def test_horn_model_is_minimal(clauses):
+    """The Horn model sets a minimal set of variables true: flipping any
+    true variable to false (keeping others) must break some clause or the
+    model of the remaining ones (spot-check minimality pointwise)."""
+    f = CNF(clauses)
+    if not f.is_horn():
+        return
+    model = horn_sat(f)
+    if model is None:
+        return
+    for v, value in model.items():
+        if value:
+            flipped = dict(model)
+            flipped[v] = False
+            assert not f.satisfied_by(flipped)

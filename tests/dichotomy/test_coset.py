@@ -1,0 +1,153 @@
+"""Group-theoretic (coset / Mal'tsev) tractability over Z_p."""
+
+import random
+from itertools import product
+
+import pytest
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.solvers import brute
+from repro.dichotomy.boolean_solvers import solve_affine
+from repro.dichotomy.coset import (
+    coset_linear_system,
+    is_coset_instance,
+    is_coset_relation,
+    maltsev,
+    solve_coset_csp,
+)
+from repro.errors import DomainError, SolverError
+
+
+def linear_relation(coefficients, rhs, p):
+    """Solution set of Σ aᵢ xᵢ = rhs (mod p)."""
+    arity = len(coefficients)
+    return frozenset(
+        row
+        for row in product(range(p), repeat=arity)
+        if sum(a * v for a, v in zip(coefficients, row)) % p == rhs
+    )
+
+
+class TestCosetRecognition:
+    def test_maltsev_operation(self):
+        op = maltsev(5)
+        assert op(3, 4, 2) == 1
+        assert op(0, 4, 0) == 1
+
+    def test_linear_solution_sets_are_cosets(self):
+        for p in (2, 3, 5):
+            rel = linear_relation((1, 1), 1, p)
+            assert is_coset_relation(rel, p)
+
+    def test_non_coset_rejected(self):
+        # OR over Z_2 is not affine/coset.
+        assert not is_coset_relation({(0, 1), (1, 0), (1, 1)}, 2)
+
+    def test_empty_not_a_coset(self):
+        assert not is_coset_relation(set(), 3)
+
+    def test_singleton_is_a_coset(self):
+        assert is_coset_relation({(2, 1)}, 3)
+
+    def test_full_space_is_a_coset(self):
+        full = set(product(range(3), repeat=2))
+        assert is_coset_relation(full, 3)
+
+    def test_modulus_must_be_prime(self):
+        with pytest.raises(DomainError):
+            is_coset_relation({(0,)}, 4)
+
+    def test_out_of_range_values_rejected(self):
+        with pytest.raises(DomainError):
+            is_coset_relation({(5,)}, 3)
+
+
+class TestLinearSystemExtraction:
+    def test_recovers_equation(self):
+        rel = linear_relation((1, 2), 1, 3)
+        system = coset_linear_system(("x", "y"), rel, 3)
+        assert system is not None
+        # x + 2y = 1 (or a scalar multiple) must be among the equations.
+        solutions = {
+            row
+            for row in product(range(3), repeat=2)
+            if all(
+                sum(a * v for a, v in zip(coeffs, row)) % 3 == rhs
+                for coeffs, rhs in system
+            )
+        }
+        assert solutions == set(rel)
+
+    def test_none_for_non_coset(self):
+        assert coset_linear_system(("x", "y"), frozenset({(0, 1), (1, 1), (1, 0)}), 2) is None
+
+
+class TestSolver:
+    def test_simple_system_mod3(self):
+        # x + y = 1, y + z = 2 over Z_3.
+        inst = CSPInstance(
+            ["x", "y", "z"],
+            range(3),
+            [
+                Constraint(("x", "y"), linear_relation((1, 1), 1, 3)),
+                Constraint(("y", "z"), linear_relation((1, 1), 2, 3)),
+            ],
+        )
+        assert is_coset_instance(inst, 3)
+        solution = solve_coset_csp(inst, 3)
+        assert solution is not None
+        assert (solution["x"] + solution["y"]) % 3 == 1
+        assert (solution["y"] + solution["z"]) % 3 == 2
+
+    def test_inconsistent_system(self):
+        # x + y = 0 and x + y = 1 over Z_3.
+        inst = CSPInstance(
+            ["x", "y"],
+            range(3),
+            [
+                Constraint(("x", "y"), linear_relation((1, 1), 0, 3)),
+                Constraint(("x", "y"), linear_relation((1, 1), 1, 3)),
+            ],
+        )
+        # Normalization intersects the two relations to ∅.
+        assert solve_coset_csp(inst, 3) is None
+
+    def test_non_coset_raises(self):
+        inst = CSPInstance(
+            ["x", "y"], (0, 1), [Constraint(("x", "y"), {(0, 1), (1, 0), (1, 1)})]
+        )
+        with pytest.raises(SolverError):
+            solve_coset_csp(inst, 2)
+
+    @pytest.mark.parametrize("p", [2, 3, 5])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, p, seed):
+        rng = random.Random(seed * 10 + p)
+        n = rng.randint(2, 4)
+        variables = list(range(n))
+        constraints = []
+        for _ in range(rng.randint(1, 3)):
+            arity = rng.randint(1, min(2, n))
+            scope = tuple(rng.sample(variables, arity))
+            coeffs = tuple(rng.randint(0, p - 1) for _ in range(arity))
+            if not any(coeffs):
+                coeffs = (1,) + coeffs[1:]
+            constraints.append(
+                Constraint(scope, linear_relation(coeffs, rng.randint(0, p - 1), p))
+            )
+        inst = CSPInstance(variables, range(p), constraints)
+        solution = solve_coset_csp(inst, p)
+        assert (solution is not None) == brute.is_solvable(inst)
+        if solution is not None:
+            assert inst.is_solution(solution)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_with_affine_solver_mod2(self, seed):
+        """Over Z_2 the coset machinery is exactly Schaefer's affine class."""
+        from repro.generators.sat import random_affine_instance
+
+        inst = random_affine_instance(5, 4, seed=seed)
+        assert is_coset_instance(inst, 2)
+        a = solve_affine(inst)
+        c = solve_coset_csp(inst, 2)
+        assert (a is None) == (c is None)

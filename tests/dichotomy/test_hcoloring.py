@@ -1,0 +1,121 @@
+"""Hell–Nešetřil dichotomy: classification and the dispatching solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dichotomy.hcoloring import (
+    HColoringClass,
+    classify_target,
+    graph_to_structure,
+    is_hcolorable,
+    solve_hcoloring,
+    structure_to_graph,
+)
+from repro.generators.graphs import complete_graph, cycle_graph, path_graph, random_graph
+from repro.relational.homomorphism import is_homomorphism
+from repro.width.graph import Graph
+
+
+class TestClassify:
+    def test_loop_is_trivial(self):
+        h = Graph(vertices=[0])
+        assert classify_target(h, frozenset({0})) is HColoringClass.TRIVIAL
+
+    def test_edgeless_is_trivial(self):
+        assert classify_target(Graph(vertices=[0, 1])) is HColoringClass.TRIVIAL
+
+    def test_bipartite_is_polynomial(self):
+        assert classify_target(cycle_graph(4)) is HColoringClass.POLYNOMIAL
+        assert classify_target(complete_graph(2)) is HColoringClass.POLYNOMIAL
+
+    def test_odd_cycle_np_complete(self):
+        assert classify_target(cycle_graph(5)) is HColoringClass.NP_COMPLETE
+        assert classify_target(complete_graph(3)) is HColoringClass.NP_COMPLETE
+
+
+class TestSolve:
+    def test_loop_absorbs_everything(self):
+        g = complete_graph(5)
+        h = Graph(vertices=["v"])
+        mapping = solve_hcoloring(g, h, frozenset({"v"}))
+        assert mapping == {v: "v" for v in g.vertices}
+
+    def test_edgeless_target(self):
+        h = Graph(vertices=[0, 1])
+        assert solve_hcoloring(path_graph(1), h) is not None
+        assert solve_hcoloring(path_graph(3), h) is None
+
+    def test_bipartite_target_on_bipartite_input(self):
+        mapping = solve_hcoloring(cycle_graph(6), complete_graph(2))
+        assert mapping is not None
+        for u, v in cycle_graph(6).edges():
+            assert mapping[u] != mapping[v]
+
+    def test_bipartite_target_on_odd_cycle(self):
+        assert solve_hcoloring(cycle_graph(5), complete_graph(2)) is None
+
+    def test_k3_coloring(self):
+        assert is_hcolorable(cycle_graph(5), complete_graph(3))
+        assert not is_hcolorable(complete_graph(4), complete_graph(3))
+
+    def test_c5_into_c5(self):
+        assert is_hcolorable(cycle_graph(5), cycle_graph(5))
+
+    def test_c7_into_c5(self):
+        # Odd girth: C7 admits a homomorphism into C5? No — hom C_{2k+1} →
+        # C_{2j+1} exists iff k >= j... C7 (k=3) → C5 (j=2): yes it exists.
+        assert is_hcolorable(cycle_graph(7), cycle_graph(5))
+        # But C5 → C7 does not (girth obstruction).
+        assert not is_hcolorable(cycle_graph(5), cycle_graph(7))
+
+    def test_disconnected_input(self):
+        g = Graph(vertices=[0, 1, 2, 3], edges=[(0, 1), (2, 3)])
+        mapping = solve_hcoloring(g, complete_graph(2))
+        assert mapping is not None
+        assert mapping[0] != mapping[1] and mapping[2] != mapping[3]
+
+
+class TestConverters:
+    def test_round_trip(self):
+        g = cycle_graph(4)
+        s = graph_to_structure(g, frozenset())
+        g2, loops = structure_to_graph(s)
+        assert g2.vertices == g.vertices
+        assert {frozenset(e) for e in g2.edges()} == {frozenset(e) for e in g.edges()}
+        assert not loops
+
+    def test_loops_preserved(self):
+        g = Graph(vertices=[0, 1], edges=[(0, 1)])
+        s = graph_to_structure(g, frozenset({0}))
+        _g2, loops = structure_to_graph(s)
+        assert loops == frozenset({0})
+
+
+edge_sets = st.sets(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(lambda e: e[0] != e[1]),
+    max_size=8,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_sets)
+def test_solver_output_is_a_homomorphism(edges):
+    g = Graph(vertices=range(5), edges=edges)
+    for h, loops in [
+        (complete_graph(2), frozenset()),
+        (complete_graph(3), frozenset()),
+        (cycle_graph(5), frozenset()),
+    ]:
+        mapping = solve_hcoloring(g, h, loops)
+        if mapping is not None:
+            assert is_homomorphism(
+                mapping, graph_to_structure(g), graph_to_structure(h, loops)
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_sets)
+def test_k2_solver_matches_bipartiteness(edges):
+    g = Graph(vertices=range(5), edges=edges)
+    assert is_hcolorable(g, complete_graph(2)) == g.is_bipartite()

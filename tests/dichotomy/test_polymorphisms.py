@@ -1,0 +1,91 @@
+"""Polymorphism machinery."""
+
+import pytest
+
+from repro.dichotomy.polymorphisms import (
+    boolean_max,
+    boolean_min,
+    constant_operation,
+    find_polymorphisms,
+    is_polymorphism,
+    majority,
+    minority,
+    projection_operation,
+    relation_closed_under,
+)
+from repro.relational.structure import Structure
+
+
+def template(relation, arity=2):
+    return Structure({"R": arity}, [0, 1], {"R": relation})
+
+
+class TestOperations:
+    def test_majority_over_any_domain(self):
+        assert majority("a", "a", "b") == "a"
+        assert majority("a", "b", "b") == "b"
+        assert majority("a", "b", "a") == "a"
+        assert majority("a", "b", "c") == "a"
+
+    def test_minority(self):
+        assert minority(1, 1, 0) == 0
+        assert minority(1, 0, 0) == 1
+        assert minority(1, 1, 1) == 1
+
+
+class TestClosure:
+    def test_empty_relation_closed_under_everything(self):
+        assert relation_closed_under([], boolean_min, 2)
+        assert relation_closed_under([], majority, 3)
+
+    def test_xor_closed_under_minority_not_min(self):
+        xor = {(0, 1), (1, 0)}
+        assert relation_closed_under(xor, minority, 3)
+        assert not relation_closed_under(xor, boolean_min, 2)
+
+    def test_implies_closed_under_min_and_max(self):
+        implies = {(0, 0), (0, 1), (1, 1)}
+        assert relation_closed_under(implies, boolean_min, 2)
+        assert relation_closed_under(implies, boolean_max, 2)
+
+
+class TestIsPolymorphism:
+    def test_projections_always_polymorphisms(self):
+        s = template({(0, 1), (1, 0)})
+        for pos in (0, 1):
+            assert is_polymorphism(projection_operation(2, pos), s, 2)
+
+    def test_constant_polymorphism_iff_valid(self):
+        nand = template({(0, 0), (0, 1), (1, 0)})
+        assert is_polymorphism(constant_operation(0), nand, 1)
+        assert not is_polymorphism(constant_operation(1), nand, 1)
+
+    def test_checks_all_relations(self):
+        s = Structure(
+            {"R": 2, "S": 2},
+            [0, 1],
+            {"R": {(0, 0), (1, 1)}, "S": {(0, 1), (1, 0)}},
+        )
+        # min preserves R (eq) but not S (xor).
+        assert not is_polymorphism(boolean_min, s, 2)
+
+
+class TestFindPolymorphisms:
+    def test_unary_polymorphisms_of_equality(self):
+        s = template({(0, 0), (1, 1)})
+        tables = find_polymorphisms(s, 1)
+        # Every unary operation preserves equality: 4 of them on {0,1}.
+        assert len(tables) == 4
+
+    def test_unary_polymorphisms_of_lt(self):
+        s = template({(0, 1)})
+        tables = find_polymorphisms(s, 1)
+        # Need f(0)=0 implies... (f(0), f(1)) must be (0,1): identity only.
+        assert tables == [{(0,): 0, (1,): 1}]
+
+    def test_binary_polymorphisms_contain_projections(self):
+        s = template({(0, 1), (1, 0)})
+        tables = find_polymorphisms(s, 2)
+        proj1 = {(a, b): a for a in (0, 1) for b in (0, 1)}
+        proj2 = {(a, b): b for a in (0, 1) for b in (0, 1)}
+        assert proj1 in tables and proj2 in tables

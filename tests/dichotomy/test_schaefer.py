@@ -1,0 +1,264 @@
+"""Schaefer's dichotomy: classification and the six dedicated solvers."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.solvers import brute
+from repro.dichotomy.boolean_solvers import (
+    relation_to_2cnf_clauses,
+    relation_to_linear_system,
+    solve_affine,
+    solve_bijunctive,
+    solve_boolean,
+    solve_dual_horn,
+    solve_horn,
+    solve_one_valid,
+    solve_zero_valid,
+)
+from repro.dichotomy.schaefer import SchaeferClass, classify, classify_instance, is_tractable
+from repro.errors import DomainError
+from repro.generators.sat import (
+    ONE_IN_THREE,
+    random_affine_instance,
+    random_one_in_three_instance,
+)
+from repro.relational.structure import Structure
+
+# Canonical relations.
+OR2 = {(0, 1), (1, 0), (1, 1)}  # x ∨ y
+NAND = {(0, 0), (0, 1), (1, 0)}  # ¬x ∨ ¬y
+IMPLIES = {(0, 0), (0, 1), (1, 1)}  # x → y
+XOR = {(0, 1), (1, 0)}
+EQ = {(0, 0), (1, 1)}
+
+
+def template(relation, arity):
+    return Structure({"R": arity}, [0, 1], {"R": relation})
+
+
+class TestClassification:
+    def test_nand_is_horn(self):
+        classes = classify(template(NAND, 2))
+        assert SchaeferClass.HORN in classes
+        assert SchaeferClass.ZERO_VALID in classes
+        assert SchaeferClass.ONE_VALID not in classes
+
+    def test_or_is_dual_horn(self):
+        classes = classify(template(OR2, 2))
+        assert SchaeferClass.DUAL_HORN in classes
+        assert SchaeferClass.HORN not in classes
+
+    def test_implies_is_everything_bijunctive(self):
+        classes = classify(template(IMPLIES, 2))
+        assert {
+            SchaeferClass.HORN,
+            SchaeferClass.DUAL_HORN,
+            SchaeferClass.BIJUNCTIVE,
+            SchaeferClass.ZERO_VALID,
+            SchaeferClass.ONE_VALID,
+        } <= classes
+
+    def test_xor_is_affine_and_bijunctive_not_horn(self):
+        classes = classify(template(XOR, 2))
+        assert SchaeferClass.AFFINE in classes
+        assert SchaeferClass.BIJUNCTIVE in classes
+        assert SchaeferClass.HORN not in classes
+
+    def test_one_in_three_is_nothing(self):
+        classes = classify(template(ONE_IN_THREE, 3))
+        assert classes == frozenset()
+        assert not is_tractable(classes)
+
+    def test_empty_relation_in_closure_classes_only(self):
+        classes = classify(template(set(), 2))
+        assert SchaeferClass.ZERO_VALID not in classes
+        assert SchaeferClass.HORN in classes
+        assert SchaeferClass.AFFINE in classes
+
+    def test_non_boolean_domain_rejected(self):
+        with pytest.raises(DomainError):
+            classify(Structure({"R": 1}, [0, 1, 2], {"R": [(2,)]}))
+
+    def test_classify_instance(self):
+        inst = CSPInstance([0, 1], (0, 1), [Constraint((0, 1), NAND)])
+        assert SchaeferClass.HORN in classify_instance(inst)
+
+
+class TestDedicatedSolvers:
+    def test_zero_valid(self):
+        inst = CSPInstance([0, 1], (0, 1), [Constraint((0, 1), NAND)])
+        assert solve_zero_valid(inst) == {0: 0, 1: 0}
+
+    def test_one_valid(self):
+        inst = CSPInstance([0, 1], (0, 1), [Constraint((0, 1), OR2)])
+        assert solve_one_valid(inst) == {0: 1, 1: 1}
+
+    def test_horn_chain(self):
+        # x1 ∧ (x1 → x2) ∧ (x2 → x3): unit propagation forces all true.
+        inst = CSPInstance(
+            [1, 2, 3],
+            (0, 1),
+            [
+                Constraint((1,), [(1,)]),
+                Constraint((1, 2), IMPLIES),
+                Constraint((2, 3), IMPLIES),
+            ],
+        )
+        assert solve_horn(inst) == {1: 1, 2: 1, 3: 1}
+
+    def test_horn_unsat(self):
+        inst = CSPInstance(
+            [1, 2],
+            (0, 1),
+            [
+                Constraint((1,), [(1,)]),
+                Constraint((2,), [(1,)]),
+                Constraint((1, 2), NAND),
+            ],
+        )
+        assert solve_horn(inst) is None
+
+    def test_dual_horn(self):
+        inst = CSPInstance(
+            [1, 2], (0, 1), [Constraint((1,), [(0,)]), Constraint((1, 2), OR2)]
+        )
+        solution = solve_dual_horn(inst)
+        assert solution == {1: 0, 2: 1}
+
+    def test_bijunctive_2sat(self):
+        inst = CSPInstance(
+            [1, 2, 3],
+            (0, 1),
+            [
+                Constraint((1, 2), XOR),
+                Constraint((2, 3), XOR),
+                Constraint((1, 3), EQ),
+            ],
+        )
+        solution = solve_bijunctive(inst)
+        assert solution is not None and inst.is_solution(solution)
+
+    def test_bijunctive_unsat(self):
+        inst = CSPInstance(
+            [1, 2],
+            (0, 1),
+            [Constraint((1, 2), XOR), Constraint((1, 2), EQ)],
+        )
+        assert solve_bijunctive(inst) is None
+
+    def test_affine_system(self):
+        inst = random_affine_instance(6, 5, seed=3)
+        solution = solve_affine(inst)
+        if solution is None:
+            assert not brute.is_solvable(inst)
+        else:
+            assert inst.is_solution(solution)
+
+    def test_affine_inconsistent(self):
+        inst = CSPInstance(
+            [1, 2],
+            (0, 1),
+            [Constraint((1, 2), XOR), Constraint((1, 2), EQ)],
+        )
+        assert solve_affine(inst) is None
+
+
+class TestConversionHelpers:
+    def test_2cnf_clauses_of_xor(self):
+        clauses = relation_to_2cnf_clauses(("x", "y"), frozenset(XOR))
+        assert clauses is not None
+        # XOR = (x ∨ y) ∧ (¬x ∨ ¬y)
+        assert len([c for c in clauses if len(c) == 2]) >= 2
+
+    def test_one_in_three_is_not_2cnf(self):
+        assert relation_to_2cnf_clauses(("x", "y", "z"), frozenset(ONE_IN_THREE)) is None
+
+    def test_linear_system_of_xor(self):
+        system = relation_to_linear_system(("x", "y"), frozenset(XOR))
+        assert system is not None
+        assert (("x", "y"), 1) in system
+
+    def test_or_is_not_affine(self):
+        assert relation_to_linear_system(("x", "y"), frozenset(OR2)) is None
+
+
+class TestDispatcher:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_brute_force(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(1, 5)
+        constraints = []
+        for _ in range(rng.randint(1, 4)):
+            arity = rng.randint(1, min(3, n))
+            scope = tuple(rng.sample(range(n), arity))
+            rows = {
+                t for t in product((0, 1), repeat=arity) if rng.random() < 0.55
+            }
+            constraints.append(Constraint(scope, rows))
+        inst = CSPInstance(list(range(n)), (0, 1), constraints)
+        solution = solve_boolean(inst)
+        assert (solution is not None) == brute.is_solvable(inst)
+        if solution is not None:
+            assert inst.is_solution(solution)
+
+    def test_one_in_three_falls_back_to_search(self):
+        inst = random_one_in_three_instance(5, 4, seed=1)
+        solution = solve_boolean(inst)
+        assert (solution is not None) == brute.is_solvable(inst)
+
+
+relation_strategy = st.sets(
+    st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=4
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(relation_strategy)
+def test_classification_closure_definitions(relation):
+    """The polymorphism-based classification matches the brute-force closure
+    definitions for binary relations."""
+    from repro.dichotomy.polymorphisms import (
+        boolean_max,
+        boolean_min,
+        majority,
+        minority,
+        relation_closed_under,
+    )
+
+    classes = classify(template(relation, 2))
+    assert (SchaeferClass.HORN in classes) == relation_closed_under(
+        relation, boolean_min, 2
+    )
+    assert (SchaeferClass.DUAL_HORN in classes) == relation_closed_under(
+        relation, boolean_max, 2
+    )
+    assert (SchaeferClass.BIJUNCTIVE in classes) == relation_closed_under(
+        relation, majority, 3
+    )
+    assert (SchaeferClass.AFFINE in classes) == relation_closed_under(
+        relation, minority, 3
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(relation_strategy)
+def test_bijunctive_solver_on_majority_closed_relations(relation):
+    from repro.dichotomy.polymorphisms import majority, relation_closed_under
+
+    if not relation_closed_under(relation, majority, 3):
+        return
+    inst = CSPInstance(
+        [0, 1, 2],
+        (0, 1),
+        [Constraint((0, 1), relation), Constraint((1, 2), relation)],
+    )
+    solution = solve_bijunctive(inst)
+    assert (solution is not None) == brute.is_solvable(inst)
+    if solution is not None:
+        assert inst.is_solution(solution)

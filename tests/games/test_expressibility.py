@@ -1,0 +1,112 @@
+"""Preservation under k-pebble games (Thm 4.1, Prop 4.3, Cor 4.4)."""
+
+import pytest
+
+from repro.datalog.library import non_two_colorability_program, transitive_closure_program
+from repro.datalog.parser import parse_program
+from repro.games.expressibility import (
+    datalog_query_as_predicate,
+    is_preserved_on,
+    preservation_counterexamples,
+)
+from repro.generators.graphs import (
+    cycle_graph,
+    graph_as_digraph_structure,
+    random_digraph,
+)
+from repro.relational.structure import Structure
+from repro.width.graph import Graph
+
+
+def random_pairs(count, n=3, seed_base=0):
+    pairs = []
+    for s in range(count):
+        pairs.append(
+            (random_digraph(n, 0.5, seed=seed_base + s),
+             random_digraph(n, 0.5, seed=seed_base + 100 + s))
+        )
+    return pairs
+
+
+def structured_pairs():
+    """Cycles vs cycles — the classic separating family."""
+    cycles = [graph_as_digraph_structure(cycle_graph(n)) for n in (3, 4, 5, 6)]
+    return [(a, b) for a in cycles for b in cycles]
+
+
+class TestTheorem41:
+    """k-Datalog queries must satisfy preservation at their width k."""
+
+    def test_non2col_preserved_at_width(self):
+        program = non_two_colorability_program()  # 4-Datalog
+        query = datalog_query_as_predicate(program)
+        pairs = structured_pairs() + random_pairs(10)
+        assert is_preserved_on(query, pairs, k=4)
+
+    def test_reachability_query_preserved(self):
+        program = parse_program(
+            """
+            T(X, Y) :- E(X, Y).
+            T(X, Y) :- T(X, Z), E(Z, Y).
+            Q :- T(X, X).
+            """,
+            goal="Q",
+        )  # "has a directed cycle" — 3-Datalog
+        query = datalog_query_as_predicate(program)
+        assert is_preserved_on(query, random_pairs(15, seed_base=50), k=3)
+
+    def test_edge_existence_preserved_even_at_k2(self):
+        program = parse_program("Q :- E(X, Y).", goal="Q")
+        query = datalog_query_as_predicate(program)
+        assert is_preserved_on(query, random_pairs(15, seed_base=70), k=2)
+
+
+class TestRefutation:
+    """Non-monotone queries are not in any ∃L^k: exhibit counterexamples."""
+
+    def test_two_colorability_not_expressible(self):
+        def is_two_colorable(structure: Structure) -> bool:
+            g = Graph()
+            for u, v in structure.relation("E"):
+                if u == v:
+                    return False
+                g.add_edge(u, v)
+            for x in structure.domain:
+                g.add_vertex(x)
+            return g.is_bipartite()
+
+        # C4 is 2-colorable, C3 is not, and the Duplicator wins the
+        # 2-pebble game on (C4, C3) (both cycles look locally alike).
+        pairs = structured_pairs()
+        counterexamples = preservation_counterexamples(is_two_colorable, pairs, k=2)
+        assert counterexamples, "2-colorability must violate preservation"
+        a, b = counterexamples[0]
+        assert is_two_colorable(a) and not is_two_colorable(b)
+
+    def test_emptiness_of_edges_not_expressible(self):
+        """'E is empty' is non-monotone, hence not ∃L^k for small k on
+        suitable pairs: A with no edges ⊨ Q, Duplicator wins vs anything
+        total, B with edges ⊭ Q."""
+
+        def no_edges(structure: Structure) -> bool:
+            return not structure.relation("E")
+
+        empty = Structure({"E": 2}, [0], {})
+        loop = Structure({"E": 2}, [0], {"E": [(0, 0)]})
+        counterexamples = preservation_counterexamples(
+            no_edges, [(empty, loop)], k=2
+        )
+        assert counterexamples == [(empty, loop)]
+
+
+class TestMonotoneButInexpressibleAtLowK:
+    def test_non2col_fails_preservation_at_k2(self):
+        """¬2COL needs more than 2 pebbles: (C5, C4) separates — the
+        Duplicator survives the 2-pebble game from the odd to the even
+        cycle, where the query flips."""
+        program = non_two_colorability_program()
+        query = datalog_query_as_predicate(program)
+        c5 = graph_as_digraph_structure(cycle_graph(5))
+        c4 = graph_as_digraph_structure(cycle_graph(4))
+        counterexamples = preservation_counterexamples(query, [(c5, c4)], k=2)
+        assert counterexamples == [(c5, c4)]

@@ -1,0 +1,92 @@
+"""Theorem 4.5(1): the LFP view of the game agrees with the strategy engine."""
+
+import pytest
+
+from repro.games.lfp import (
+    bad_configurations,
+    configuration_is_winning,
+    duplicator_wins_via_lfp,
+    winning_configurations,
+)
+from repro.games.pebble import duplicator_wins, solve_game
+from repro.generators.graphs import (
+    cycle_graph,
+    graph_as_digraph_structure,
+    random_digraph,
+)
+from repro.relational.structure import Structure
+
+K2 = Structure({"E": 2}, [0, 1], {"E": [(0, 1), (1, 0)]})
+
+
+def sym_cycle(n):
+    return graph_as_digraph_structure(cycle_graph(n))
+
+
+class TestFixpoint:
+    def test_clash_configurations_are_bad(self):
+        bad = bad_configurations(sym_cycle(4), K2, 2)
+        # Same A-element mapped to two different B-elements.
+        assert ((0, 0), (0, 1)) in bad
+
+    def test_violating_configurations_are_bad(self):
+        bad = bad_configurations(sym_cycle(4), K2, 2)
+        # Adjacent cycle vertices mapped to the same color violate E.
+        assert ((0, 1), (0, 0)) in bad
+
+    def test_proper_colorings_are_winning(self):
+        winning = winning_configurations(sym_cycle(4), K2, 2)
+        assert ((0, 1), (0, 1)) in winning
+
+    def test_monotone_under_rounds(self):
+        """The base bad set is contained in the fixpoint (sanity of the
+        induction)."""
+        a = sym_cycle(3)
+        base_bad = {
+            cfg
+            for cfg in bad_configurations(a, K2, 2)
+        }
+        assert base_bad  # triangles have violating configurations
+
+
+class TestAgreementWithStrategyEngine:
+    @pytest.mark.parametrize("n,k", [(3, 2), (4, 2), (5, 2), (3, 3), (4, 3)])
+    def test_winner_agrees_on_cycles(self, n, k):
+        a = sym_cycle(n)
+        assert duplicator_wins_via_lfp(a, K2, k) == duplicator_wins(a, K2, k)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_winner_agrees_on_random_digraphs(self, seed):
+        a = random_digraph(3, 0.5, seed=seed)
+        b = random_digraph(3, 0.6, seed=seed + 31)
+        assert duplicator_wins_via_lfp(a, b, 2) == duplicator_wins(a, b, 2)
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_winning_configurations_match_strategy(self, n):
+        """The LFP's W^k equals the strategy engine's W^k on distinct-tuple
+        configurations (strategy functions are exactly the good tuples)."""
+        a = sym_cycle(n)
+        game = solve_game(a, K2, 2)
+        winning = winning_configurations(a, K2, 2)
+        for a0 in a.domain:
+            for a1 in a.domain:
+                if a0 == a1:
+                    continue
+                strategy_rows = game.winning_tuples((a0, a1))
+                lfp_rows = {
+                    (b0, b1)
+                    for (abar, bbar) in winning
+                    if abar == (a0, a1)
+                    for b0, b1 in [bbar]
+                }
+                assert strategy_rows == lfp_rows
+
+    def test_empty_structures(self):
+        empty = Structure({"E": 2}, [], {})
+        assert duplicator_wins_via_lfp(empty, K2, 2)
+        assert not duplicator_wins_via_lfp(K2, empty, 2)
+
+    def test_configuration_query(self):
+        a = sym_cycle(4)
+        assert configuration_is_winning(a, K2, 2, (0, 1), (0, 1))
+        assert not configuration_is_winning(a, K2, 2, (0, 1), (0, 0))

@@ -1,0 +1,180 @@
+"""Existential k-pebble games: the engine behind Sections 4–5."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DomainError, VocabularyError
+from repro.games.pebble import (
+    duplicator_wins,
+    has_forth_property,
+    is_winning_strategy,
+    largest_winning_strategy,
+    solve_game,
+    spoiler_wins,
+)
+from repro.relational.homomorphism import homomorphism_exists
+from repro.relational.structure import Structure
+
+
+def digraph(n, edges):
+    return Structure({"E": 2}, range(n), {"E": edges})
+
+
+def sym_cycle(n):
+    edges = []
+    for i in range(n):
+        edges += [(i, (i + 1) % n), ((i + 1) % n, i)]
+    return digraph(n, edges)
+
+
+def clique(k):
+    return digraph(k, [(i, j) for i in range(k) for j in range(k) if i != j])
+
+
+K2 = clique(2)
+K3 = clique(3)
+
+
+class TestBasics:
+    def test_k_must_be_positive(self):
+        with pytest.raises(DomainError):
+            solve_game(K2, K2, 0)
+
+    def test_vocabulary_mismatch(self):
+        other = Structure({"F": 1}, [0], {})
+        with pytest.raises(VocabularyError):
+            solve_game(K2, other, 2)
+
+    def test_homomorphic_pair_duplicator_wins_any_k(self):
+        # A homomorphism is a winning strategy for every k.
+        for k in (1, 2, 3):
+            assert duplicator_wins(sym_cycle(4), K2, k)
+
+    def test_triangle_vs_k2(self):
+        # Strong 2-consistency holds on the triangle but 3 pebbles refute it.
+        assert duplicator_wins(sym_cycle(3), K2, 2)
+        assert spoiler_wins(sym_cycle(3), K2, 3)
+
+    def test_odd_cycles_need_three_pebbles(self):
+        for n in (3, 5):
+            assert duplicator_wins(sym_cycle(n), K2, 2)
+            assert spoiler_wins(sym_cycle(n), K2, 3)
+        for n in (4, 6):
+            assert duplicator_wins(sym_cycle(n), K2, 3)
+
+    def test_k4_vs_k3(self):
+        assert spoiler_wins(clique(4), K3, 4)
+        # With only 2 pebbles the Duplicator survives: any partial map of
+        # ≤2 clique vertices to distinct K3 vertices extends.
+        assert duplicator_wins(clique(4), K3, 2)
+
+    def test_empty_a_duplicator_wins(self):
+        empty = digraph(0, [])
+        assert duplicator_wins(empty, K2, 2)
+
+    def test_empty_b_spoiler_wins(self):
+        empty = digraph(0, [])
+        assert spoiler_wins(K2, empty, 2)
+
+
+class TestSoundness:
+    """Spoiler winning implies no homomorphism (the sound direction of
+    Theorem 4.6 used by the k-consistency solver)."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_spoiler_win_refutes_homomorphism(self, seed, k):
+        from repro.generators.graphs import random_digraph
+
+        a = random_digraph(4, 0.4, seed=seed)
+        b = random_digraph(3, 0.4, seed=seed + 100)
+        if spoiler_wins(a, b, k):
+            assert not homomorphism_exists(a, b)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_hom_implies_duplicator_win(self, seed):
+        from repro.generators.graphs import random_digraph
+
+        a = random_digraph(4, 0.3, seed=seed)
+        b = random_digraph(3, 0.5, seed=seed + 50)
+        if homomorphism_exists(a, b):
+            for k in (1, 2, 3):
+                assert duplicator_wins(a, b, k)
+
+
+class TestStrategyProperties:
+    def test_strategy_is_winning_strategy(self):
+        strategy = largest_winning_strategy(sym_cycle(4), K2, 2)
+        assert is_winning_strategy(strategy, sym_cycle(4), K2, 2)
+
+    def test_strategy_contains_empty_function(self):
+        strategy = largest_winning_strategy(sym_cycle(4), K2, 2)
+        assert frozenset() in strategy
+
+    def test_strategy_closed_under_restriction(self):
+        strategy = largest_winning_strategy(sym_cycle(4), K2, 2)
+        for f in strategy:
+            for pair in f:
+                assert f - {pair} in strategy
+
+    def test_largest_contains_union_property(self):
+        """Proposition 5.1: the union of winning strategies is winning, so
+        the computed strategy is the union of all of them; removing any
+        member that some strategy uses would be wrong.  We verify the
+        computed family has the forth property and every member is needed:
+        adding any non-member partial hom breaks partial-homomorphy or the
+        maximality follows from the fixpoint (spot-check via forth)."""
+        a, b = sym_cycle(4), K2
+        strategy = largest_winning_strategy(a, b, 2)
+        assert has_forth_property(strategy, a, 2)
+
+    def test_monotone_in_b_tuples(self):
+        """Adding tuples to B only helps the Duplicator."""
+        a = sym_cycle(5)
+        small = K2
+        bigger = Structure(
+            {"E": 2}, range(3), {"E": [(i, j) for i in range(3) for j in range(3) if i != j]}
+        )
+        for k in (2, 3):
+            if duplicator_wins(a, small, k):
+                assert duplicator_wins(a, bigger, k)
+
+    def test_spoiler_win_monotone_in_k(self):
+        a, b = sym_cycle(5), K2
+        wins = [spoiler_wins(a, b, k) for k in (1, 2, 3)]
+        # Once the Spoiler wins with k pebbles he wins with more.
+        for i in range(len(wins) - 1):
+            assert not (wins[i] and not wins[i + 1])
+
+    def test_winning_tuples_reformatting(self):
+        result = solve_game(sym_cycle(4), K2, 2)
+        rows = result.winning_tuples((0, 1))
+        # Adjacent cycle vertices must get distinct colors.
+        assert rows == frozenset({(0, 1), (1, 0)})
+        rows_same = result.winning_tuples((0, 0))
+        assert rows_same == frozenset({(0, 0), (1, 1)})
+
+
+edge_lists = st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)), max_size=6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_lists, edge_lists)
+def test_game_soundness_property(a_edges, b_edges):
+    a = digraph(3, a_edges)
+    b = digraph(3, b_edges)
+    if homomorphism_exists(a, b):
+        assert duplicator_wins(a, b, 2)
+    if spoiler_wins(a, b, 2):
+        assert not homomorphism_exists(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(edge_lists, edge_lists)
+def test_returned_family_is_a_strategy_or_empty(a_edges, b_edges):
+    a = digraph(3, a_edges)
+    b = digraph(2, [(u % 2, v % 2) for u, v in b_edges])
+    strategy = largest_winning_strategy(a, b, 2)
+    if strategy:
+        assert is_winning_strategy(strategy, a, b, 2)

@@ -1,0 +1,129 @@
+"""Workload generators: shape and determinism checks."""
+
+import pytest
+
+from repro.generators.csp_random import (
+    coloring_instance,
+    csp_from_graph,
+    random_binary_csp,
+)
+from repro.generators.graphs import (
+    complete_graph,
+    cycle_graph,
+    directed_cycle_structure,
+    graph_as_digraph_structure,
+    grid_graph,
+    partial_ktree,
+    path_graph,
+    random_digraph,
+    random_graph,
+)
+from repro.generators.sat import (
+    random_2sat,
+    random_affine_instance,
+    random_horn,
+    random_ksat,
+    random_one_in_three_instance,
+)
+from repro.generators.views_random import chain_extensions, random_graph_database
+from repro.views.certain import ViewSetup
+from repro.width.treedecomp import treewidth_exact
+
+
+class TestGraphGenerators:
+    def test_cycle_path_complete_shapes(self):
+        assert cycle_graph(5).num_edges() == 5
+        assert path_graph(5).num_edges() == 4
+        assert complete_graph(4).num_edges() == 6
+        assert grid_graph(2, 3).num_vertices() == 6
+
+    def test_random_graph_deterministic(self):
+        g1 = random_graph(8, 0.5, seed=7)
+        g2 = random_graph(8, 0.5, seed=7)
+        assert set(g1.edges()) == set(g2.edges())
+        g3 = random_graph(8, 0.5, seed=8)
+        assert set(g1.edges()) != set(g3.edges())
+
+    def test_partial_ktree_respects_width(self):
+        for k in (1, 2, 3):
+            g = partial_ktree(9, k, 1.0, seed=k)
+            assert treewidth_exact(g) <= k
+
+    def test_digraph_structures(self):
+        s = directed_cycle_structure(4)
+        assert len(s.relation("E")) == 4
+        sym = graph_as_digraph_structure(cycle_graph(4))
+        assert len(sym.relation("E")) == 8
+
+    def test_random_digraph_no_loops_by_default(self):
+        s = random_digraph(5, 0.9, seed=1)
+        assert all(u != v for u, v in s.relation("E"))
+
+
+class TestCSPGenerators:
+    def test_random_binary_csp_shape(self):
+        inst = random_binary_csp(6, 3, 8, 0.3, seed=0)
+        assert len(inst.variables) == 6
+        assert len(inst.constraints) == 8
+        assert all(c.arity == 2 for c in inst.constraints)
+
+    def test_tightness_zero_always_solvable(self):
+        from repro.csp.solvers import backtracking
+
+        inst = random_binary_csp(5, 2, 6, 0.0, seed=0)
+        assert backtracking.is_solvable(inst)
+
+    def test_tightness_one_unsolvable(self):
+        from repro.csp.solvers import backtracking
+
+        inst = random_binary_csp(5, 2, 6, 1.0, seed=0)
+        assert not backtracking.is_solvable(inst)
+
+    def test_coloring_instance_correct(self):
+        inst = coloring_instance(cycle_graph(4), 2)
+        assert len(inst.constraints) == 4
+        solution = {0: 0, 1: 1, 2: 0, 3: 1}
+        assert inst.is_solution(solution)
+
+    def test_csp_from_graph(self):
+        inst = csp_from_graph(path_graph(3), frozenset({(0, 1)}), [0, 1])
+        assert len(inst.constraints) == 2
+
+
+class TestSATGenerators:
+    def test_ksat_clause_sizes(self):
+        f = random_ksat(6, 10, 3, seed=0)
+        assert all(len(c) == 3 for c in f.clauses)
+
+    def test_2sat_is_2cnf(self):
+        assert random_2sat(5, 8, seed=0).is_2cnf()
+
+    def test_horn_is_horn(self):
+        assert random_horn(6, 10, seed=0).is_horn()
+
+    def test_affine_instance_is_affine(self):
+        from repro.dichotomy.schaefer import SchaeferClass, classify_instance
+
+        inst = random_affine_instance(5, 4, seed=0)
+        assert SchaeferClass.AFFINE in classify_instance(inst)
+
+    def test_one_in_three_untractable_template(self):
+        from repro.dichotomy.schaefer import classify_instance
+
+        inst = random_one_in_three_instance(5, 3, seed=0)
+        assert classify_instance(inst) == frozenset()
+
+
+class TestViewGenerators:
+    def test_random_graph_database(self):
+        db = random_graph_database(5, 10, ["a", "b"], seed=0)
+        assert db.num_edges() <= 10
+        assert db.alphabet <= frozenset({"a", "b"})
+
+    def test_chain_extensions(self):
+        vs = ViewSetup({"V1": "a", "V2": "b"})
+        chained = chain_extensions(vs, ["V1", "V2"], 4)
+        total = sum(len(p) for p in chained.extensions.values())
+        assert total == 4
+        assert ("o0", "o1") in chained.extensions["V1"]
+        assert ("o1", "o2") in chained.extensions["V2"]

@@ -1,0 +1,268 @@
+"""Relational algebra: unit tests plus property-based algebraic laws."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.algebra import (
+    difference,
+    intersection,
+    join_all,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    semijoin,
+    union,
+)
+from repro.relational.relation import Relation
+
+
+def rel(attrs, rows):
+    return Relation(attrs, rows)
+
+
+class TestProject:
+    def test_basic(self):
+        r = rel(("x", "y"), [(1, 2), (1, 3)])
+        assert project(r, ("x",)).tuples == frozenset({(1,)})
+
+    def test_reorders_columns(self):
+        r = rel(("x", "y"), [(1, 2)])
+        assert project(r, ("y", "x")).tuples == frozenset({(2, 1)})
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            project(rel(("x",), []), ("nope",))
+
+    def test_project_to_nothing_gives_unit_or_empty(self):
+        assert project(rel(("x",), [(1,)]), ()) == Relation.unit()
+        assert project(rel(("x",), []), ()) == Relation.empty(())
+
+
+class TestSelect:
+    def test_predicate_over_mapping(self):
+        r = rel(("x", "y"), [(1, 2), (3, 1)])
+        out = select(r, lambda row: row["x"] < row["y"])
+        assert out.tuples == frozenset({(1, 2)})
+
+    def test_keeps_scheme(self):
+        r = rel(("x",), [(1,)])
+        assert select(r, lambda _: False).attributes == ("x",)
+
+
+class TestRename:
+    def test_basic(self):
+        r = rel(("x", "y"), [(1, 2)])
+        out = rename(r, {"x": "a"})
+        assert out.attributes == ("a", "y")
+        assert out.tuples == r.tuples
+
+    def test_collision_raises(self):
+        with pytest.raises(SchemaError):
+            rename(rel(("x", "y"), []), {"x": "y"})
+
+
+class TestNaturalJoin:
+    def test_shared_attribute(self):
+        r = rel(("x", "y"), [(1, 2), (2, 3)])
+        s = rel(("y", "z"), [(2, 10), (9, 11)])
+        out = natural_join(r, s)
+        assert out.attributes == ("x", "y", "z")
+        assert out.tuples == frozenset({(1, 2, 10)})
+
+    def test_disjoint_is_product(self):
+        r = rel(("x",), [(1,), (2,)])
+        s = rel(("y",), [(3,)])
+        assert len(natural_join(r, s)) == 2
+
+    def test_identical_schemes_is_intersection(self):
+        r = rel(("x",), [(1,), (2,)])
+        s = rel(("x",), [(2,), (3,)])
+        assert natural_join(r, s).tuples == frozenset({(2,)})
+
+    def test_unit_is_identity(self):
+        r = rel(("x", "y"), [(1, 2)])
+        assert natural_join(Relation.unit(), r) == r
+        assert natural_join(r, Relation.unit()) == r
+
+    def test_join_with_empty_is_empty(self):
+        r = rel(("x",), [(1,)])
+        assert not natural_join(r, Relation.empty(("x",)))
+
+
+class TestJoinAll:
+    def test_empty_collection_is_unit(self):
+        assert join_all([]) == Relation.unit()
+
+    def test_three_way(self):
+        out = join_all(
+            [
+                rel(("a", "b"), [(1, 2)]),
+                rel(("b", "c"), [(2, 3)]),
+                rel(("c", "d"), [(3, 4)]),
+            ]
+        )
+        assert out.tuples == frozenset({(1, 2, 3, 4)}) or len(out) == 1
+
+    def test_early_exit_preserves_all_attributes(self):
+        out = join_all(
+            [
+                rel(("a",), []),
+                rel(("b", "c"), [(1, 2)]),
+            ]
+        )
+        assert not out
+        assert set(out.attributes) == {"a", "b", "c"}
+
+
+class TestSemijoin:
+    def test_basic(self):
+        r = rel(("x", "y"), [(1, 2), (5, 9)])
+        s = rel(("y", "z"), [(2, 0)])
+        assert semijoin(r, s).tuples == frozenset({(1, 2)})
+
+    def test_keeps_left_scheme(self):
+        r = rel(("x", "y"), [(1, 2)])
+        s = rel(("y", "z"), [(2, 0)])
+        assert semijoin(r, s).attributes == ("x", "y")
+
+    def test_no_shared_attributes_with_nonempty_right_keeps_all(self):
+        r = rel(("x",), [(1,)])
+        s = rel(("z",), [(9,)])
+        assert semijoin(r, s) == r
+
+    def test_no_shared_attributes_with_empty_right_empties(self):
+        r = rel(("x",), [(1,)])
+        s = rel(("z",), [])
+        assert not semijoin(r, s)
+
+
+class TestSetOperations:
+    def test_union(self):
+        a = rel(("x",), [(1,)])
+        b = rel(("x",), [(2,)])
+        assert union(a, b).tuples == frozenset({(1,), (2,)})
+
+    def test_intersection(self):
+        a = rel(("x",), [(1,), (2,)])
+        b = rel(("x",), [(2,)])
+        assert intersection(a, b).tuples == frozenset({(2,)})
+
+    def test_difference(self):
+        a = rel(("x",), [(1,), (2,)])
+        b = rel(("x",), [(2,)])
+        assert difference(a, b).tuples == frozenset({(1,)})
+
+    def test_scheme_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            union(rel(("x",), []), rel(("y",), []))
+
+    def test_product_requires_disjoint(self):
+        with pytest.raises(SchemaError):
+            product(rel(("x",), []), rel(("x",), []))
+
+    def test_product_sizes_multiply(self):
+        a = rel(("x",), [(1,), (2,)])
+        b = rel(("y",), [(5,), (6,), (7,)])
+        assert len(product(a, b)) == 6
+
+
+# -- property-based algebraic laws -------------------------------------------
+
+pair_rows = st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=10)
+
+
+@st.composite
+def xy_relation(draw):
+    return Relation(("x", "y"), draw(pair_rows))
+
+
+@st.composite
+def yz_relation(draw):
+    return Relation(("y", "z"), draw(pair_rows))
+
+
+@given(xy_relation(), yz_relation())
+def test_join_commutes_up_to_column_order(r, s):
+    left = natural_join(r, s)
+    right = natural_join(s, r)
+    assert project(right, left.attributes) == left
+
+
+@given(xy_relation(), yz_relation(), st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=10))
+def test_join_is_associative(r, s, zw_rows):
+    t = Relation(("z", "w"), zw_rows)
+    a = natural_join(natural_join(r, s), t)
+    b = natural_join(r, natural_join(s, t))
+    assert a == project(b, a.attributes)
+
+
+@given(xy_relation(), yz_relation())
+def test_semijoin_equals_join_then_project(r, s):
+    assert semijoin(r, s) == project(natural_join(r, s), r.attributes)
+
+
+@given(xy_relation())
+def test_join_is_idempotent(r):
+    assert natural_join(r, r) == r
+
+
+@given(xy_relation(), xy_relation())
+def test_union_and_intersection_laws(a, b):
+    assert union(a, b) == union(b, a)
+    assert intersection(a, b) == intersection(b, a)
+    assert difference(a, b).tuples == a.tuples - b.tuples
+
+
+@given(xy_relation())
+def test_project_idempotent(r):
+    once = project(r, ("x",))
+    assert project(once, ("x",)) == once
+
+
+class TestDivision:
+    def test_classic_example(self):
+        from repro.relational.algebra import division
+
+        enrolled = rel(
+            ("student", "course"),
+            [("ana", "db"), ("ana", "ai"), ("bo", "db"), ("cy", "ai"), ("cy", "db")],
+        )
+        required = rel(("course",), [("db",), ("ai",)])
+        out = division(enrolled, required)
+        assert out.tuples == frozenset({("ana",), ("cy",)})
+
+    def test_empty_divisor_returns_all_candidates(self):
+        from repro.relational.algebra import division
+
+        r = rel(("x", "y"), [(1, 2), (3, 4)])
+        out = division(r, Relation.empty(("y",)))
+        assert out.tuples == frozenset({(1,), (3,)})
+
+    def test_scheme_must_be_proper_subset(self):
+        from repro.relational.algebra import division
+
+        r = rel(("x", "y"), [(1, 2)])
+        with pytest.raises(SchemaError):
+            division(r, rel(("x", "y"), []))
+        with pytest.raises(SchemaError):
+            division(r, rel(("z",), []))
+
+
+@given(pair_rows, st.lists(st.tuples(st.integers(0, 3)), max_size=4))
+def test_division_is_universal_quantification(rows, divisor_rows):
+    from repro.relational.algebra import division
+
+    left = Relation(("x", "y"), rows)
+    right = Relation(("y",), [(r[0],) for r in divisor_rows])
+    out = division(left, right)
+    xs = {t[0] for t in left}
+    expected = {
+        (x,)
+        for x in xs
+        if all((x, y[0]) in left.tuples for y in right)
+    }
+    assert out.tuples == frozenset(expected)

@@ -1,0 +1,107 @@
+"""Cores of structures."""
+
+import pytest
+
+from repro.generators.graphs import (
+    complete_graph,
+    cycle_graph,
+    graph_as_digraph_structure,
+    path_graph,
+    random_graph,
+)
+from repro.relational.core import (
+    core,
+    homomorphically_equivalent,
+    is_core,
+)
+from repro.relational.homomorphism import homomorphism_exists
+from repro.relational.structure import Structure
+
+
+def sym(graph):
+    return graph_as_digraph_structure(graph)
+
+
+class TestIsCore:
+    def test_cliques_are_cores(self):
+        for k in (1, 2, 3):
+            assert is_core(sym(complete_graph(k)))
+
+    def test_odd_cycles_are_cores(self):
+        assert is_core(sym(cycle_graph(5)))
+        assert is_core(sym(cycle_graph(7)))
+
+    def test_even_cycles_are_not_cores(self):
+        assert not is_core(sym(cycle_graph(4)))
+        assert not is_core(sym(cycle_graph(6)))
+
+    def test_paths_are_not_cores(self):
+        assert not is_core(sym(path_graph(3)))
+
+    def test_loop_is_core(self):
+        loop = Structure({"E": 2}, [0], {"E": [(0, 0)]})
+        assert is_core(loop)
+
+    def test_directed_cycles_are_cores(self):
+        c4 = Structure({"E": 2}, range(4), {"E": [(i, (i + 1) % 4) for i in range(4)]})
+        assert is_core(c4)
+
+
+class TestCore:
+    def test_even_cycle_core_is_edge(self):
+        result = core(sym(cycle_graph(6)))
+        assert len(result.domain) == 2
+        assert is_core(result)
+
+    def test_path_core_is_edge(self):
+        result = core(sym(path_graph(5)))
+        assert len(result.domain) == 2
+
+    def test_core_is_idempotent(self):
+        result = core(sym(cycle_graph(6)))
+        assert core(result) == result
+
+    def test_core_is_equivalent_to_original(self):
+        original = sym(cycle_graph(6))
+        reduced = core(original)
+        assert homomorphically_equivalent(original, reduced)
+
+    def test_core_of_core_structure_unchanged(self):
+        k3 = sym(complete_graph(3))
+        assert core(k3) == k3
+
+    def test_disjoint_union_collapses(self):
+        # Two disjoint symmetric edges: the core is a single edge.
+        s = Structure(
+            {"E": 2},
+            range(4),
+            {"E": [(0, 1), (1, 0), (2, 3), (3, 2)]},
+        )
+        result = core(s)
+        assert len(result.domain) == 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs_core_properties(self, seed):
+        s = sym(random_graph(5, 0.35, seed=seed))
+        reduced = core(s)
+        assert is_core(reduced)
+        assert homomorphically_equivalent(s, reduced)
+        # CSP behavior is preserved: same verdict against sample targets.
+        for target in (sym(complete_graph(2)), sym(complete_graph(3))):
+            assert homomorphism_exists(s, target) == homomorphism_exists(
+                reduced, target
+            )
+
+
+class TestEquivalence:
+    def test_even_cycles_all_equivalent(self):
+        assert homomorphically_equivalent(sym(cycle_graph(4)), sym(cycle_graph(6)))
+
+    def test_odd_cycles_not_equivalent_to_k2(self):
+        assert not homomorphically_equivalent(sym(cycle_graph(5)), sym(complete_graph(2)))
+
+    def test_equivalence_via_cores(self):
+        a = sym(path_graph(4))
+        b = sym(cycle_graph(8))
+        assert homomorphically_equivalent(a, b)
+        assert len(core(a).domain) == len(core(b).domain) == 2

@@ -1,0 +1,157 @@
+"""Homomorphism search, with coloring instances and a brute-force oracle."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VocabularyError
+from repro.relational.homomorphism import (
+    all_homomorphisms,
+    count_homomorphisms,
+    find_homomorphism,
+    homomorphism_exists,
+    is_homomorphism,
+    is_partial_homomorphism,
+)
+from repro.relational.structure import Structure
+
+
+def digraph(n, edges):
+    return Structure({"E": 2}, range(n), {"E": edges})
+
+
+def clique(k):
+    return digraph(k, [(i, j) for i in range(k) for j in range(k) if i != j])
+
+
+def directed_cycle(n):
+    return digraph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+class TestIsHomomorphism:
+    def test_valid(self):
+        a = digraph(2, [(0, 1)])
+        b = digraph(2, [(0, 1)])
+        assert is_homomorphism({0: 0, 1: 1}, a, b)
+
+    def test_tuple_not_preserved(self):
+        a = digraph(2, [(0, 1)])
+        b = digraph(2, [(1, 0)])
+        assert not is_homomorphism({0: 0, 1: 1}, a, b)
+
+    def test_must_be_total(self):
+        a = digraph(2, [])
+        b = digraph(1, [])
+        assert not is_homomorphism({0: 0}, a, b)
+
+    def test_must_land_in_codomain(self):
+        a = digraph(1, [])
+        b = digraph(1, [])
+        assert not is_homomorphism({0: 99}, a, b)
+
+    def test_vocabulary_mismatch(self):
+        a = digraph(1, [])
+        b = Structure({"F": 1}, [0], {})
+        with pytest.raises(VocabularyError):
+            is_homomorphism({0: 0}, a, b)
+
+
+class TestPartialHomomorphism:
+    def test_checks_only_covered_tuples(self):
+        a = digraph(3, [(0, 1), (1, 2)])
+        b = digraph(2, [(0, 1)])
+        # Mapping covering only 0 ignores both edges.
+        assert is_partial_homomorphism({0: 0}, a, b)
+        # Covering 0, 1 checks edge (0,1) only.
+        assert is_partial_homomorphism({0: 0, 1: 1}, a, b)
+        assert not is_partial_homomorphism({0: 1, 1: 0}, a, b)
+
+    def test_empty_mapping_always_partial(self):
+        assert is_partial_homomorphism({}, digraph(2, [(0, 1)]), digraph(1, []))
+
+
+class TestSearch:
+    def test_triangle_into_k3(self):
+        assert homomorphism_exists(clique(3), clique(3))
+
+    def test_triangle_not_into_k2(self):
+        assert not homomorphism_exists(clique(3), clique(2))
+
+    def test_found_mapping_is_valid(self):
+        a = directed_cycle(4)
+        b = clique(3)
+        h = find_homomorphism(a, b)
+        assert h is not None
+        assert is_homomorphism(h, a, b)
+
+    def test_count_k2_colorings_of_even_cycle(self):
+        # Hom(C4 directed, K2-symmetric) = two proper 2-colorings.
+        b = digraph(2, [(0, 1), (1, 0)])
+        assert count_homomorphisms(directed_cycle(4), b) == 2
+
+    def test_count_homs_to_loop(self):
+        loop = digraph(1, [(0, 0)])
+        assert count_homomorphisms(directed_cycle(5), loop) == 1
+
+    def test_all_homomorphisms_distinct(self):
+        homs = list(all_homomorphisms(digraph(2, []), digraph(2, [])))
+        assert len(homs) == 4
+        assert len({tuple(sorted(h.items())) for h in homs}) == 4
+
+    def test_empty_target_with_nonempty_source(self):
+        assert not homomorphism_exists(digraph(1, []), digraph(0, []))
+
+    def test_empty_source(self):
+        assert homomorphism_exists(digraph(0, []), digraph(0, []))
+        assert find_homomorphism(digraph(0, []), digraph(1, [])) == {}
+
+
+def brute_force_exists(a, b):
+    a_elems = sorted(a.domain)
+    for image in product(sorted(b.domain), repeat=len(a_elems)):
+        if is_homomorphism(dict(zip(a_elems, image)), a, b):
+            return True
+    return False
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists, edge_lists)
+def test_search_matches_brute_force(a_edges, b_edges):
+    a = digraph(4, a_edges)
+    b = digraph(4, b_edges)
+    assert homomorphism_exists(a, b) == brute_force_exists(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists, edge_lists)
+def test_every_enumerated_hom_is_valid(a_edges, b_edges):
+    a = digraph(3, [(u % 3, v % 3) for u, v in a_edges])
+    b = digraph(3, [(u % 3, v % 3) for u, v in b_edges])
+    for h in all_homomorphisms(a, b):
+        assert is_homomorphism(h, a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists)
+def test_identity_is_always_a_homomorphism(edges):
+    a = digraph(4, edges)
+    assert is_homomorphism({v: v for v in a.domain}, a, a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_lists, edge_lists)
+def test_homomorphisms_compose(a_edges, b_edges):
+    a = digraph(3, [(u % 3, v % 3) for u, v in a_edges])
+    b = digraph(3, [(u % 3, v % 3) for u, v in b_edges])
+    h = find_homomorphism(a, b)
+    g = find_homomorphism(b, a)
+    if h is not None and g is not None:
+        composed = {x: g[h[x]] for x in a.domain}
+        assert is_homomorphism(composed, a, a)

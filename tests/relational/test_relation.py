@@ -1,0 +1,125 @@
+"""Unit tests for the Relation value type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ArityError, SchemaError
+from repro.relational.relation import Relation
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Relation(("x", "y"), [(1, 2), (2, 3)])
+        assert r.arity == 2
+        assert len(r) == 2
+        assert (1, 2) in r
+
+    def test_duplicate_rows_collapse(self):
+        r = Relation(("x",), [(1,), (1,), (2,)])
+        assert len(r) == 2
+
+    def test_rows_are_tuples_whatever_the_input(self):
+        r = Relation(("x", "y"), [[1, 2]])
+        assert (1, 2) in r
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(SchemaError):
+            Relation(("x", "x"), [])
+
+    def test_rejects_empty_attribute_name(self):
+        with pytest.raises(SchemaError):
+            Relation(("",), [])
+
+    def test_rejects_non_string_attribute(self):
+        with pytest.raises(SchemaError):
+            Relation((1,), [])
+
+    def test_rejects_wrong_arity_row(self):
+        with pytest.raises(ArityError):
+            Relation(("x", "y"), [(1,)])
+
+    def test_empty(self):
+        r = Relation.empty(("a", "b"))
+        assert not r
+        assert r.arity == 2
+
+    def test_unit_contains_empty_tuple(self):
+        u = Relation.unit()
+        assert len(u) == 1
+        assert () in u
+        assert u.arity == 0
+
+    def test_from_mappings(self):
+        r = Relation.from_mappings(("x", "y"), [{"x": 1, "y": 2}, {"y": 4, "x": 3}])
+        assert r.tuples == frozenset({(1, 2), (3, 4)})
+
+
+class TestProtocol:
+    def test_equality_requires_same_scheme(self):
+        a = Relation(("x",), [(1,)])
+        b = Relation(("y",), [(1,)])
+        assert a != b
+
+    def test_equality_and_hash(self):
+        a = Relation(("x", "y"), [(1, 2)])
+        b = Relation(("x", "y"), {(1, 2)})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_iteration_yields_rows(self):
+        r = Relation(("x",), [(1,), (2,)])
+        assert sorted(r) == [(1,), (2,)]
+
+    def test_bool(self):
+        assert not Relation.empty(("x",))
+        assert Relation(("x",), [(1,)])
+
+    def test_repr_small_and_large(self):
+        small = Relation(("x",), [(1,)])
+        assert "(1,)" in repr(small)
+        large = Relation(("x",), [(i,) for i in range(10)])
+        assert "+6" in repr(large)
+
+
+class TestViews:
+    def test_rows_as_mappings(self):
+        r = Relation(("x", "y"), [(1, 2)])
+        assert list(r.rows_as_mappings()) == [{"x": 1, "y": 2}]
+
+    def test_active_domain(self):
+        r = Relation(("x", "y"), [(1, 2), (2, 3)])
+        assert r.active_domain() == frozenset({1, 2, 3})
+
+    def test_column(self):
+        r = Relation(("x", "y"), [(1, 2), (2, 3)])
+        assert r.column("x") == frozenset({1, 2})
+        assert r.column("y") == frozenset({2, 3})
+
+    def test_index_of_unknown_raises(self):
+        r = Relation(("x",), [])
+        with pytest.raises(SchemaError):
+            r.index_of("z")
+
+    def test_has_attribute(self):
+        r = Relation(("x",), [])
+        assert r.has_attribute("x")
+        assert not r.has_attribute("y")
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12
+)
+
+
+@given(rows_strategy)
+def test_relation_is_a_set(rows):
+    r = Relation(("x", "y"), rows)
+    assert r.tuples == frozenset(map(tuple, rows))
+
+
+@given(rows_strategy, rows_strategy)
+def test_relation_equality_is_extensional(rows1, rows2):
+    r1 = Relation(("x", "y"), rows1)
+    r2 = Relation(("x", "y"), rows2)
+    assert (r1 == r2) == (set(map(tuple, rows1)) == set(map(tuple, rows2)))

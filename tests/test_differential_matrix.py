@@ -1,0 +1,126 @@
+"""The whole-library differential matrix: every decider that answers the same
+question must agree, across a broad randomized workload sweep.
+
+This is the highest-leverage test in the suite: the paper's content *is* a
+web of equivalences, so any divergence between two components is a bug in
+at least one of them.
+"""
+
+import random
+from itertools import product
+
+import pytest
+
+from repro.consistency.arc import ac3, singleton_arc_consistency
+from repro.csp.convert import csp_to_homomorphism
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.solvers import (
+    backjumping,
+    backtracking,
+    brute,
+    consistency,
+    decomposition,
+    join,
+    portfolio,
+)
+from repro.csp.solvers.backtracking import Inference
+from repro.csp.solvers.consistency import Verdict
+from repro.games.lfp import duplicator_wins_via_lfp
+from repro.games.pebble import duplicator_wins
+from repro.relational.homomorphism import homomorphism_exists
+
+
+def random_instance(seed: int) -> CSPInstance:
+    """A broad instance family: varying arity (1–3), domain (2–3), shape."""
+    rng = random.Random(seed)
+    n = rng.randint(2, 5)
+    d = rng.randint(2, 3)
+    variables = list(range(n))
+    constraints = []
+    for _ in range(rng.randint(1, 5)):
+        arity = rng.randint(1, min(3, n))
+        scope = tuple(rng.sample(variables, arity))
+        keep = rng.uniform(0.3, 0.9)
+        rows = {
+            row for row in product(range(d), repeat=arity) if rng.random() < keep
+        }
+        constraints.append(Constraint(scope, rows))
+    return CSPInstance(variables, range(d), constraints)
+
+
+DECIDERS = [
+    ("backtracking-none", lambda i: backtracking.is_solvable(i, Inference.NONE)),
+    ("backtracking-fc", lambda i: backtracking.is_solvable(i, Inference.FORWARD_CHECKING)),
+    ("backtracking-mac", lambda i: backtracking.is_solvable(i, Inference.MAC)),
+    ("backjumping", backjumping.is_solvable),
+    ("join", join.is_solvable),
+    ("decomposition", decomposition.is_solvable),
+    ("consistency-k2", lambda i: consistency.is_solvable(i, 2)),
+    ("portfolio", portfolio.is_solvable),
+    ("hom-search", lambda i: homomorphism_exists(*csp_to_homomorphism(i))),
+]
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_all_deciders_agree(seed):
+    inst = random_instance(seed)
+    expected = brute.is_solvable(inst)
+    for name, decide in DECIDERS:
+        assert decide(inst) == expected, f"{name} disagrees on seed {seed}"
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_counting_agrees(seed):
+    inst = random_instance(seed + 1000)
+    assert decomposition.count_solutions(inst) == brute.count_solutions(inst)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_refuters_are_sound(seed):
+    """Incomplete refutation procedures must never refute a solvable
+    instance: AC-3, SAC, k-consistency."""
+    inst = random_instance(seed + 2000)
+    solvable = brute.is_solvable(inst)
+    if not ac3(inst).consistent:
+        assert not solvable, "AC-3 refuted a solvable instance"
+    if not singleton_arc_consistency(inst).consistent:
+        assert not solvable, "SAC refuted a solvable instance"
+    for k in (2, 3):
+        if consistency.solve_decision(inst, k) is Verdict.UNSATISFIABLE:
+            assert not solvable, f"{k}-consistency refuted a solvable instance"
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_game_engines_agree(seed):
+    inst = random_instance(seed + 3000)
+    a, b = csp_to_homomorphism(inst)
+    if len(a.domain) > 4 or len(b.domain) > 3:
+        return  # keep the LFP engine's configuration space small
+    for k in (1, 2):
+        assert duplicator_wins(a, b, k) == duplicator_wins_via_lfp(a, b, k)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_solutions_from_every_solver_are_valid(seed):
+    inst = random_instance(seed + 4000)
+    norm = inst.normalize()
+    for solver in (
+        backtracking.solve,
+        backjumping.solve,
+        join.solve,
+        decomposition.solve,
+        portfolio.solve,
+    ):
+        solution = solver(inst)
+        if solution is not None:
+            assert norm.is_solution(solution)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_serialization_preserves_all_verdicts(seed):
+    from repro.io import instance_from_json, instance_to_json
+
+    inst = random_instance(seed + 5000)
+    restored = instance_from_json(instance_to_json(inst))
+    assert brute.is_solvable(restored) == brute.is_solvable(inst)
+    assert decomposition.count_solutions(restored) == decomposition.count_solutions(inst)

@@ -1,0 +1,32 @@
+"""Run the doctests embedded in module/class docstrings — executable
+documentation must stay correct."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES_WITH_DOCTESTS = [
+    "repro.relational.relation",
+    "repro.relational.algebra",
+    "repro.relational.structure",
+    "repro.cq.parser",
+    "repro.datalog.parser",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_DOCTESTS)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+
+
+def test_doctests_actually_exist():
+    """Guard against silently testing nothing."""
+    total = 0
+    for module_name in MODULES_WITH_DOCTESTS:
+        module = importlib.import_module(module_name)
+        finder = doctest.DocTestFinder()
+        total += sum(len(t.examples) for t in finder.find(module))
+    assert total >= 5

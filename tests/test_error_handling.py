@@ -1,0 +1,217 @@
+"""Failure-injection tests: every public entry point rejects bad input with
+the library's own exception types (never a bare KeyError/TypeError leak)."""
+
+import pytest
+
+from repro.errors import (
+    ArityError,
+    DecompositionError,
+    DomainError,
+    ParseError,
+    ReproError,
+    SchemaError,
+    SolverError,
+    UnsatisfiableError,
+    VocabularyError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SchemaError,
+            ArityError,
+            VocabularyError,
+            DomainError,
+            ParseError,
+            DecompositionError,
+            UnsatisfiableError,
+            SolverError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestRelationalRejections:
+    def test_relation_bad_scheme(self):
+        from repro.relational import Relation
+
+        with pytest.raises(SchemaError):
+            Relation(("x", "x"), [])
+
+    def test_structure_value_outside_domain(self):
+        from repro.relational import Structure
+
+        with pytest.raises(DomainError):
+            Structure({"E": 2}, [0], {"E": [(0, 1)]})
+
+    def test_homomorphism_vocabulary_mismatch(self):
+        from repro.relational import Structure, homomorphism_exists
+
+        a = Structure({"E": 2}, [0], {})
+        b = Structure({"F": 2}, [0], {})
+        with pytest.raises(VocabularyError):
+            homomorphism_exists(a, b)
+
+    def test_sum_structure_vocabulary_mismatch(self):
+        from repro.relational import Structure, sum_structure
+
+        with pytest.raises(VocabularyError):
+            sum_structure(Structure({"E": 2}, [0], {}), Structure({"F": 1}, [0], {}))
+
+
+class TestCSPRejections:
+    def test_unknown_scope_variable(self):
+        from repro.csp import Constraint, CSPInstance
+
+        with pytest.raises(DomainError):
+            CSPInstance(["x"], [0], [Constraint(("ghost",), [(0,)])])
+
+    def test_constraint_arity_mismatch(self):
+        from repro.csp import Constraint
+
+        with pytest.raises(ArityError):
+            Constraint(("x", "y"), [(0,)])
+
+
+class TestParserRejections:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Q(X :- E(X).",
+            "Q(X) :- E(X",
+            "Q(X) :- E(X) E(Y).",
+            ":- E(X).",
+        ],
+    )
+    def test_cq_parser(self, text):
+        from repro.cq import parse_query
+
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    @pytest.mark.parametrize("text", ["P(X) :-", "P(X) :- Q(X,"])
+    def test_datalog_parser(self, text):
+        from repro.datalog import parse_program
+
+        with pytest.raises(ParseError):
+            parse_program(text, goal="P")
+
+    # "a |" is deliberately lenient (empty alternative = ε), so not listed.
+    @pytest.mark.parametrize("text", ["(a", "a)", "*"])
+    def test_regex_parser(self, text):
+        from repro.views import parse_regex
+        from repro.errors import ParseError as PE
+
+        with pytest.raises(PE):
+            parse_regex(text)
+
+
+class TestGameRejections:
+    def test_nonpositive_k(self):
+        from repro.games import solve_game
+        from repro.relational import Structure
+
+        s = Structure({"E": 2}, [0], {})
+        with pytest.raises(DomainError):
+            solve_game(s, s, 0)
+
+    def test_lfp_nonpositive_k(self):
+        from repro.games import bad_configurations
+        from repro.relational import Structure
+
+        s = Structure({"E": 2}, [0], {})
+        with pytest.raises(DomainError):
+            bad_configurations(s, s, 0)
+
+
+class TestWidthRejections:
+    def test_tree_decomposition_cycle(self):
+        from repro.width import TreeDecomposition
+
+        with pytest.raises(DecompositionError):
+            TreeDecomposition({0: {1}, 1: {1}, 2: {1}}, [(0, 1), (1, 2), (2, 0)])
+
+    def test_join_tree_of_cyclic_hypergraph(self):
+        from repro.width import join_tree
+
+        with pytest.raises(DecompositionError):
+            join_tree([frozenset("ab"), frozenset("bc"), frozenset("ca")])
+
+    def test_elimination_order_must_cover(self):
+        from repro.width import Graph, from_elimination_order
+
+        with pytest.raises(DecompositionError):
+            from_elimination_order(Graph(vertices=[0, 1]), [0])
+
+    def test_empty_graph_decomposition(self):
+        from repro.width import Graph, heuristic_decomposition
+
+        with pytest.raises(DecompositionError):
+            heuristic_decomposition(Graph())
+
+
+class TestDichotomyRejections:
+    def test_schaefer_needs_boolean(self):
+        from repro.dichotomy import classify
+        from repro.relational import Structure
+
+        with pytest.raises(DomainError):
+            classify(Structure({"R": 1}, [0, 2], {"R": [(2,)]}))
+
+    def test_horn_sat_rejects_non_horn(self):
+        from repro.dichotomy import CNF, horn_sat
+
+        with pytest.raises(DomainError):
+            horn_sat(CNF([(1, 2)]))
+
+    def test_two_sat_rejects_wide_clause(self):
+        from repro.dichotomy import CNF, two_sat
+
+        with pytest.raises(DomainError):
+            two_sat(CNF([(1, 2, 3)]))
+
+    def test_coset_composite_modulus(self):
+        from repro.dichotomy import is_coset_relation
+
+        with pytest.raises(DomainError):
+            is_coset_relation({(0,)}, 6)
+
+
+class TestViewRejections:
+    def test_template_size_guard(self):
+        from repro.views import ViewSetup, constraint_template
+
+        vs = ViewSetup({"V": "a"})
+        with pytest.raises(SolverError):
+            constraint_template(" ".join(["a"] * 25), vs)
+
+    def test_reduction_needs_digraphs(self):
+        from repro.relational import Structure
+        from repro.views import csp_to_view_reduction
+
+        with pytest.raises(DomainError):
+            csp_to_view_reduction(Structure({"R": 3}, [0], {}))
+
+    def test_graphdb_label_type(self):
+        from repro.views import GraphDatabase
+
+        with pytest.raises(DomainError):
+            GraphDatabase(edges=[("x", 5, "y")])
+
+    def test_dfa_completeness(self):
+        from repro.views import DFA
+
+        with pytest.raises(DomainError):
+            DFA({0}, {"a"}, {}, 0, set())
+
+    def test_solver_error_on_big_datalog_rewriting(self):
+        from repro.views import ViewSetup, datalog_rewriting
+
+        vs = ViewSetup({"V1": "a", "V2": "b"})
+        with pytest.raises(SolverError):
+            datalog_rewriting("a b", vs, max_sets=20)

@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs to completion (their internal
+assertions double as integration checks), and the module tour works."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+def test_module_tour_runs(capsys):
+    import repro.__main__ as tour
+
+    tour.main()
+    out = capsys.readouterr().out
+    assert "PODS" in out
+    assert "[§7]" in out

@@ -1,0 +1,164 @@
+"""Serialization round trips: fact files, DIMACS, JSON."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.dichotomy.cnf import CNF
+from repro.errors import ParseError
+from repro.io import (
+    cnf_from_dimacs,
+    cnf_to_dimacs,
+    graph_from_dimacs,
+    graph_to_dimacs,
+    instance_from_json,
+    instance_to_json,
+    load_structure,
+    save_structure,
+    structure_from_facts,
+    structure_to_facts,
+)
+from repro.relational.structure import Structure
+from repro.width.graph import Graph
+
+
+class TestFactFiles:
+    def test_round_trip(self):
+        s = Structure(
+            {"E": 2, "P": 1},
+            [1, 2, 3, "iso"],
+            {"E": [(1, 2), (2, 3)], "P": [(3,)]},
+        )
+        assert structure_from_facts(structure_to_facts(s)) == s
+
+    def test_isolated_elements_preserved(self):
+        s = Structure({"E": 2}, [1, 2, 99], {"E": [(1, 2)]})
+        restored = structure_from_facts(structure_to_facts(s))
+        assert 99 in restored.domain
+
+    def test_empty_relations_preserved(self):
+        s = Structure({"E": 2, "F": 1}, [1], {"E": [(1, 1)]})
+        restored = structure_from_facts(structure_to_facts(s))
+        assert restored.relation("F") == frozenset()
+
+    def test_string_constants(self):
+        s = Structure({"Likes": 2}, ["ana", "bo"], {"Likes": [("ana", "bo")]})
+        assert structure_from_facts(structure_to_facts(s)) == s
+
+    def test_parse_plain_facts_without_headers(self):
+        s = structure_from_facts("E(1, 2).\nE(2, 3).\n")
+        assert s.relation("E") == frozenset({(1, 2), (2, 3)})
+
+    def test_bad_line_raises(self):
+        with pytest.raises(ParseError):
+            structure_from_facts("E(1, 2)")  # missing period
+
+    def test_inconsistent_arity_raises(self):
+        with pytest.raises(ParseError):
+            structure_from_facts("E(1, 2).\nE(1).")
+
+    def test_file_round_trip(self, tmp_path):
+        s = Structure({"E": 2}, [0, 1], {"E": [(0, 1)]})
+        path = tmp_path / "structure.facts"
+        save_structure(s, path)
+        assert load_structure(path) == s
+
+
+class TestDimacsCnf:
+    def test_round_trip(self):
+        f = CNF([(1, -2), (2, 3, -1), (-3,)])
+        restored = cnf_from_dimacs(cnf_to_dimacs(f))
+        assert set(restored.clauses) == set(f.clauses)
+
+    def test_parse_reference_format(self):
+        text = """c example
+p cnf 3 2
+1 -2 0
+2 3 0
+"""
+        f = cnf_from_dimacs(text)
+        assert f.clauses == ((1, -2), (2, 3))
+
+    def test_clauses_spanning_lines(self):
+        f = cnf_from_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert f.clauses == ((1, 2, 3),)
+
+    def test_bad_header(self):
+        with pytest.raises(ParseError):
+            cnf_from_dimacs("p sat 3 1\n1 0")
+
+
+class TestDimacsGraph:
+    def test_round_trip(self):
+        g = Graph(vertices=[1, 2, 3, 4], edges=[(1, 2), (2, 3)])
+        restored = graph_from_dimacs(graph_to_dimacs(g))
+        assert restored.num_vertices() == 4
+        assert {frozenset(e) for e in restored.edges()} == {
+            frozenset({1, 2}),
+            frozenset({2, 3}),
+        }
+
+    def test_parse_reference_format(self):
+        g = graph_from_dimacs("c demo\np edge 3 2\ne 1 2\ne 2 3\n")
+        assert g.num_vertices() == 3 and g.num_edges() == 2
+
+    def test_unknown_line(self):
+        with pytest.raises(ParseError):
+            graph_from_dimacs("p edge 1 0\nx 1 2")
+
+
+class TestInstanceJson:
+    def test_round_trip(self):
+        inst = CSPInstance(
+            ["x", "y"],
+            [0, 1],
+            [Constraint(("x", "y"), {(0, 1), (1, 0)}), Constraint(("x",), {(0,)})],
+        )
+        restored = instance_from_json(instance_to_json(inst))
+        assert restored.variables == inst.variables
+        assert restored.domain == inst.domain
+        assert {(c.scope, c.relation) for c in restored.constraints} == {
+            (c.scope, c.relation) for c in inst.constraints
+        }
+
+    def test_solvability_preserved(self):
+        from repro.csp.solvers import brute
+        from repro.generators.csp_random import random_binary_csp
+
+        for seed in range(5):
+            inst = random_binary_csp(4, 2, 4, 0.5, seed=seed)
+            restored = instance_from_json(instance_to_json(inst))
+            assert brute.is_solvable(restored) == brute.is_solvable(inst)
+
+
+clause_lists = st.lists(
+    st.lists(
+        st.integers(1, 4).flatmap(lambda v: st.sampled_from([v, -v])),
+        min_size=1,
+        max_size=3,
+    ).map(tuple),
+    max_size=6,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(clause_lists)
+def test_dimacs_cnf_round_trip_property(clauses):
+    f = CNF(clauses)
+    restored = cnf_from_dimacs(cnf_to_dimacs(f))
+    assert list(restored.clauses) == list(f.clauses)
+
+
+edge_sets = st.sets(
+    st.tuples(st.integers(1, 6), st.integers(1, 6)).filter(lambda e: e[0] != e[1]),
+    max_size=10,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(edge_sets)
+def test_dimacs_graph_round_trip_property(edges):
+    g = Graph(vertices=range(1, 7), edges=edges)
+    restored = graph_from_dimacs(graph_to_dimacs(g))
+    assert {frozenset(e) for e in restored.edges()} == {frozenset(e) for e in g.edges()}

@@ -1,0 +1,151 @@
+"""NFA/DFA machinery: determinization, complement, minimization, products."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DomainError
+from repro.views.automata import DFA, NFA
+from repro.views.regex import regex_to_nfa
+
+
+def simple_nfa():
+    """Accepts a+ (one or more a's)."""
+    return NFA(
+        states={0, 1},
+        alphabet={"a"},
+        transitions={(0, "a"): {1}, (1, "a"): {1}},
+        initial={0},
+        accepting={1},
+    )
+
+
+class TestNFA:
+    def test_accepts(self):
+        n = simple_nfa()
+        assert not n.accepts(())
+        assert n.accepts(("a",))
+        assert n.accepts(("a", "a", "a"))
+
+    def test_epsilon_closure(self):
+        n = NFA(
+            states={0, 1, 2},
+            alphabet={"a"},
+            transitions={(0, None): {1}, (1, None): {2}},
+            initial={0},
+            accepting={2},
+        )
+        assert n.epsilon_closure({0}) == frozenset({0, 1, 2})
+        assert n.accepts(())
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(DomainError):
+            NFA({0}, {"a"}, {(0, "b"): {0}}, {0}, {0})
+        with pytest.raises(DomainError):
+            NFA({0}, {"a"}, {(1, "a"): {0}}, {0}, {0})
+        with pytest.raises(DomainError):
+            NFA({0}, {None}, {}, {0}, {0})
+
+    def test_trimmed_removes_dead_states(self):
+        n = NFA(
+            states={0, 1, 2},
+            alphabet={"a"},
+            transitions={(0, "a"): {1}, (2, "a"): {1}},  # 2 unreachable
+            initial={0},
+            accepting={1},
+        )
+        t = n.trimmed()
+        assert 2 not in t.states
+
+    def test_is_empty(self):
+        empty = NFA({0, 1}, {"a"}, {}, {0}, {1})
+        assert empty.is_empty()
+        assert not simple_nfa().is_empty()
+
+    def test_enumerate_words(self):
+        words = list(simple_nfa().enumerate_words(3))
+        assert words == [("a",), ("a", "a"), ("a", "a", "a")]
+
+    def test_shortest_word(self):
+        assert simple_nfa().shortest_word() == ("a",)
+        assert NFA({0}, {"a"}, {}, {0}, set()).shortest_word() is None
+
+    def test_with_alphabet_preserves_language(self):
+        n = simple_nfa().with_alphabet({"b"})
+        assert n.accepts(("a",))
+        assert not n.accepts(("b",))
+
+
+class TestDFA:
+    def test_subset_construction(self):
+        d = simple_nfa().to_dfa()
+        assert d.accepts(("a", "a"))
+        assert not d.accepts(())
+
+    def test_complement(self):
+        d = simple_nfa().to_dfa().complement()
+        assert d.accepts(())
+        assert not d.accepts(("a",))
+
+    def test_completeness_enforced(self):
+        with pytest.raises(DomainError):
+            DFA({0}, {"a"}, {}, 0, set())
+
+    def test_product_intersection(self):
+        a_star = regex_to_nfa("a*", frozenset({"a", "b"})).to_dfa()
+        contains_a = regex_to_nfa("(a|b)* a (a|b)*", frozenset({"a", "b"})).to_dfa()
+        both = a_star.product(contains_a)
+        assert both.accepts(("a",))
+        assert not both.accepts(())
+        assert not both.accepts(("b",))
+
+    def test_product_union(self):
+        only_a = regex_to_nfa("a", frozenset({"a", "b"})).to_dfa()
+        only_b = regex_to_nfa("b", frozenset({"a", "b"})).to_dfa()
+        either = only_a.product(only_b, accept_both=False)
+        assert either.accepts(("a",)) and either.accepts(("b",))
+        assert not either.accepts(("a", "b"))
+
+    def test_minimized_preserves_language(self):
+        d = regex_to_nfa("(a|b) (a|b)").to_dfa()
+        m = d.minimized()
+        assert len(m.states) <= len(d.states)
+        for word in [(), ("a",), ("a", "b"), ("b", "b"), ("a", "b", "a")]:
+            assert d.accepts(word) == m.accepts(word)
+
+    def test_minimized_canonical_size(self):
+        # L = words over {a} of length ≥ 1: minimal DFA has 2 states.
+        m = simple_nfa().to_dfa().minimized()
+        assert len(m.states) == 2
+
+    def test_equivalent(self):
+        d1 = regex_to_nfa("a a*").to_dfa()
+        d2 = regex_to_nfa("a* a").to_dfa()
+        assert d1.equivalent(d2)
+        d3 = regex_to_nfa("a*").to_dfa()
+        assert not d1.equivalent(d3)
+
+
+words = st.lists(st.sampled_from(["a", "b"]), max_size=6).map(tuple)
+
+
+@settings(max_examples=60, deadline=None)
+@given(words)
+def test_dfa_agrees_with_nfa(word):
+    n = regex_to_nfa("(a b | b)* a?", frozenset({"a", "b"}))
+    assert n.accepts(word) == n.to_dfa().accepts(word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(words)
+def test_minimization_agrees(word):
+    d = regex_to_nfa("(a b | b)* a?", frozenset({"a", "b"})).to_dfa()
+    assert d.accepts(word) == d.minimized().accepts(word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(words)
+def test_complement_is_involution(word):
+    d = regex_to_nfa("a (a|b)*", frozenset({"a", "b"})).to_dfa()
+    assert d.accepts(word) != d.complement().accepts(word)
+    assert d.accepts(word) == d.complement().complement().accepts(word)

@@ -1,0 +1,153 @@
+"""Certain answers: the template reduction (Thm 7.5) against brute force."""
+
+import random
+
+import pytest
+
+from repro.errors import DomainError, SolverError
+from repro.views.certain import (
+    ViewSetup,
+    certain_answer,
+    certain_answer_bruteforce,
+    is_consistent,
+    witness_databases,
+)
+from repro.views.graphdb import GraphDatabase
+from repro.views.template import (
+    certain_answer_via_csp,
+    constraint_template,
+    extension_structure,
+    remove_epsilons,
+)
+from repro.views.regex import regex_to_nfa
+
+
+class TestViewSetup:
+    def test_normalizes_definitions(self):
+        vs = ViewSetup({"V": "a b"}, {"V": {("x", "y")}})
+        assert vs.definitions["V"].accepts(("a", "b"))
+        assert vs.objects() == frozenset({"x", "y"})
+
+    def test_extension_for_unknown_view_rejected(self):
+        with pytest.raises(DomainError):
+            ViewSetup({"V": "a"}, {"W": set()})
+
+    def test_missing_extensions_default_empty(self):
+        vs = ViewSetup({"V": "a"})
+        assert vs.extensions["V"] == frozenset()
+
+
+class TestConsistency:
+    def test_consistent_database(self):
+        vs = ViewSetup({"V": "a"}, {"V": {("x", "y")}})
+        db = GraphDatabase(edges=[("x", "a", "y")])
+        assert is_consistent(db, vs)
+
+    def test_inconsistent_database(self):
+        vs = ViewSetup({"V": "a"}, {"V": {("x", "y")}})
+        db = GraphDatabase(edges=[("y", "a", "x")])
+        assert not is_consistent(db, vs)
+
+    def test_sound_views_allow_extra_facts(self):
+        vs = ViewSetup({"V": "a"}, {"V": {("x", "y")}})
+        db = GraphDatabase(edges=[("x", "a", "y"), ("q", "a", "r"), ("x", "b", "q")])
+        assert is_consistent(db, vs)
+
+
+class TestWitnessDatabases:
+    def test_all_witnesses_are_consistent(self):
+        vs = ViewSetup({"V": "a | (a a)"}, {"V": {("x", "y")}})
+        dbs = list(witness_databases(vs, 2))
+        assert len(dbs) == 2
+        for db in dbs:
+            assert is_consistent(db, vs)
+
+    def test_unwitnessable_raises(self):
+        vs = ViewSetup({"V": "a a a"}, {"V": {("x", "y")}})
+        with pytest.raises(DomainError):
+            list(witness_databases(vs, 2))
+
+    def test_epsilon_only_self_pair(self):
+        vs = ViewSetup({"V": "ε"}, {"V": {("x", "x")}})
+        dbs = list(witness_databases(vs, 2))
+        assert len(dbs) == 1
+
+
+class TestCertainAnswers:
+    def test_forced_composition(self):
+        vs = ViewSetup(
+            {"V1": "a", "V2": "b"}, {"V1": {("x", "y")}, "V2": {("y", "z")}}
+        )
+        assert certain_answer("a b", vs, "x", "z")
+        assert not certain_answer("a b", vs, "x", "y")
+        assert not certain_answer("b a", vs, "x", "z")
+
+    def test_disjunctive_uncertainty(self):
+        vs = ViewSetup({"V": "a | b"}, {"V": {("x", "y")}})
+        assert not certain_answer("a", vs, "x", "y")
+        assert not certain_answer("b", vs, "x", "y")
+        assert certain_answer("a | b", vs, "x", "y")
+
+    def test_star_views(self):
+        vs = ViewSetup({"V": "a*"}, {"V": {("x", "y")}})
+        # x ≠ y: the witness must use at least one 'a'.
+        assert certain_answer("a a*", vs, "x", "y")
+        assert not certain_answer("a", vs, "x", "y")  # could be 2+ a's
+
+    def test_epsilon_in_query_self_pairs(self):
+        vs = ViewSetup({"V": "a"}, {"V": {("x", "y")}})
+        assert certain_answer("a*", vs, "x", "x")  # ε ∈ L(Q)
+        assert not certain_answer("a a*", vs, "x", "x")
+
+    def test_query_automaton_size_guard(self):
+        vs = ViewSetup({"V": "a"}, {"V": set()})
+        long_query = " ".join(["a"] * 20)
+        with pytest.raises(SolverError):
+            constraint_template(long_query, vs)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_template_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        finite_defs = ["a", "b", "a b", "a | b", "a a", "a?", "b a"]
+        queries = ["a", "a b", "a | b", "a a", "a*", "a b*", "(a b)*", "(a|b)(a|b)"]
+        objects = ["o1", "o2", "o3"]
+        defs = {f"V{i}": rng.choice(finite_defs) for i in range(rng.randint(1, 2))}
+        exts = {
+            name: {
+                (rng.choice(objects), rng.choice(objects))
+                for _ in range(rng.randint(1, 2))
+            }
+            for name in defs
+        }
+        vs = ViewSetup(defs, exts)
+        q = rng.choice(queries)
+        c, d = rng.choice(objects), rng.choice(objects)
+        bf = certain_answer_bruteforce(q, vs, c, d, max_word_length=3)
+        assert certain_answer_via_csp(q, vs, c, d) == bf
+
+
+class TestTemplateStructure:
+    def test_remove_epsilons_language_preserved(self):
+        n = regex_to_nfa("(a b)* | a?")
+        ef = remove_epsilons(n)
+        for w in [(), ("a",), ("a", "b"), ("b",), ("a", "b", "a", "b"), ("a", "a")]:
+            assert n.accepts(w) == ef.accepts(w)
+        assert all(key[1] is not None for key in ef.transitions)
+
+    def test_template_domain_is_powerset(self):
+        vs = ViewSetup({"V": "a"}, {})
+        b = constraint_template("a", vs)
+        # minimal DFA for "a" over {a} has 3 states (init, accept, dead).
+        assert len(b.domain) == 2 ** 3
+
+    def test_extension_structure_markers(self):
+        vs = ViewSetup({"V": "a"}, {"V": {("x", "y")}})
+        a = extension_structure(vs, "x", "y")
+        assert a.relation("U_c") == frozenset({("x",)})
+        assert a.relation("U_d") == frozenset({("y",)})
+        assert a.relation("V") == frozenset({("x", "y")})
+
+    def test_epsilon_view_self_pairs_dropped(self):
+        vs = ViewSetup({"V": "a?"}, {"V": {("x", "x"), ("x", "y")}})
+        a = extension_structure(vs, "x", "y")
+        assert a.relation("V") == frozenset({("x", "y")})

@@ -1,0 +1,89 @@
+"""Semantic properties of certain answers: monotonicity, assumption
+ordering (sound ⊆ exact), and invariance facts."""
+
+import random
+
+import pytest
+
+from repro.views.certain import (
+    ViewSetup,
+    certain_answer_bruteforce,
+    certain_answer_exact_views,
+)
+from repro.views.template import certain_answer_via_csp
+
+OBJECTS = ["o1", "o2", "o3"]
+FINITE_DEFS = ["a", "b", "a b", "a | b", "a a"]
+QUERIES = ["a", "a b", "a | b", "a a", "a*"]
+
+
+def random_setup(rng):
+    defs = {f"V{i}": rng.choice(FINITE_DEFS) for i in range(rng.randint(1, 2))}
+    exts = {
+        name: {(rng.choice(OBJECTS), rng.choice(OBJECTS)) for _ in range(rng.randint(1, 2))}
+        for name in defs
+    }
+    return ViewSetup(defs, exts)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_cert_grows_when_extensions_grow(self, seed):
+        """More extension pairs ⇒ fewer consistent databases ⇒ larger cert."""
+        rng = random.Random(seed)
+        views = random_setup(rng)
+        q = rng.choice(QUERIES)
+        c, d = rng.choice(OBJECTS), rng.choice(OBJECTS)
+        before = certain_answer_via_csp(q, views, c, d)
+
+        grown_exts = {k: set(v) for k, v in views.extensions.items()}
+        name = rng.choice(sorted(grown_exts))
+        grown_exts[name].add((rng.choice(OBJECTS), rng.choice(OBJECTS)))
+        grown = views.with_extensions(grown_exts)
+        after = certain_answer_via_csp(q, grown, c, d)
+        assert not (before and not after), "certain answers must be monotone in ext"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_cert_antitone_in_query_language(self, seed):
+        """L(Q1) ⊆ L(Q2) ⇒ cert(Q1) ⊆ cert(Q2): a certain Q1-path is a
+        certain Q2-path."""
+        rng = random.Random(seed + 100)
+        views = random_setup(rng)
+        c, d = rng.choice(OBJECTS), rng.choice(OBJECTS)
+        narrow, wide = "a b", "a b | b a"  # L(narrow) ⊆ L(wide)
+        if certain_answer_via_csp(narrow, views, c, d):
+            assert certain_answer_via_csp(wide, views, c, d)
+
+
+class TestExactViews:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_sound_cert_subset_of_exact_cert(self, seed):
+        rng = random.Random(seed + 500)
+        views = random_setup(rng)
+        q = rng.choice(QUERIES)
+        c, d = rng.choice(OBJECTS), rng.choice(OBJECTS)
+        try:
+            sound = certain_answer_bruteforce(q, views, c, d, 3)
+            exact = certain_answer_exact_views(q, views, c, d, 3)
+        except Exception:
+            return
+        assert not (sound and not exact), "exactness can only add certain answers"
+
+    def test_exactness_separates(self):
+        """def(V) = a | b, ext = {(x, y)} only: under exact views no OTHER
+        pair may satisfy the view, but (x, y) still has two colorings, so
+        Q = a stays uncertain; with a second view pinning b elsewhere the
+        exact semantics forces the choice."""
+        views = ViewSetup(
+            {"V": "a | b", "W": "b"},
+            {"V": {("x", "y")}, "W": set()},
+        )
+        # Exact: ans(W) must be EMPTY, so the witness for V cannot use b!
+        assert not certain_answer_bruteforce("a", views, "x", "y", 3)
+        assert certain_answer_exact_views("a", views, "x", "y", 3)
+
+    def test_exact_agrees_when_language_is_rigid(self):
+        views = ViewSetup({"V": "a"}, {"V": {("x", "y")}})
+        for q, expected in [("a", True), ("b", False)]:
+            assert certain_answer_bruteforce(q, views, "x", "y", 2) == expected
+            assert certain_answer_exact_views(q, views, "x", "y", 2) == expected

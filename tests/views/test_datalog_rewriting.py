@@ -1,0 +1,62 @@
+"""Non-perfect Datalog rewritings (the Section 7 closing remark)."""
+
+import random
+
+import pytest
+
+from repro.views.certain import ViewSetup, certain_answer_bruteforce
+from repro.views.datalog_rewriting import certain_answer_kconsistency, datalog_rewriting
+from repro.views.template import certain_answer_via_csp
+
+
+class TestKConsistencyEvaluator:
+    def test_recovers_forced_composition(self):
+        vs = ViewSetup(
+            {"V1": "a", "V2": "b"}, {"V1": {("x", "y")}, "V2": {("y", "z")}}
+        )
+        assert certain_answer_kconsistency("a b", vs, "x", "z", k=2)
+        assert not certain_answer_kconsistency("a b", vs, "x", "y", k=2)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_soundness_on_random_extensions(self, seed):
+        """Goal derived ⟹ certainly an answer (never unsound)."""
+        rng = random.Random(seed)
+        objects = ["o1", "o2", "o3"]
+        base = ViewSetup({"V1": "a", "V2": "b"})
+        exts = {
+            n: {(rng.choice(objects), rng.choice(objects)) for _ in range(2)}
+            for n in base.definitions
+        }
+        views = base.with_extensions(exts)
+        c, d = rng.choice(objects), rng.choice(objects)
+        q = rng.choice(["a b", "a | b", "a b | b a"])
+        if certain_answer_kconsistency(q, views, c, d, k=2):
+            assert certain_answer_via_csp(q, views, c, d)
+
+    def test_monotone_in_k(self):
+        """Higher k derives at least as much (more pebbles, more power)."""
+        vs = ViewSetup(
+            {"V1": "a", "V2": "b"}, {"V1": {("x", "y")}, "V2": {("y", "z")}}
+        )
+        for c, d in [("x", "z"), ("x", "y"), ("y", "z")]:
+            k2 = certain_answer_kconsistency("a b", vs, c, d, k=2)
+            k3 = certain_answer_kconsistency("a b", vs, c, d, k=3)
+            assert not (k2 and not k3)
+
+    def test_non_perfect_in_general(self):
+        """The rewriting may miss certain answers at small k — we only
+        require soundness, verified against brute force."""
+        vs = ViewSetup({"V": "a | b"}, {"V": {("x", "y")}})
+        exact = certain_answer_bruteforce("a | b", vs, "x", "y", 2)
+        approx = certain_answer_kconsistency("a | b", vs, "x", "y", k=2)
+        assert exact  # ground truth: certainly an answer
+        assert not approx or exact  # soundness; approx may be False
+
+
+class TestMaterializedProgram:
+    def test_size_guard_raises_on_big_templates(self):
+        from repro.errors import SolverError
+
+        vs = ViewSetup({"V1": "a", "V2": "b"})
+        with pytest.raises(SolverError):
+            datalog_rewriting("a b", vs, k=2, max_sets=50)

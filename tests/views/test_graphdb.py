@@ -1,0 +1,142 @@
+"""Graph databases and RPQ evaluation."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.views.graphdb import GraphDatabase, rpq_answers, rpq_pairs_from
+
+
+def chain_db(labels):
+    db = GraphDatabase()
+    for i, label in enumerate(labels):
+        db.add_edge(f"n{i}", label, f"n{i+1}")
+    return db
+
+
+class TestGraphDatabase:
+    def test_add_edge_creates_nodes(self):
+        db = GraphDatabase()
+        db.add_edge("x", "a", "y")
+        assert db.nodes == frozenset({"x", "y"})
+        assert db.alphabet == frozenset({"a"})
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(DomainError):
+            GraphDatabase().add_edge("x", "", "y")
+
+    def test_edges_iteration(self):
+        db = chain_db(["a", "b"])
+        assert list(db.edges("a")) == [("n0", "a", "n1")]
+        assert db.num_edges() == 2
+
+    def test_copy_independent(self):
+        db = chain_db(["a"])
+        other = db.copy()
+        other.add_edge("x", "z", "y")
+        assert db.num_edges() == 1
+
+
+class TestRPQ:
+    def test_single_label(self):
+        db = chain_db(["a", "b"])
+        assert rpq_answers("a", db) == frozenset({("n0", "n1")})
+
+    def test_concatenation(self):
+        db = chain_db(["a", "b"])
+        assert rpq_answers("a b", db) == frozenset({("n0", "n2")})
+
+    def test_star_includes_self_pairs(self):
+        db = chain_db(["a", "a"])
+        answers = rpq_answers("a*", db)
+        assert ("n0", "n0") in answers  # ε-path
+        assert ("n0", "n2") in answers
+
+    def test_union(self):
+        db = GraphDatabase(edges=[("x", "a", "y"), ("x", "b", "z")])
+        assert rpq_answers("a | b", db) == frozenset({("x", "y"), ("x", "z")})
+
+    def test_cycle_pumping(self):
+        db = GraphDatabase(edges=[("x", "a", "y"), ("y", "a", "x")])
+        answers = rpq_answers("a a", db)
+        assert ("x", "x") in answers and ("y", "y") in answers
+
+    def test_pairs_from_single_source(self):
+        db = chain_db(["a", "a", "a"])
+        assert rpq_pairs_from("a a*", db, "n0") == frozenset({"n1", "n2", "n3"})
+
+    def test_no_match(self):
+        db = chain_db(["a"])
+        assert not rpq_answers("b", db)
+
+    def test_branching(self):
+        db = GraphDatabase(
+            edges=[("r", "a", "l"), ("r", "a", "m"), ("l", "b", "t"), ("m", "c", "t")]
+        )
+        assert rpq_answers("a b", db) == frozenset({("r", "t")})
+        assert rpq_answers("a (b | c)", db) == frozenset({("r", "t")})
+
+    def test_answers_monotone_under_edge_addition(self):
+        db = chain_db(["a", "b"])
+        before = rpq_answers("a b | b", db)
+        bigger = db.copy()
+        bigger.add_edge("n2", "b", "n0")
+        after = rpq_answers("a b | b", bigger)
+        assert before <= after
+
+
+class TestWitnessPaths:
+    def test_witness_path_spells_accepted_word(self):
+        from repro.views.graphdb import rpq_witness_path
+        from repro.views.regex import regex_to_nfa
+
+        db = chain_db(["a", "b", "a"])
+        path = rpq_witness_path("a b a", db, "n0", "n3")
+        assert path is not None
+        word = tuple(label for _u, label, _v in path)
+        assert regex_to_nfa("a b a").accepts(word)
+        assert path[0][0] == "n0" and path[-1][2] == "n3"
+
+    def test_edges_exist_in_database(self):
+        from repro.views.graphdb import rpq_witness_path
+
+        db = GraphDatabase(
+            edges=[("x", "a", "y"), ("y", "a", "x"), ("y", "b", "z")]
+        )
+        path = rpq_witness_path("a* b", db, "x", "z")
+        assert path is not None
+        edge_set = set(db.edges())
+        for edge in path:
+            assert edge in edge_set
+
+    def test_shortest_witness(self):
+        from repro.views.graphdb import rpq_witness_path
+
+        db = chain_db(["a", "a", "a", "a"])
+        db.add_edge("n0", "a", "n4")  # shortcut
+        path = rpq_witness_path("a+", db, "n0", "n4")
+        assert path == [("n0", "a", "n4")]
+
+    def test_epsilon_witness_is_empty_path(self):
+        from repro.views.graphdb import rpq_witness_path
+
+        db = chain_db(["a"])
+        assert rpq_witness_path("a*", db, "n0", "n0") == []
+
+    def test_no_witness(self):
+        from repro.views.graphdb import rpq_witness_path
+
+        db = chain_db(["a"])
+        assert rpq_witness_path("b", db, "n0", "n1") is None
+
+    def test_agrees_with_answers(self):
+        from repro.views.graphdb import rpq_answers, rpq_witness_path
+
+        db = GraphDatabase(
+            edges=[("x", "a", "y"), ("y", "b", "z"), ("z", "a", "x"), ("x", "b", "x")]
+        )
+        query = "(a | b) (a | b)"
+        answers = rpq_answers(query, db)
+        for u in db.nodes:
+            for v in db.nodes:
+                witness = rpq_witness_path(query, db, u, v)
+                assert (witness is not None) == ((u, v) in answers)

@@ -1,0 +1,92 @@
+"""Theorem 7.3: CSP ≤p view-based query answering, round-tripped."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.generators.graphs import directed_cycle_structure, random_digraph
+from repro.relational.homomorphism import homomorphism_exists
+from repro.relational.structure import Structure
+from repro.views.certain import certain_answer_bruteforce, is_consistent, witness_databases
+from repro.views.reduction import SINK, SOURCE, csp_to_view_reduction
+
+K2 = Structure({"E": 2}, [0, 1], {"E": [(0, 1), (1, 0)]})
+LOOP = Structure({"E": 2}, ["l"], {"E": [("l", "l")]})
+
+
+class TestConstruction:
+    def test_query_and_views_depend_only_on_b(self):
+        red = csp_to_view_reduction(K2)
+        assert set(red.definitions) == {"Vloop", "Vedge", "Vs", "Vt"}
+        # Finite languages of short words: exactly the gadget shapes.
+        loop_words = set(red.definitions["Vloop"].enumerate_words(2))
+        assert all(len(w) == 2 and w[0] == w[1] for w in loop_words)
+        edge_words = set(red.definitions["Vedge"].enumerate_words(2))
+        assert all(len(w) == 2 for w in edge_words)
+
+    def test_degenerate_templates_rejected(self):
+        with pytest.raises(DomainError):
+            csp_to_view_reduction(Structure({"E": 2}, [], {}))
+        with pytest.raises(DomainError):
+            csp_to_view_reduction(Structure({"E": 2}, [0], {}))
+
+    def test_extensions_encode_a(self):
+        red = csp_to_view_reduction(K2)
+        a = directed_cycle_structure(3)
+        views, c, d = red.setup_for(a)
+        assert c == SOURCE and d == SINK
+        assert views.extensions["Vedge"] == a.relation("E")
+        assert len(views.extensions["Vloop"]) == 3
+
+
+class TestRoundTrip:
+    """(c, d) ∉ cert(Q, V) ⟺ CSP(A, B) solvable — via the exact
+    brute-force certain checker (all view languages are finite, length 2)."""
+
+    def check(self, a, b):
+        red = csp_to_view_reduction(b)
+        views, c, d = red.setup_for(a)
+        cert = certain_answer_bruteforce(red.query, views, c, d, max_word_length=2)
+        assert (not cert) == homomorphism_exists(a, b)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_directed_cycles_vs_k2(self, n):
+        # Directed C_n → K2 iff n even.
+        self.check(directed_cycle_structure(n), K2)
+
+    def test_loop_template_always_solvable(self):
+        self.check(directed_cycle_structure(3), LOOP)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_digraphs_vs_k2(self, seed):
+        a = random_digraph(3, 0.5, seed=seed)
+        if not a.relation("E"):
+            return
+        self.check(a, K2)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_digraphs_vs_random_template(self, seed):
+        a = random_digraph(3, 0.5, seed=seed)
+        b = random_digraph(2, 0.7, seed=seed + 40, loops=True)
+        if not a.relation("E") or not b.relation("E"):
+            return
+        self.check(a, b)
+
+
+class TestWitnessStructure:
+    def test_homomorphism_yields_consistent_counterexample(self):
+        """When A → B exists, some witness database avoids the query match —
+        exhibited explicitly by coloring along the homomorphism."""
+        from repro.views.graphdb import rpq_answers
+
+        red = csp_to_view_reduction(K2)
+        a = directed_cycle_structure(4)  # 2-colorable
+        views, c, d = red.setup_for(a)
+        found_counterexample = False
+        for db in witness_databases(views, 2):
+            db.add_node(c)
+            db.add_node(d)
+            assert is_consistent(db, views)
+            if (c, d) not in rpq_answers(red.query, db):
+                found_counterexample = True
+                break
+        assert found_counterexample

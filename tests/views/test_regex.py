@@ -1,0 +1,149 @@
+"""Regex parsing and Thompson construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.views.regex import (
+    ConcatRe,
+    EpsilonRe,
+    SymbolRe,
+    StarRe,
+    UnionRe,
+    parse_regex,
+    regex_to_nfa,
+    symbols_of,
+)
+
+
+class TestParser:
+    def test_symbol(self):
+        assert parse_regex("a") == SymbolRe("a")
+
+    def test_multichar_symbols(self):
+        assert parse_regex("edge_1") == SymbolRe("edge_1")
+
+    def test_concat_by_juxtaposition(self):
+        r = parse_regex("a b c")
+        assert isinstance(r, ConcatRe)
+        assert len(r.parts) == 3
+
+    def test_union_precedence(self):
+        r = parse_regex("a b | c")
+        assert isinstance(r, UnionRe)
+        assert isinstance(r.parts[0], ConcatRe)
+
+    def test_star_binds_tightest(self):
+        r = parse_regex("a b*")
+        assert isinstance(r, ConcatRe)
+        assert isinstance(r.parts[1], StarRe)
+
+    def test_plus_and_question_sugar(self):
+        plus = parse_regex("a+")
+        assert isinstance(plus, ConcatRe)
+        opt = parse_regex("a?")
+        assert isinstance(opt, UnionRe)
+        assert EpsilonRe() in opt.parts
+
+    def test_parentheses(self):
+        r = parse_regex("(a | b)*")
+        assert isinstance(r, StarRe)
+
+    def test_epsilon_spellings(self):
+        assert parse_regex("ε") == EpsilonRe()
+        assert parse_regex("eps") == EpsilonRe()
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(ParseError):
+            parse_regex("(a")
+        with pytest.raises(ParseError):
+            parse_regex("a)")
+
+    def test_symbols_of(self):
+        assert symbols_of(parse_regex("a (b | c)* a")) == frozenset({"a", "b", "c"})
+
+
+class TestThompson:
+    @pytest.mark.parametrize(
+        "pattern,accepted,rejected",
+        [
+            ("a", [("a",)], [(), ("b",), ("a", "a")]),
+            ("a b", [("a", "b")], [("a",), ("b", "a")]),
+            ("a | b", [("a",), ("b",)], [(), ("a", "b")]),
+            ("a*", [(), ("a",), ("a", "a", "a")], [("b",)]),
+            ("a+", [("a",), ("a", "a")], [()]),
+            ("a?", [(), ("a",)], [("a", "a")]),
+            ("(a b)*", [(), ("a", "b"), ("a", "b", "a", "b")], [("a",), ("b", "a")]),
+            ("ε", [()], [("a",)]),
+        ],
+    )
+    def test_language_membership(self, pattern, accepted, rejected):
+        nfa = regex_to_nfa(pattern, frozenset({"a", "b"}))
+        for w in accepted:
+            assert nfa.accepts(w), (pattern, w)
+        for w in rejected:
+            assert not nfa.accepts(w), (pattern, w)
+
+    def test_empty_language(self):
+        nfa = regex_to_nfa("∅")
+        assert nfa.is_empty()
+
+    def test_string_shorthand(self):
+        assert regex_to_nfa("a b").accepts(("a", "b"))
+
+
+def reference_match(node, word):
+    """Reference regex matcher by brute-force word splitting (exponential,
+    for small test words only)."""
+    from repro.views.regex import EmptyRe
+
+    if isinstance(node, SymbolRe):
+        return word == (node.symbol,)
+    if isinstance(node, EpsilonRe):
+        return word == ()
+    if isinstance(node, EmptyRe):
+        return False
+    if isinstance(node, UnionRe):
+        return any(reference_match(p, word) for p in node.parts)
+    if isinstance(node, ConcatRe):
+        if not node.parts:
+            return word == ()
+        head, rest = node.parts[0], ConcatRe(node.parts[1:])
+        return any(
+            reference_match(head, word[:i]) and reference_match(rest, word[i:])
+            for i in range(len(word) + 1)
+        )
+    if isinstance(node, StarRe):
+        if word == ():
+            return True
+        return any(
+            i > 0
+            and reference_match(node.inner, word[:i])
+            and reference_match(node, word[i:])
+            for i in range(1, len(word) + 1)
+        )
+    raise AssertionError(node)
+
+
+@st.composite
+def regex_ast(draw, depth=3):
+    if depth == 0:
+        return draw(
+            st.sampled_from([SymbolRe("a"), SymbolRe("b"), EpsilonRe()])
+        )
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(st.sampled_from([SymbolRe("a"), SymbolRe("b")]))
+    if kind == 1:
+        return ConcatRe((draw(regex_ast(depth - 1)), draw(regex_ast(depth - 1))))
+    if kind == 2:
+        return UnionRe((draw(regex_ast(depth - 1)), draw(regex_ast(depth - 1))))
+    return StarRe(draw(regex_ast(depth - 1)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex_ast(), st.lists(st.sampled_from(["a", "b"]), max_size=4).map(tuple))
+def test_thompson_matches_reference_semantics(ast, word):
+    nfa = regex_to_nfa(ast, frozenset({"a", "b"}))
+    assert nfa.accepts(word) == reference_match(ast, word)

@@ -1,0 +1,140 @@
+"""Maximal RPQ rewritings: soundness, maximality, and the gap to perfection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.views.certain import ViewSetup, certain_answer
+from repro.views.rewriting import (
+    evaluate_rewriting,
+    expansion_nfa,
+    is_sound_rewriting_word,
+    maximal_rewriting,
+    view_transition_relation,
+)
+from repro.views.regex import regex_to_nfa
+
+
+class TestExpansion:
+    def test_expansion_language(self):
+        vs = ViewSetup({"V1": "a b", "V2": "c | d"})
+        nfa = expansion_nfa(("V1", "V2"), vs)
+        assert nfa.accepts(("a", "b", "c"))
+        assert nfa.accepts(("a", "b", "d"))
+        assert not nfa.accepts(("a", "b"))
+
+    def test_empty_word_expansion(self):
+        vs = ViewSetup({"V1": "a"})
+        nfa = expansion_nfa((), vs)
+        assert nfa.accepts(())
+        assert not nfa.accepts(("a",))
+
+
+class TestSoundWord:
+    def test_sound_and_unsound(self):
+        vs = ViewSetup({"V1": "a b", "V2": "c", "V3": "a | c"})
+        assert is_sound_rewriting_word(("V1", "V2"), "a b c", vs)
+        # V3 can expand to 'c': a b c not guaranteed.
+        assert not is_sound_rewriting_word(("V1", "V3"), "a b c", vs)
+
+
+class TestMaximalRewriting:
+    def test_star_case(self):
+        vs = ViewSetup({"V1": "a b"})
+        rw = maximal_rewriting("(a b)*", vs)
+        assert rw.accepts(())
+        assert rw.accepts(("V1", "V1", "V1"))
+
+    def test_exact_cover(self):
+        vs = ViewSetup({"V1": "a b", "V2": "c", "V3": "a"})
+        rw = maximal_rewriting("a b c", vs)
+        assert rw.accepts(("V1", "V2"))
+        assert not rw.accepts(("V3", "V2"))
+        assert not rw.accepts(("V1",))
+
+    def test_no_rewriting_when_views_useless(self):
+        vs = ViewSetup({"V1": "c"})
+        rw = maximal_rewriting("a b", vs)
+        assert rw.to_nfa().is_empty()
+
+    def test_rewriting_evaluation_subset_of_certain(self):
+        vs = ViewSetup(
+            {"V1": "a b", "V2": "c"},
+            {"V1": {("x", "y"), ("y", "w")}, "V2": {("y", "z")}},
+        )
+        rw = maximal_rewriting("a b c", vs)
+        answers = evaluate_rewriting(rw, vs)
+        assert answers == frozenset({("x", "z")})
+        for c, d in answers:
+            assert certain_answer("a b c", vs, c, d)
+
+    def test_gap_to_perfect_rewriting(self):
+        """Section 7's point: the maximal RPQ rewriting can be strictly
+        weaker than the certain answers.  With def(V) = a | b and Q = a | b,
+        a single view edge certainly answers Q, and indeed the one-letter
+        rewriting word V is sound here — so instead separate via a query the
+        view can't compose: Q = a with def(V) = a | b gives an empty
+        rewriting although cert is also empty... we exhibit the classic gap:
+        two views whose *combination* certainly answers, pairwise not."""
+        # def(V1)=a, def(V2)=b; Q = a b | b a.  ext: V1 = {(x,y)}, V2 = {(x,y)}.
+        # No view word is sound: V1 V2 expands to "a b" ⊆ Q ✓ — actually
+        # sound; check it IS found:
+        vs = ViewSetup({"V1": "a", "V2": "b"}, {"V1": {("x", "y")}, "V2": {("y", "z")}})
+        rw = maximal_rewriting("a b | b a", vs)
+        assert rw.accepts(("V1", "V2"))
+        assert rw.accepts(("V2", "V1"))
+        assert not rw.accepts(("V1", "V1"))
+
+
+class TestViewTransitionRelation:
+    def test_relation_matches_word_runs(self):
+        dfa = regex_to_nfa("a b", frozenset({"a", "b"})).to_dfa().minimized()
+        view = regex_to_nfa("a", frozenset({"a", "b"}))
+        relation = view_transition_relation(dfa, view)
+        for p, q in relation:
+            assert dfa.delta[(p, "a")] == q
+
+
+words = st.lists(st.sampled_from(["V1", "V2"]), max_size=3).map(tuple)
+
+
+@settings(max_examples=40, deadline=None)
+@given(words)
+def test_rewriting_membership_iff_sound(word):
+    """The defining property: w ∈ maximal rewriting ⟺ every expansion of w
+    lies in L(Q)."""
+    vs = ViewSetup({"V1": "a b | a", "V2": "b*"})
+    query = "a b* | (a b) (a b)*"
+    rw = maximal_rewriting(query, vs)
+    assert rw.accepts(word) == is_sound_rewriting_word(word, query, vs)
+
+
+class TestTheorem72Gap:
+    """Theorem 7.2's content, demonstrated: the perfect rewriting (= the
+    certain-answer function) can answer where the maximal *RPQ* rewriting
+    cannot — through the Theorem 7.3 reduction, whose perfect rewriting
+    embeds co-NP-complete CSPs and therefore cannot be an RPQ."""
+
+    def test_maximal_rpq_rewriting_strictly_weaker_than_perfect(self):
+        from repro.relational.structure import Structure
+        from repro.views.certain import certain_answer_bruteforce
+        from repro.views.reduction import csp_to_view_reduction
+
+        k2 = Structure({"E": 2}, [0, 1], {"E": [(0, 1), (1, 0)]})
+        reduction = csp_to_view_reduction(k2)
+        # The symmetric triangle is not 2-colorable, so (c, d) is certain.
+        triangle = Structure(
+            {"E": 2},
+            range(3),
+            {"E": [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]},
+        )
+        views, c, d = reduction.setup_for(triangle)
+        assert certain_answer_bruteforce(reduction.query, views, c, d, 2)
+
+        # The maximal RPQ rewriting is sound but answers nothing here: every
+        # view word admits an innocent expansion outside L(Q), because the
+        # expansions of different view edges are chosen independently.
+        rewriting = maximal_rewriting(reduction.query, views)
+        answers = evaluate_rewriting(rewriting, views)
+        assert (c, d) not in answers
+        assert answers == frozenset()

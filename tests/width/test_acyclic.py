@@ -1,0 +1,145 @@
+"""GYO reduction, join trees, and Yannakakis evaluation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.solvers import brute
+from repro.errors import DecompositionError
+from repro.generators.csp_random import coloring_instance
+from repro.generators.graphs import cycle_graph, path_graph
+from repro.width.acyclic import (
+    gyo_reduction,
+    is_acyclic,
+    join_tree,
+    yannakakis_is_solvable,
+    yannakakis_solve,
+)
+
+NE = {(0, 1), (1, 0)}
+
+
+def H(*edge_sets):
+    return [frozenset(e) for e in edge_sets]
+
+
+class TestGYO:
+    def test_path_hypergraph_acyclic(self):
+        assert is_acyclic(H("ab", "bc", "cd"))
+
+    def test_triangle_of_edges_cyclic(self):
+        assert not is_acyclic(H("ab", "bc", "ca"))
+
+    def test_triangle_with_covering_edge_acyclic(self):
+        # α-acyclicity: adding the big hyperedge makes it acyclic.
+        assert is_acyclic(H("ab", "bc", "ca", "abc"))
+
+    def test_star_acyclic(self):
+        assert is_acyclic(H("ab", "ac", "ad"))
+
+    def test_single_edge(self):
+        assert is_acyclic(H("abc"))
+
+    def test_empty_hypergraph(self):
+        assert is_acyclic([])
+
+    def test_reduction_records_parents(self):
+        remaining, parents = gyo_reduction(H("ab", "bc"))
+        assert all(not r for r in remaining)
+        assert len(parents) <= 1  # one absorption (the other dies as ear-root)
+
+
+class TestJoinTree:
+    def test_cyclic_raises(self):
+        with pytest.raises(DecompositionError):
+            join_tree(H("ab", "bc", "ca"))
+
+    def test_acyclic_builds_forest(self):
+        tree = join_tree(H("ab", "bc", "cd"))
+        assert len(tree.roots) >= 1
+        order = tree.topological_order()
+        assert len(order) == 3
+
+    def test_children_before_parents(self):
+        tree = join_tree(H("ab", "bc", "cd"))
+        order = tree.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for child, parent in tree.parent.items():
+            assert position[child] < position[parent]
+
+    def test_disconnected_components(self):
+        tree = join_tree(H("ab", "cd"))
+        assert len(tree.topological_order()) == 2
+
+
+class TestYannakakis:
+    def test_acyclic_coloring_solved(self):
+        inst = coloring_instance(path_graph(6), 2)
+        solution = yannakakis_solve(inst)
+        assert solution is not None
+        assert inst.is_solution(solution)
+
+    def test_unsolvable_detected(self):
+        eq = {(0, 0), (1, 1)}
+        inst = CSPInstance(
+            ["x", "y"],
+            [0, 1],
+            [Constraint(("x", "y"), NE), Constraint(("y", "x"), eq)],
+        )
+        # x≠y and y=x simultaneously: empty join, acyclic hypergraph.
+        assert not yannakakis_is_solvable(inst)
+        assert yannakakis_solve(inst) is None
+
+    def test_cyclic_instance_raises(self):
+        inst = coloring_instance(cycle_graph(3), 3)
+        with pytest.raises(DecompositionError):
+            yannakakis_is_solvable(inst)
+
+    def test_star_queries(self):
+        inst = CSPInstance(
+            ["c", "l1", "l2", "l3"],
+            [0, 1],
+            [Constraint(("c", leaf), NE) for leaf in ("l1", "l2", "l3")],
+        )
+        solution = yannakakis_solve(inst)
+        assert solution is not None and inst.is_solution(solution)
+
+    def test_no_constraints(self):
+        inst = CSPInstance(["x"], [0, 1], [])
+        assert yannakakis_is_solvable(inst)
+        assert yannakakis_solve(inst) is not None
+
+    def test_ternary_acyclic(self):
+        rows = {(0, 0, 1), (1, 0, 1)}
+        inst = CSPInstance(
+            ["x", "y", "z", "w"],
+            [0, 1],
+            [Constraint(("x", "y", "z"), rows), Constraint(("z", "w"), NE)],
+        )
+        solution = yannakakis_solve(inst)
+        assert solution is not None and inst.is_solution(solution)
+
+
+@st.composite
+def acyclic_instances(draw):
+    """Random path-shaped (hence acyclic) binary CSPs."""
+    n = draw(st.integers(2, 5))
+    constraints = []
+    for i in range(n - 1):
+        rows = draw(
+            st.sets(st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=0, max_size=4)
+        )
+        constraints.append(Constraint((i, i + 1), rows))
+    return CSPInstance(list(range(n)), [0, 1], constraints)
+
+
+@settings(max_examples=60, deadline=None)
+@given(acyclic_instances())
+def test_yannakakis_matches_brute_force(instance):
+    assert yannakakis_is_solvable(instance) == brute.is_solvable(instance)
+    solution = yannakakis_solve(instance)
+    if solution is not None:
+        assert instance.is_solution(solution)
+    else:
+        assert not brute.is_solvable(instance)

@@ -1,0 +1,111 @@
+"""The minimal Graph type, cross-checked against networkx where useful."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.graphs import complete_graph, cycle_graph, grid_graph, path_graph
+from repro.width.graph import Graph
+
+
+class TestBasics:
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.vertices == frozenset({1, 2})
+        assert g.has_edge(2, 1)
+
+    def test_self_loops_ignored(self):
+        g = Graph()
+        g.add_edge(1, 1)
+        assert g.num_edges() == 0
+        assert 1 in g.vertices
+
+    def test_remove_vertex(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_vertex(2)
+        assert g.vertices == frozenset({1, 3})
+        assert g.num_edges() == 0
+
+    def test_degree_and_neighbors(self):
+        g = Graph(edges=[(1, 2), (1, 3)])
+        assert g.degree(1) == 2
+        assert g.neighbors(1) == frozenset({2, 3})
+
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(1, 2)])
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert g.num_edges() == 1
+
+    def test_subgraph(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 1)])
+        sub = g.subgraph([1, 2])
+        assert sub.num_edges() == 1
+
+
+class TestAlgorithms:
+    def test_connected_components(self):
+        g = Graph(vertices=[5], edges=[(1, 2), (3, 4)])
+        comps = {frozenset(c) for c in g.connected_components()}
+        assert comps == {frozenset({1, 2}), frozenset({3, 4}), frozenset({5})}
+
+    def test_is_connected(self):
+        assert path_graph(5).is_connected()
+        assert not Graph(vertices=[1, 2]).is_connected()
+        assert Graph().is_connected()  # vacuous
+
+    def test_bipartite_cycles(self):
+        assert cycle_graph(4).is_bipartite()
+        assert not cycle_graph(5).is_bipartite()
+
+    def test_bipartition_is_proper(self):
+        parts = cycle_graph(6).bipartition()
+        assert parts is not None
+        left, right = parts
+        g = cycle_graph(6)
+        for u, v in g.edges():
+            assert (u in left) != (v in left)
+
+    def test_is_tree(self):
+        assert path_graph(4).is_tree()
+        assert not cycle_graph(4).is_tree()
+        assert not Graph(vertices=[1, 2]).is_tree()  # disconnected
+        assert Graph().is_tree()
+
+    def test_grid_structure(self):
+        g = grid_graph(3, 3)
+        assert g.num_vertices() == 9
+        assert g.num_edges() == 12
+
+    def test_complete_graph_edges(self):
+        assert complete_graph(5).num_edges() == 10
+
+
+edge_sets = st.sets(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)).filter(lambda e: e[0] != e[1]),
+    max_size=15,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(edge_sets)
+def test_bipartiteness_matches_networkx(edges):
+    g = Graph(vertices=range(7), edges=edges)
+    ng = nx.Graph()
+    ng.add_nodes_from(range(7))
+    ng.add_edges_from(edges)
+    assert g.is_bipartite() == nx.is_bipartite(ng)
+
+
+@settings(max_examples=50, deadline=None)
+@given(edge_sets)
+def test_components_match_networkx(edges):
+    g = Graph(vertices=range(7), edges=edges)
+    ng = nx.Graph()
+    ng.add_nodes_from(range(7))
+    ng.add_edges_from(edges)
+    ours = {frozenset(c) for c in g.connected_components()}
+    theirs = {frozenset(c) for c in nx.connected_components(ng)}
+    assert ours == theirs

@@ -1,0 +1,251 @@
+"""Hypertree-width and querywidth bounds — the Section 6 width comparison."""
+
+import pytest
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.errors import DecompositionError
+from repro.generators.csp_random import coloring_instance
+from repro.generators.graphs import complete_graph, cycle_graph, path_graph
+from repro.width.hypertree import (
+    hypertree_width_interval,
+    hypertree_width_lower_bound,
+    hypertree_width_upper_bound,
+    instance_hypertree_interval,
+    minimum_edge_cover,
+)
+from repro.width.querywidth import (
+    incidence_treewidth,
+    query_width_interval,
+    query_width_upper_bound,
+)
+
+
+def H(*edge_sets):
+    return [frozenset(e) for e in edge_sets]
+
+
+class TestMinimumEdgeCover:
+    def test_single_edge_covers(self):
+        assert minimum_edge_cover(frozenset("ab"), H("ab", "cd")) == [0]
+
+    def test_needs_two(self):
+        cover = minimum_edge_cover(frozenset("abc"), H("ab", "bc"))
+        assert cover is not None and len(cover) == 2
+
+    def test_uncoverable(self):
+        assert minimum_edge_cover(frozenset("az"), H("ab")) is None
+
+    def test_prefers_smaller(self):
+        cover = minimum_edge_cover(frozenset("abc"), H("ab", "bc", "abc"))
+        assert cover is not None and len(cover) == 1
+
+
+class TestHypertreeWidth:
+    def test_acyclic_is_width_one(self):
+        assert hypertree_width_interval(H("ab", "bc", "cd")) == (1, 1)
+
+    def test_triangle_of_edges_is_two(self):
+        lower, upper = hypertree_width_interval(H("ab", "bc", "ca"))
+        assert (lower, upper) == (2, 2)
+
+    def test_cycle_hypergraph(self):
+        edges = [frozenset({i, (i + 1) % 6}) for i in range(6)]
+        lower, upper = hypertree_width_interval(edges)
+        assert lower == 2
+        assert upper <= 3
+
+    def test_decomposition_certificate_valid(self):
+        hd = hypertree_width_upper_bound(H("ab", "bc", "ca"))
+        assert hd.is_valid()
+        assert hd.width == 2
+
+    def test_empty_hyperedges_rejected(self):
+        with pytest.raises(DecompositionError):
+            hypertree_width_upper_bound([frozenset()])
+
+    def test_lower_bound_values(self):
+        assert hypertree_width_lower_bound(H("ab")) == 1
+        assert hypertree_width_lower_bound(H("ab", "bc", "ca")) == 2
+        assert hypertree_width_lower_bound([]) == 0
+
+    def test_clique_from_big_hyperedge_is_one(self):
+        """The signature hypertree-width fact: one big hyperedge covering a
+        clique keeps ghw = 1 while the treewidth is n−1."""
+        assert hypertree_width_interval(H("abcdef")) == (1, 1)
+
+
+class TestInstanceWidths:
+    def test_triangle_coloring(self):
+        inst = coloring_instance(cycle_graph(3), 2)
+        assert instance_hypertree_interval(inst) == (2, 2)
+
+    def test_path_coloring(self):
+        inst = coloring_instance(path_graph(5), 2)
+        assert instance_hypertree_interval(inst) == (1, 1)
+
+    def test_single_big_constraint_is_acyclic(self):
+        rows = {(0, 0, 0, 0)}
+        inst = CSPInstance(list("abcd"), [0], [Constraint(tuple("abcd"), rows)])
+        assert instance_hypertree_interval(inst) == (1, 1)
+        assert query_width_interval(inst) == (1, 1)
+
+
+class TestQueryWidth:
+    def test_acyclic_query_width_one(self):
+        inst = coloring_instance(path_graph(4), 2)
+        assert query_width_interval(inst) == (1, 1)
+
+    def test_cyclic_lower_bound_two(self):
+        inst = coloring_instance(cycle_graph(4), 2)
+        lower, upper = query_width_interval(inst)
+        assert lower == 2
+        assert upper >= lower
+
+    def test_incidence_treewidth_small_for_paths(self):
+        inst = coloring_instance(path_graph(5), 2)
+        assert incidence_treewidth(inst) <= 2
+
+    def test_upper_bound_at_most_constraints(self):
+        inst = coloring_instance(cycle_graph(4), 2)
+        assert query_width_upper_bound(inst) <= len(inst.constraints)
+
+    def test_no_constraints(self):
+        inst = CSPInstance(["x"], [0], [])
+        assert query_width_upper_bound(inst) == 0
+
+
+class TestWidthHierarchy:
+    """The Section 6 story: tw can be huge while ghw stays 1; acyclic is
+    the common floor; querywidth bounds hypertree width from above."""
+
+    def test_clique_separates_treewidth_from_hypertree_width(self):
+        from repro.width.treedecomp import treewidth_of_instance
+
+        n = 6
+        rows = {tuple(range(n))}  # one n-ary constraint (domain big enough)
+        inst = CSPInstance(
+            list(range(n)), list(range(n)), [Constraint(tuple(range(n)), rows)]
+        )
+        assert treewidth_of_instance(inst) == n - 1
+        assert instance_hypertree_interval(inst) == (1, 1)
+
+    def test_acyclic_instances_have_all_widths_one(self):
+        inst = coloring_instance(path_graph(6), 2)
+        assert instance_hypertree_interval(inst)[1] == 1
+        assert query_width_interval(inst)[1] == 1
+
+
+class TestQueryDecompositionCertificates:
+    """The Chekuri–Rajaraman construction as an executable certificate."""
+
+    def test_certificates_are_valid(self):
+        from repro.width.querywidth import query_decomposition_from_incidence
+        from repro.generators.csp_random import coloring_instance
+        from repro.generators.graphs import cycle_graph, grid_graph, path_graph
+
+        for inst in [
+            coloring_instance(path_graph(5), 2),
+            coloring_instance(cycle_graph(5), 2),
+            coloring_instance(grid_graph(2, 3), 2),
+        ]:
+            qd = query_decomposition_from_incidence(inst)
+            assert qd.is_valid()
+            assert qd.width >= 1
+
+    def test_certificate_width_upper_bounds_interval(self):
+        from repro.width.querywidth import (
+            query_decomposition_from_incidence,
+            query_width_lower_bound,
+        )
+        from repro.generators.csp_random import coloring_instance
+        from repro.generators.graphs import cycle_graph
+
+        inst = coloring_instance(cycle_graph(6), 2)
+        qd = query_decomposition_from_incidence(inst)
+        assert query_width_lower_bound(inst) <= qd.width
+
+    def test_invalid_tree_rejected(self):
+        import pytest as _pytest
+
+        from repro.errors import DecompositionError
+        from repro.width.querywidth import QueryDecomposition
+
+        with _pytest.raises(DecompositionError):
+            QueryDecomposition(
+                {0: {0}, 1: {0}, 2: {0}},
+                {0: set(), 1: set(), 2: set()},
+                [(0, 1), (1, 2), (2, 0)],
+                [frozenset({"x"})],
+            )
+
+    def test_missing_atom_invalid(self):
+        from repro.width.querywidth import QueryDecomposition
+
+        qd = QueryDecomposition(
+            {0: {0}},
+            {0: set()},
+            [],
+            [frozenset({"x"}), frozenset({"y"})],  # atom 1 uncovered
+        )
+        assert not qd.is_valid()
+
+    def test_disconnected_variable_invalid(self):
+        from repro.width.querywidth import QueryDecomposition
+
+        # Variable "x" covered at nodes 0 and 2 but not at 1.
+        qd = QueryDecomposition(
+            {0: {0}, 1: set(), 2: {1}},
+            {0: set(), 1: {"z"}, 2: set()},
+            [(0, 1), (1, 2)],
+            [frozenset({"x", "y"}), frozenset({"x", "w"})],
+        )
+        assert not qd.is_valid()
+
+
+class TestExactGeneralizedHypertreeWidth:
+    def test_known_values(self):
+        from repro.width.hypertree import exact_generalized_hypertree_width as ghw
+
+        assert ghw(H("ab", "bc", "cd")) == 1
+        assert ghw(H("ab", "bc", "ca")) == 2
+        assert ghw(H("abcdef")) == 1
+        assert ghw(H("ab", "ac", "ad", "bc", "bd", "cd")) == 2  # K4 by edges
+        assert ghw([frozenset({i, (i + 1) % 6}) for i in range(6)]) == 2
+        assert ghw([]) == 0
+
+    def test_within_interval_bounds(self):
+        import random
+
+        from repro.width.hypertree import (
+            exact_generalized_hypertree_width as ghw,
+            hypertree_width_interval,
+        )
+
+        rng = random.Random(7)
+        for _ in range(12):
+            n = rng.randint(3, 6)
+            edges = [
+                frozenset(rng.sample(range(n), rng.randint(2, 3)))
+                for _ in range(rng.randint(2, 6))
+            ]
+            lo, hi = hypertree_width_interval(edges)
+            exact = ghw(edges)
+            assert lo <= exact <= hi
+
+    def test_size_guard(self):
+        from repro.errors import DecompositionError
+        from repro.width.hypertree import exact_generalized_hypertree_width as ghw
+
+        big = [frozenset({i, i + 1}) for i in range(20)]
+        with pytest.raises(DecompositionError):
+            ghw(big, max_vertices=10)
+
+    def test_dominated_by_treewidth_plus_one(self):
+        """ghw ≤ tw + 1 always (cover each bag element by one edge)."""
+        from repro.width.hypertree import exact_generalized_hypertree_width as ghw
+        from repro.width.treedecomp import treewidth_exact
+        from repro.width.graph import Graph
+
+        edges = [frozenset({i, (i + 1) % 5}) for i in range(5)]
+        g = Graph(edges=[tuple(e) for e in edges])
+        assert ghw(edges) <= treewidth_exact(g) + 1

@@ -1,0 +1,188 @@
+"""Tree decompositions and treewidth, with networkx as an oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecompositionError
+from repro.generators.csp_random import coloring_instance
+from repro.generators.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    partial_ktree,
+    path_graph,
+    random_graph,
+)
+from repro.width.gaifman import constraint_graph, gaifman_graph
+from repro.width.graph import Graph
+from repro.width.treedecomp import (
+    TreeDecomposition,
+    decomposition_of_instance,
+    from_elimination_order,
+    heuristic_decomposition,
+    min_degree_order,
+    min_fill_order,
+    treewidth_exact,
+    treewidth_of_instance,
+    treewidth_of_structure,
+    treewidth_upper_bound,
+)
+from repro.relational.structure import Structure
+
+
+class TestTreeDecomposition:
+    def test_width(self):
+        td = TreeDecomposition({0: {1, 2}, 1: {2, 3}}, [(0, 1)])
+        assert td.width == 1
+
+    def test_rejects_empty_bag(self):
+        with pytest.raises(DecompositionError):
+            TreeDecomposition({0: set()}, [])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(DecompositionError):
+            TreeDecomposition(
+                {0: {1}, 1: {1}, 2: {1}}, [(0, 1), (1, 2), (2, 0)]
+            )
+
+    def test_rejects_unknown_edge_node(self):
+        with pytest.raises(DecompositionError):
+            TreeDecomposition({0: {1}}, [(0, 7)])
+
+    def test_validity_conditions(self):
+        # A valid decomposition of the triangle: one bag with everything.
+        td = TreeDecomposition({0: {1, 2, 3}}, [])
+        assert td.is_valid_for([1, 2, 3], [frozenset({1, 2}), frozenset({2, 3})])
+        # Missing coverage of a hyperedge:
+        td2 = TreeDecomposition({0: {1, 2}, 1: {3}}, [(0, 1)])
+        assert not td2.is_valid_for([1, 2, 3], [frozenset({1, 3})])
+
+    def test_connectivity_condition(self):
+        # Vertex 1 appears in two non-adjacent bags: invalid.
+        td = TreeDecomposition({0: {1}, 1: {2}, 2: {1}}, [(0, 1), (1, 2)])
+        assert not td.is_valid_for([1, 2], [])
+
+    def test_rooted(self):
+        td = TreeDecomposition({0: {1}, 1: {1, 2}, 2: {2, 3}}, [(0, 1), (1, 2)])
+        root, children = td.rooted(0)
+        assert root == 0
+        assert children[0] == [1]
+        assert children[1] == [2]
+
+
+class TestEliminationOrders:
+    def test_path_order_width_one(self):
+        g = path_graph(5)
+        td = from_elimination_order(g, [0, 4, 1, 3, 2])
+        assert td.width <= 1
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(DecompositionError):
+            from_elimination_order(path_graph(3), [0, 1])
+
+    def test_decomposition_is_valid(self):
+        g = cycle_graph(6)
+        for order_fn in (min_degree_order, min_fill_order):
+            td = from_elimination_order(g, order_fn(g))
+            hyperedges = [frozenset(e) for e in g.edges()]
+            assert td.is_valid_for(g.vertices, hyperedges)
+
+    def test_disconnected_graph_handled(self):
+        g = Graph(vertices=[0, 1, 2, 3], edges=[(0, 1), (2, 3)])
+        td = from_elimination_order(g, min_degree_order(g))
+        assert td.is_valid_for(g.vertices, [frozenset({0, 1}), frozenset({2, 3})])
+
+
+class TestExactTreewidth:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(6), 1),
+            (cycle_graph(5), 2),
+            (complete_graph(5), 4),
+            (grid_graph(3, 3), 3),
+            (Graph(vertices=[0]), 0),
+            (Graph(vertices=[0, 1]), 0),
+        ],
+    )
+    def test_known_values(self, graph, expected):
+        assert treewidth_exact(graph) == expected
+
+    def test_empty_graph(self):
+        assert treewidth_exact(Graph()) == -1
+
+    def test_partial_ktree_bound(self):
+        for k in (1, 2, 3):
+            g = partial_ktree(10, k, 0.8, seed=k)
+            assert treewidth_exact(g) <= k
+
+    def test_heuristic_upper_bounds_exact(self):
+        for seed in range(6):
+            g = random_graph(8, 0.35, seed=seed)
+            assert treewidth_upper_bound(g) >= treewidth_exact(g)
+
+    def test_heuristic_never_below_networkx_heuristic_lower(self):
+        # Exact value sits between any lower bound and our heuristic.
+        for seed in range(4):
+            g = random_graph(7, 0.4, seed=seed)
+            ng = nx.Graph(list(g.edges()))
+            ng.add_nodes_from(g.vertices)
+            nx_width, _ = nx.algorithms.approximation.treewidth_min_fill_in(ng)
+            exact = treewidth_exact(g)
+            assert exact <= treewidth_upper_bound(g)
+            assert exact <= nx_width  # networkx gives an upper bound too
+
+
+class TestStructureAndInstanceWidths:
+    def test_structure_treewidth(self):
+        s = Structure({"E": 2}, range(4), {"E": [(0, 1), (1, 2), (2, 3)]})
+        assert treewidth_of_structure(s) == 1
+
+    def test_ternary_tuples_form_cliques(self):
+        s = Structure({"R": 3}, range(3), {"R": [(0, 1, 2)]})
+        assert treewidth_of_structure(s) == 2
+
+    def test_instance_treewidth(self):
+        inst = coloring_instance(cycle_graph(5), 3)
+        assert treewidth_of_instance(inst) == 2
+
+    def test_decomposition_of_instance_valid(self):
+        inst = coloring_instance(grid_graph(2, 3), 2)
+        td = decomposition_of_instance(inst)
+        hyperedges = [frozenset(c.scope) for c in inst.constraints]
+        assert td.is_valid_for(inst.variables, hyperedges)
+
+    def test_no_variables_raises(self):
+        from repro.csp.instance import CSPInstance
+
+        with pytest.raises(DecompositionError):
+            decomposition_of_instance(CSPInstance([], [0], []))
+
+
+edge_sets = st.sets(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)).filter(lambda e: e[0] != e[1]),
+    max_size=10,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_sets)
+def test_elimination_decompositions_always_valid(edges):
+    g = Graph(vertices=range(6), edges=edges)
+    td = from_elimination_order(g, min_degree_order(g))
+    hyperedges = [frozenset(e) for e in g.edges()]
+    assert td.is_valid_for(g.vertices, hyperedges)
+    assert td.width >= treewidth_exact(g)
+
+
+@settings(max_examples=25, deadline=None)
+@given(edge_sets)
+def test_exact_treewidth_matches_definition_via_orders(edges):
+    """Exact width ≤ width of every elimination order (spot: two heuristics)."""
+    g = Graph(vertices=range(6), edges=edges)
+    exact = treewidth_exact(g)
+    for order_fn in (min_degree_order, min_fill_order):
+        td = from_elimination_order(g, order_fn(g))
+        assert exact <= td.width
