@@ -13,6 +13,7 @@ import pytest
 from repro.csp.solvers import backtracking, join
 from repro.generators.csp_random import coloring_instance, random_binary_csp
 from repro.generators.graphs import cycle_graph, path_graph
+from repro.relational.stats import collect_stats
 
 
 def _instances(tightness):
@@ -42,6 +43,38 @@ def test_e1_join_solver(benchmark, tightness):
 def test_e1_backtracking_baseline(benchmark, tightness):
     instances = _instances(tightness)
     benchmark(lambda: [backtracking.is_solvable(inst) for inst in instances])
+
+
+@pytest.mark.benchmark(group="E1 join strategies")
+@pytest.mark.parametrize("strategy", ["greedy", "smallest", "textbook"])
+def test_e1_join_strategy(benchmark, strategy):
+    """The same workload under each join-order strategy — the planner's
+    speedup comes entirely from smaller intermediate relations."""
+    instances = _instances(0.4)
+    verdicts = benchmark(
+        lambda: [join.is_solvable(inst, strategy=strategy) for inst in instances]
+    )
+    assert verdicts == [backtracking.is_solvable(inst) for inst in instances]
+
+
+@pytest.mark.parametrize("tightness", [0.2, 0.4, 0.6])
+def test_e1_planner_intermediates_never_worse(tightness):
+    """Acceptance criterion: on the E1 family the greedy plan's largest
+    intermediate relation is no bigger than the textbook order's — the
+    EvalStats counters are the evidence (reported in EXPERIMENTS.md)."""
+    for inst in _instances(tightness):
+        sizes = {}
+        for strategy in ("greedy", "textbook"):
+            with collect_stats() as stats:
+                join.is_solvable(inst, strategy=strategy)
+            sizes[strategy] = stats
+        assert (
+            sizes["greedy"].max_intermediate <= sizes["textbook"].max_intermediate
+        ), f"planner made an intermediate bigger at tightness {tightness}"
+        assert (
+            sizes["greedy"].total_intermediate
+            <= sizes["textbook"].total_intermediate
+        )
 
 
 @pytest.mark.benchmark(group="E1 colorability")

@@ -10,8 +10,11 @@ brute-force witness enumeration on the smallest size.
 
 import pytest
 
+from repro.csp.convert import homomorphism_to_csp
+from repro.csp.solvers import join
 from repro.generators.views_random import chain_extensions, random_extensions
 from repro.relational.homomorphism import homomorphism_exists
+from repro.relational.stats import collect_stats
 from repro.views.certain import ViewSetup, certain_answer_bruteforce
 from repro.views.template import (
     certain_answer_via_csp,
@@ -49,6 +52,42 @@ def test_e9_certain_answer_scaling(benchmark, length):
     if length == 4:
         bf = certain_answer_bruteforce(QUERY, views, "o0", f"o{length}", 3)
         assert cert == bf
+
+
+@pytest.mark.benchmark(group="E9 join strategies")
+@pytest.mark.parametrize("strategy", ["greedy", "textbook"])
+def test_e9_certain_answer_via_join(benchmark, strategy):
+    """The Thm 7.5 test ``A → B?`` routed through the instrumented join
+    solver (Prop 2.1 on CSP(A, B)) so EvalStats can report planned-vs-naive
+    intermediate sizes for the view-answering workload.  The chain is kept
+    short: the unplanned join of CSP(A, template) blows up combinatorially
+    (length 4 already materializes ~900k rows in textbook order)."""
+    length = 3
+    base = ViewSetup(dict(DEFS))
+    views = chain_extensions(base, ["V1", "V2"], length)
+    template = constraint_template(QUERY, views)
+    a = extension_structure(views, "o0", f"o{length}")
+    csp = homomorphism_to_csp(a, template)
+
+    cert = benchmark(lambda: not join.is_solvable(csp, strategy=strategy))
+    assert cert == (not homomorphism_exists(a, template))
+
+
+def test_e9_planner_intermediates_never_worse():
+    """On the E9 chain family the greedy plan's largest intermediate is no
+    bigger than the textbook order's (reported in EXPERIMENTS.md)."""
+    base = ViewSetup(dict(DEFS))
+    for length in (2, 3):
+        views = chain_extensions(base, ["V1", "V2"], length)
+        template = constraint_template(QUERY, views)
+        a = extension_structure(views, "o0", f"o{length}")
+        csp = homomorphism_to_csp(a, template)
+        maxima = {}
+        for strategy in ("greedy", "textbook"):
+            with collect_stats() as stats:
+                join.is_solvable(csp, strategy=strategy)
+            maxima[strategy] = stats.max_intermediate
+        assert maxima["greedy"] <= maxima["textbook"]
 
 
 @pytest.mark.benchmark(group="E9 random extensions")

@@ -1,0 +1,67 @@
+"""Micro-benchmarks guarding the algebra's per-row costs.
+
+The ``select`` guard exists because of a fixed regression: the operator
+used to allocate a full ``dict(zip(attrs, row))`` per row; it now hands the
+predicate a zero-copy row view, so selecting on one column of a wide
+relation does O(1) work per row beyond the predicate itself.  The paired
+baseline benchmark measures the old allocation pattern so the gap stays
+visible in ``--benchmark-only`` runs, and the width-scaling assertion fails
+if per-row cost becomes proportional to arity again.
+"""
+
+import time
+
+import pytest
+
+from repro.relational.algebra import select
+from repro.relational.relation import Relation
+
+WIDE_ATTRS = tuple(f"c{i}" for i in range(12))
+WIDE = Relation(
+    WIDE_ATTRS, [tuple(i * 31 + j for j in range(12)) for i in range(2000)]
+)
+NARROW = Relation(("c0",), [(i * 31,) for i in range(2000)])
+
+
+@pytest.mark.benchmark(group="micro select")
+def test_select_wide_lazy_rows(benchmark):
+    result = benchmark(lambda: select(WIDE, lambda row: row["c0"] % 2 == 0))
+    assert len(result) == 1000
+
+
+@pytest.mark.benchmark(group="micro select")
+def test_select_wide_dict_baseline(benchmark):
+    """What select used to do: materialize every row as a dict first."""
+    attrs = WIDE.attributes
+
+    def run():
+        kept = (t for t in WIDE if dict(zip(attrs, t))["c0"] % 2 == 0)
+        return Relation(attrs, kept)
+
+    assert len(benchmark(run)) == 1000
+
+
+def test_select_cost_does_not_scale_with_arity():
+    """Guard: one-column predicates must not pay for the other 11 columns.
+
+    With lazy rows, selecting on ``c0`` in a 12-column relation costs about
+    the same as in a 1-column relation; the old dict-per-row implementation
+    was ~4× slower on the wide scheme.  The 3× bound leaves headroom for
+    timer noise while still catching a reintroduced per-row materialization.
+    """
+    predicate = lambda row: row["c0"] % 2 == 0
+
+    def best_of(relation, repeats=5):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            select(relation, predicate)
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    select(WIDE, predicate)  # warm up
+    wide, narrow = best_of(WIDE), best_of(NARROW)
+    assert wide < narrow * 3, (
+        f"select on 12 columns took {wide / narrow:.1f}× the 1-column time; "
+        "per-row cost is scaling with arity again"
+    )

@@ -1,13 +1,21 @@
-"""``python -m repro`` — a one-minute guided tour of the library.
+"""``python -m repro`` — the library's command-line front door.
 
-Runs a miniature version of each section of the tutorial and prints what
-the paper's corresponding claim predicts versus what the code computes.
+* ``python -m repro`` (or ``python -m repro tour``) — a one-minute guided
+  tour: a miniature version of each section of the tutorial, printing what
+  the paper's claim predicts versus what the code computes.
+* ``python -m repro stats`` — run a join workload under every join-order
+  strategy and print the :class:`~repro.relational.stats.EvalStats`
+  counters side by side (tuples scanned, hash probes, intermediate
+  cardinalities, wall time).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 
-def main() -> None:
+
+def tour() -> None:
     from repro.csp.convert import csp_to_homomorphism
     from repro.csp.instance import Constraint, CSPInstance
     from repro.csp.solvers import backtracking, consistency, decomposition, join
@@ -65,5 +73,120 @@ def main() -> None:
     print(bar)
 
 
+def _stats_workload(name: str, seed: int):
+    """Build the named workload: a list of ``(label, run(strategy))`` pairs
+    where ``run`` evaluates one join-shaped problem under a strategy."""
+    from repro.csp.solvers import join
+    from repro.cq.evaluate import evaluate
+    from repro.generators.csp_random import coloring_instance, random_binary_csp
+    from repro.generators.graphs import (
+        cycle_graph,
+        graph_as_digraph_structure,
+        random_digraph,
+    )
+    from repro.generators.queries import chain_query, random_query
+
+    if name == "e1":
+        instances = [
+            random_binary_csp(
+                n_variables=9, domain_size=3, n_constraints=12,
+                tightness=t, seed=seed + s,
+            )
+            for t in (0.2, 0.4, 0.6)
+            for s in range(3)
+        ]
+        return [
+            (f"e1[{i}]", lambda strategy, inst=inst: join.is_solvable(inst, strategy))
+            for i, inst in enumerate(instances)
+        ]
+    if name == "coloring":
+        instances = [
+            coloring_instance(cycle_graph(9), 3),
+            coloring_instance(cycle_graph(9), 2),
+        ]
+        return [
+            (f"coloring[{i}]", lambda strategy, inst=inst: join.is_solvable(inst, strategy))
+            for i, inst in enumerate(instances)
+        ]
+    if name == "chain":
+        db = random_digraph(12, 0.3, seed=seed)
+        queries = [chain_query(6)] + [
+            random_query(5, 4, seed=seed + s) for s in range(3)
+        ]
+        return [
+            (f"chain[{i}]", lambda strategy, q=q: evaluate(q, db, strategy))
+            for i, q in enumerate(queries)
+        ]
+    raise SystemExit(f"unknown workload {name!r}")
+
+
+def stats_command(args: argparse.Namespace) -> None:
+    """Run the workload once per strategy and report the counters."""
+    from repro.relational.stats import EvalStats, collect_stats
+
+    workload = _stats_workload(args.workload, args.seed)
+    per_strategy: dict[str, EvalStats] = {}
+    for strategy in args.strategies:
+        total = EvalStats()
+        for _label, run in workload:
+            with collect_stats() as stats:
+                run(strategy)
+            total.merge(stats)
+        per_strategy[strategy] = total
+
+    if args.json:
+        print(json.dumps({s: st.as_dict() for s, st in per_strategy.items()}, indent=2))
+        return
+
+    print(f"workload: {args.workload}  ({len(workload)} queries, seed {args.seed})")
+    header = ("strategy", "joins", "scanned", "probes", "max-inter", "total-inter", "seconds")
+    print(" | ".join(str(c).ljust(11) for c in header))
+    for strategy, st in per_strategy.items():
+        row = (
+            strategy, st.joins, st.tuples_scanned, st.hash_probes,
+            st.max_intermediate, st.total_intermediate, f"{st.wall_seconds:.4f}",
+        )
+        print(" | ".join(str(c).ljust(11) for c in row))
+
+
+def main(argv: list[str] | None = None) -> None:
+    from repro.relational.planner import STRATEGIES
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constraint satisfaction and database theory, executable.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("tour", help="guided tour of the tutorial's sections (default)")
+    stats = sub.add_parser(
+        "stats", help="evaluate a join workload and print EvalStats per strategy"
+    )
+    stats.add_argument(
+        "--workload", choices=("e1", "coloring", "chain"), default="e1",
+        help="which join workload to instrument (default: e1)",
+    )
+    stats.add_argument(
+        "--strategies", nargs="+", choices=STRATEGIES, default=list(STRATEGIES),
+        help="join-order strategies to compare (default: all)",
+    )
+    stats.add_argument("--seed", type=int, default=0, help="workload seed")
+    stats.add_argument("--json", action="store_true", help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    if args.command == "stats":
+        stats_command(args)
+    else:
+        tour()
+
+
 if __name__ == "__main__":
-    main()
+    try:
+        main()
+    except BrokenPipeError:
+        # Piping into `head` and friends closes stdout early; exit quietly
+        # like any well-behaved filter.
+        import os
+        import sys
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -50,30 +50,42 @@ def atom_relation(atom: Atom, database: Structure) -> Relation:
     return Relation(tuple(v.name for v in variables), out)
 
 
-def _body_join(query: ConjunctiveQuery, database: Structure) -> Relation:
-    return join_all(atom_relation(atom, database) for atom in query.body)
+def _body_join(
+    query: ConjunctiveQuery, database: Structure, strategy: str | None = None
+) -> Relation:
+    """Join the body atoms.  ``strategy`` picks the join order (see
+    :mod:`repro.relational.planner`); ``"textbook"`` is the textual atom
+    order, the default is the cost-guided greedy plan."""
+    return join_all(
+        (atom_relation(atom, database) for atom in query.body), strategy=strategy
+    )
 
 
-def evaluate(query: ConjunctiveQuery, database: Structure) -> Relation:
+def evaluate(
+    query: ConjunctiveQuery, database: Structure, strategy: str | None = None
+) -> Relation:
     """Evaluate ``Q(D)``: the relation over the distinguished variables.
 
     For a Boolean query the result is the nullary relation — nonempty
-    (containing the empty tuple) iff the query holds.
+    (containing the empty tuple) iff the query holds.  ``strategy`` selects
+    the join order; all strategies compute the same relation.
     """
-    joined = _body_join(query, database)
+    joined = _body_join(query, database, strategy)
     return project(joined, tuple(v.name for v in query.distinguished))
 
 
-def evaluate_boolean(query: ConjunctiveQuery, database: Structure) -> bool:
+def evaluate_boolean(
+    query: ConjunctiveQuery, database: Structure, strategy: str | None = None
+) -> bool:
     """Whether a Boolean conjunctive query holds on the database."""
-    return bool(_body_join(query, database))
+    return bool(_body_join(query, database, strategy))
 
 
 def satisfying_assignments(
-    query: ConjunctiveQuery, database: Structure
+    query: ConjunctiveQuery, database: Structure, strategy: str | None = None
 ) -> Iterator[dict[Var, Any]]:
     """Iterate all assignments of *all* query variables that satisfy the body
     (the query's "satisfying valuations", not just the projected answers)."""
-    joined = _body_join(query, database)
+    joined = _body_join(query, database, strategy)
     for t in sorted(joined.tuples, key=repr):
         yield {Var(a): value for a, value in zip(joined.attributes, t)}

@@ -8,7 +8,10 @@ Each normalized constraint ``(t, R)`` is read as a relation over the scheme
 the natural join of all constraint relations.  Every row of the join extends
 to a solution by assigning unconstrained variables arbitrarily.
 
-The join order is chosen greedily (smallest intermediate estimate first);
+The join order is chosen by the cost-guided planner in
+:mod:`repro.relational.planner` (smallest estimated intermediate first);
+pass ``strategy="textbook"`` to join the constraints in the order they were
+written, or ``"smallest"`` for the simple cardinality sort.
 :mod:`repro.width.acyclic` offers the Yannakakis evaluation that is
 worst-case-optimal for acyclic instances.
 """
@@ -51,19 +54,25 @@ def _attribute_names(instance: CSPInstance) -> dict[Any, str]:
     return {v: f"v{i}" for i, v in enumerate(instance.variables)}
 
 
-def join_of_constraints(instance: CSPInstance) -> Relation:
-    """Evaluate ``⋈_{(t,R)∈C} R`` for the normalized instance."""
-    return join_all(constraint_relations(instance))
+def join_of_constraints(
+    instance: CSPInstance, strategy: str | None = None
+) -> Relation:
+    """Evaluate ``⋈_{(t,R)∈C} R`` for the normalized instance.
+
+    ``strategy`` selects the join order (``"greedy"``, ``"smallest"``,
+    ``"textbook"``); every order yields the same relation.
+    """
+    return join_all(constraint_relations(instance), strategy=strategy)
 
 
-def is_solvable(instance: CSPInstance) -> bool:
+def is_solvable(instance: CSPInstance, strategy: str | None = None) -> bool:
     """Proposition 2.1: solvable iff the join of constraint relations is
     nonempty.  (An instance with no constraints is vacuously solvable when
     it has either no variables or a nonempty domain.)"""
     instance = instance.normalize()
     if not instance.constraints:
         return not instance.variables or bool(instance.domain)
-    return bool(join_of_constraints(instance))
+    return bool(join_of_constraints(instance, strategy=strategy))
 
 
 def all_solutions(instance: CSPInstance) -> Iterator[dict[Any, Any]]:

@@ -71,11 +71,14 @@ def _apply_rule(
     values: Facts,
     delta_atom_index: int | None = None,
     delta: Facts | None = None,
+    strategy: str | None = None,
 ) -> set[tuple[Any, ...]]:
     """Evaluate one rule under the current predicate values.
 
     In semi-naive mode (``delta_atom_index`` set) the designated body atom
     reads the *delta* value of its predicate instead of the full value.
+    ``strategy`` picks the rule body's join order (``"textbook"`` keeps the
+    order the body was written in; the default is the cost-guided plan).
     """
     relations = []
     for i, atom in enumerate(rule.body):
@@ -84,7 +87,7 @@ def _apply_rule(
         else:
             value = values.get(atom.predicate, frozenset())
         relations.append(_atom_to_relation(atom, value))
-    joined = join_all(relations) if relations else Relation.unit()
+    joined = join_all(relations, strategy=strategy) if relations else Relation.unit()
     derived: set[tuple[Any, ...]] = set()
     head = rule.head
     for row in joined:
@@ -97,7 +100,11 @@ def _apply_rule(
     return derived
 
 
-def evaluate_naive(program: Program, database: Structure | Mapping[str, Any]) -> Facts:
+def evaluate_naive(
+    program: Program,
+    database: Structure | Mapping[str, Any],
+    strategy: str | None = None,
+) -> Facts:
     """Naive bottom-up evaluation: recompute every rule until no IDB grows."""
     values = _edb_facts(program, database)
     for idb in program.idb_predicates():
@@ -106,7 +113,7 @@ def evaluate_naive(program: Program, database: Structure | Mapping[str, Any]) ->
     while changed:
         changed = False
         for rule in program.rules:
-            new = _apply_rule(rule, values)
+            new = _apply_rule(rule, values, strategy=strategy)
             merged = values[rule.head.predicate] | new
             if merged != values[rule.head.predicate]:
                 values[rule.head.predicate] = frozenset(merged)
@@ -115,7 +122,9 @@ def evaluate_naive(program: Program, database: Structure | Mapping[str, Any]) ->
 
 
 def evaluate_seminaive(
-    program: Program, database: Structure | Mapping[str, Any]
+    program: Program,
+    database: Structure | Mapping[str, Any],
+    strategy: str | None = None,
 ) -> Facts:
     """Semi-naive evaluation: per round, each rule is instantiated once per
     IDB body atom with that atom reading only the facts newly derived in the
@@ -129,7 +138,7 @@ def evaluate_seminaive(
     # rules whose bodies are EDB-only can fire).
     delta: Facts = {idb: frozenset() for idb in idbs}
     for rule in program.rules:
-        new = _apply_rule(rule, values)
+        new = _apply_rule(rule, values, strategy=strategy)
         delta[rule.head.predicate] = delta[rule.head.predicate] | frozenset(new)
     for idb in idbs:
         values[idb] = delta[idb]
@@ -141,7 +150,9 @@ def evaluate_seminaive(
                 i for i, atom in enumerate(rule.body) if atom.predicate in idbs
             ]
             for pos in idb_positions:
-                derived = _apply_rule(rule, values, delta_atom_index=pos, delta=delta)
+                derived = _apply_rule(
+                    rule, values, delta_atom_index=pos, delta=delta, strategy=strategy
+                )
                 next_delta[rule.head.predicate] |= derived
         delta = {
             idb: frozenset(next_delta[idb] - values[idb]) for idb in idbs
@@ -151,9 +162,13 @@ def evaluate_seminaive(
     return {p: values[p] for p in idbs}
 
 
-def evaluate(program: Program, database: Structure | Mapping[str, Any]) -> Facts:
+def evaluate(
+    program: Program,
+    database: Structure | Mapping[str, Any],
+    strategy: str | None = None,
+) -> Facts:
     """Evaluate the program (semi-naive) and return all IDB values."""
-    return evaluate_seminaive(program, database)
+    return evaluate_seminaive(program, database, strategy=strategy)
 
 
 def goal_relation(

@@ -7,6 +7,7 @@ homomorphism search between structures.
 """
 
 from repro.relational.algebra import (
+    DEFAULT_STRATEGY,
     difference,
     division,
     intersection,
@@ -19,6 +20,13 @@ from repro.relational.algebra import (
     semijoin,
     union,
 )
+from repro.relational.planner import (
+    STRATEGIES,
+    JoinPlan,
+    order_relations,
+    plan_join,
+)
+from repro.relational.stats import EvalStats, collect_stats, current_stats
 from repro.relational.core import (
     core,
     homomorphically_equivalent,
@@ -60,6 +68,14 @@ __all__ = [
     "difference",
     "product",
     "division",
+    "DEFAULT_STRATEGY",
+    "STRATEGIES",
+    "JoinPlan",
+    "plan_join",
+    "order_relations",
+    "EvalStats",
+    "collect_stats",
+    "current_stats",
     "is_homomorphism",
     "is_partial_homomorphism",
     "find_homomorphism",

@@ -8,16 +8,31 @@ projection, selection, renaming, semijoin, and the set operations — which the
 acyclic-join and Yannakakis machinery in :mod:`repro.width` builds on.
 
 All operations are pure: they return new relations and never mutate inputs.
+
+Two cross-cutting facilities live alongside the operators:
+
+* **observability** — inside a :func:`repro.relational.stats.collect_stats`
+  block, every join/semijoin/selection/projection records tuples scanned,
+  hash probes, result cardinalities, and wall time into the active
+  :class:`~repro.relational.stats.EvalStats`;
+* **planning** — :func:`join_all` accepts a ``strategy`` (``"greedy"``,
+  ``"smallest"``, or ``"textbook"``) and delegates the join *order* to
+  :mod:`repro.relational.planner`.  The default is the cost-guided greedy
+  order; ``DEFAULT_STRATEGY`` is the module-wide knob.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from time import perf_counter
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import SchemaError
+from repro.relational.planner import order_relations
 from repro.relational.relation import Relation
+from repro.relational.stats import current_stats
 
 __all__ = [
+    "DEFAULT_STRATEGY",
     "project",
     "select",
     "rename",
@@ -31,6 +46,9 @@ __all__ = [
     "division",
 ]
 
+#: Join-order strategy used by :func:`join_all` when none is given.
+DEFAULT_STRATEGY = "greedy"
+
 
 def project(relation: Relation, attributes: Sequence[str]) -> Relation:
     """Project onto ``attributes`` (which may reorder columns).
@@ -39,18 +57,66 @@ def project(relation: Relation, attributes: Sequence[str]) -> Relation:
     >>> sorted(project(r, ("x",)).tuples)
     [(1,)]
     """
+    stats = current_stats()
+    start = perf_counter() if stats is not None else 0.0
     attrs = tuple(attributes)
     indices = [relation.index_of(a) for a in attrs]
-    return Relation(attrs, (tuple(t[i] for i in indices) for t in relation))
+    result = Relation(attrs, (tuple(t[i] for i in indices) for t in relation))
+    if stats is not None:
+        stats.record(
+            "project",
+            scanned=len(relation),
+            emitted=len(result),
+            seconds=perf_counter() - start,
+        )
+    return result
+
+
+class _RowView(Mapping[str, Any]):
+    """A zero-copy ``{attribute: value}`` view of one row.
+
+    ``select`` hands the predicate one of these instead of materializing a
+    ``dict(zip(attrs, row))`` per row: lookups index straight into the tuple
+    through a per-relation attribute index that is built once, so a
+    predicate touching only some attributes never pays for the rest.
+    """
+
+    __slots__ = ("_index", "_row")
+
+    def __init__(self, index: dict[str, int], row: tuple[Any, ...]):
+        self._index = index
+        self._row = row
+
+    def __getitem__(self, key: str) -> Any:
+        return self._row[self._index[key]]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
 
 
 def select(relation: Relation, predicate: Callable[[Mapping[str, Any]], bool]) -> Relation:
-    """Keep the rows on which ``predicate`` (given the row as a mapping) is true."""
+    """Keep the rows on which ``predicate`` (given the row as a mapping) is true.
+
+    The mapping is a lazy view of the row: values are fetched by index on
+    access, so no per-row dictionary is allocated.
+    """
+    stats = current_stats()
+    start = perf_counter() if stats is not None else 0.0
     attrs = relation.attributes
-    kept = (
-        t for t in relation if predicate(dict(zip(attrs, t)))
-    )
-    return Relation(attrs, kept)
+    index = {a: i for i, a in enumerate(attrs)}
+    kept = (t for t in relation if predicate(_RowView(index, t)))
+    result = Relation(attrs, kept)
+    if stats is not None:
+        stats.record(
+            "select",
+            scanned=len(relation),
+            emitted=len(result),
+            seconds=perf_counter() - start,
+        )
+    return result
 
 
 def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
@@ -82,6 +148,8 @@ def natural_join(left: Relation, right: Relation) -> Relation:
     When the schemes are disjoint this degenerates to the Cartesian product;
     when they are identical it degenerates to intersection.
     """
+    stats = current_stats()
+    start = perf_counter() if stats is not None else 0.0
     shared, right_private = _shared_and_private(left, right)
     left_key = [left.index_of(a) for a in shared]
     right_key = [right.index_of(a) for a in shared]
@@ -101,16 +169,35 @@ def natural_join(left: Relation, right: Relation) -> Relation:
             for rt in index.get(key, ()):
                 yield lt + tuple(rt[i] for i in right_private_idx)
 
-    return Relation(out_attrs, rows())
+    result = Relation(out_attrs, rows())
+    if stats is not None:
+        stats.record(
+            "natural_join",
+            scanned=len(left) + len(right),
+            probes=len(left),
+            emitted=len(result),
+            seconds=perf_counter() - start,
+            intermediate=len(result),
+        )
+    return result
 
 
-def join_all(relations: Iterable[Relation]) -> Relation:
-    """Natural join of a collection of relations, smallest-first.
+def join_all(relations: Iterable[Relation], strategy: str | None = None) -> Relation:
+    """Natural join of a collection of relations.
+
+    The binary-join *order* — which determines every intermediate-relation
+    cardinality, though never the result — is delegated to
+    :func:`repro.relational.planner.order_relations`:
+
+    * ``"greedy"`` (the default via :data:`DEFAULT_STRATEGY`) — cost-guided,
+      smallest estimated intermediate first;
+    * ``"smallest"`` — sort once by cardinality (the historical order);
+    * ``"textbook"`` — join in the order given, the naive baseline.
 
     Joining the empty collection yields :meth:`Relation.unit`, the join
     identity, so ``join_all`` is a proper monoid fold.
     """
-    pending = sorted(relations, key=len)
+    pending = order_relations(relations, strategy or DEFAULT_STRATEGY)
     result = Relation.unit()
     for rel in pending:
         result = natural_join(result, rel)
@@ -131,14 +218,25 @@ def semijoin(left: Relation, right: Relation) -> Relation:
     This is the primitive of the Yannakakis algorithm for acyclic joins
     (discussed in Section 6 of the tutorial via [45]).
     """
+    stats = current_stats()
+    start = perf_counter() if stats is not None else 0.0
     shared, _ = _shared_and_private(left, right)
     left_key = [left.index_of(a) for a in shared]
     right_key = [right.index_of(a) for a in shared]
     keys = {tuple(t[i] for i in right_key) for t in right}
-    return Relation(
+    result = Relation(
         left.attributes,
         (t for t in left if tuple(t[i] for i in left_key) in keys),
     )
+    if stats is not None:
+        stats.record(
+            "semijoin",
+            scanned=len(left) + len(right),
+            probes=len(left),
+            emitted=len(result),
+            seconds=perf_counter() - start,
+        )
+    return result
 
 
 def _require_same_scheme(left: Relation, right: Relation, op: str) -> None:

@@ -1,0 +1,189 @@
+"""Execution statistics for the relational algebra — the observability layer.
+
+Marx (*Modern Lower Bound Techniques in Database Theory and Constraint
+Satisfaction*, 2022) identifies the **intermediate-relation cardinality** as
+the quantity that governs join cost; this module makes it observable.  An
+:class:`EvalStats` object accumulates, per algebra operator:
+
+* ``tuples_scanned`` — rows read from operand relations,
+* ``hash_probes`` — lookups into a join's hash index,
+* ``tuples_emitted`` — rows produced,
+* ``intermediate_sizes`` — the cardinality of every join result, in order,
+* per-operator invocation counts and wall-clock seconds.
+
+Collection is scoped with the :func:`collect_stats` context manager, which
+installs the stats object in a :class:`contextvars.ContextVar` — so nothing
+leaks between queries, threads, or async tasks, and the algebra pays a
+single ``ContextVar.get`` per operator call when tracing is off.
+
+>>> from repro.relational.algebra import natural_join
+>>> from repro.relational.relation import Relation
+>>> r = Relation(("x", "y"), [(1, 2)]); s = Relation(("y", "z"), [(2, 3)])
+>>> with collect_stats() as stats:
+...     _ = natural_join(r, s)
+>>> stats.tuples_emitted
+1
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["EvalStats", "collect_stats", "current_stats"]
+
+
+@dataclass
+class EvalStats:
+    """Mutable accumulator of evaluation counters.
+
+    Counters only ever grow while an evaluation runs (they are *monotone*):
+    the stats of a composite evaluation equal the merge of the stats of its
+    parts.  A fresh instance has every counter at zero.
+    """
+
+    tuples_scanned: int = 0
+    hash_probes: int = 0
+    tuples_emitted: int = 0
+    intermediate_sizes: list[int] = field(default_factory=list)
+    operator_counts: dict[str, int] = field(default_factory=dict)
+    operator_seconds: dict[str, float] = field(default_factory=dict)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(
+        self,
+        operator: str,
+        *,
+        scanned: int = 0,
+        probes: int = 0,
+        emitted: int = 0,
+        seconds: float = 0.0,
+        intermediate: int | None = None,
+    ) -> None:
+        """Record one operator invocation (called by the algebra)."""
+        self.tuples_scanned += scanned
+        self.hash_probes += probes
+        self.tuples_emitted += emitted
+        self.operator_counts[operator] = self.operator_counts.get(operator, 0) + 1
+        self.operator_seconds[operator] = (
+            self.operator_seconds.get(operator, 0.0) + seconds
+        )
+        if intermediate is not None:
+            self.intermediate_sizes.append(intermediate)
+
+    def merge(self, other: "EvalStats") -> "EvalStats":
+        """Fold ``other``'s counters into this object (in place) and return it.
+
+        Merging is the composition law: counters add, intermediate sizes
+        concatenate — so stats are monotone under composition.
+        """
+        self.tuples_scanned += other.tuples_scanned
+        self.hash_probes += other.hash_probes
+        self.tuples_emitted += other.tuples_emitted
+        self.intermediate_sizes.extend(other.intermediate_sizes)
+        for op, n in other.operator_counts.items():
+            self.operator_counts[op] = self.operator_counts.get(op, 0) + n
+        for op, s in other.operator_seconds.items():
+            self.operator_seconds[op] = self.operator_seconds.get(op, 0.0) + s
+        return self
+
+    def reset(self) -> None:
+        """Zero every counter, returning the object to its freshly-built state."""
+        self.tuples_scanned = 0
+        self.hash_probes = 0
+        self.tuples_emitted = 0
+        self.intermediate_sizes = []
+        self.operator_counts = {}
+        self.operator_seconds = {}
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def max_intermediate(self) -> int:
+        """Largest join-result cardinality seen (0 if no join ran)."""
+        return max(self.intermediate_sizes, default=0)
+
+    @property
+    def total_intermediate(self) -> int:
+        """Sum of all join-result cardinalities (total materialized rows)."""
+        return sum(self.intermediate_sizes)
+
+    @property
+    def joins(self) -> int:
+        """Number of binary natural joins executed."""
+        return self.operator_counts.get("natural_join", 0)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall-clock time spent inside traced operators."""
+        return sum(self.operator_seconds.values())
+
+    def as_dict(self) -> dict:
+        """A plain-dict snapshot (for JSON output and EXPERIMENTS tables)."""
+        return {
+            "tuples_scanned": self.tuples_scanned,
+            "hash_probes": self.hash_probes,
+            "tuples_emitted": self.tuples_emitted,
+            "joins": self.joins,
+            "max_intermediate": self.max_intermediate,
+            "total_intermediate": self.total_intermediate,
+            "intermediate_sizes": list(self.intermediate_sizes),
+            "operator_counts": dict(self.operator_counts),
+            "operator_seconds": dict(self.operator_seconds),
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def summary(self) -> str:
+        """A short human-readable report (used by ``python -m repro stats``)."""
+        lines = [
+            f"tuples scanned      {self.tuples_scanned}",
+            f"hash probes         {self.hash_probes}",
+            f"tuples emitted      {self.tuples_emitted}",
+            f"joins               {self.joins}",
+            f"max intermediate    {self.max_intermediate}",
+            f"total intermediate  {self.total_intermediate}",
+            f"wall seconds        {self.wall_seconds:.6f}",
+        ]
+        for op in sorted(self.operator_counts):
+            lines.append(
+                f"  {op:<17} ×{self.operator_counts[op]:<6}"
+                f" {self.operator_seconds.get(op, 0.0):.6f}s"
+            )
+        return "\n".join(lines)
+
+
+# The active stats object.  A ContextVar (rather than a module global) keeps
+# concurrent queries — threads, asyncio tasks — from seeing each other's
+# counters, and makes `collect_stats` re-entrant.
+_ACTIVE: ContextVar[EvalStats | None] = ContextVar("repro_eval_stats", default=None)
+
+
+def current_stats() -> EvalStats | None:
+    """The stats object of the innermost active :func:`collect_stats`, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def collect_stats(stats: EvalStats | None = None) -> Iterator[EvalStats]:
+    """Collect algebra statistics for the duration of the ``with`` block.
+
+    Nested blocks shadow outer ones: operations inside the inner block are
+    charged to the inner stats object only, so two queries traced separately
+    never contaminate each other.
+
+    >>> with collect_stats() as outer:
+    ...     with collect_stats() as inner:
+    ...         pass
+    >>> outer is not inner
+    True
+    """
+    if stats is None:
+        stats = EvalStats()
+    token = _ACTIVE.set(stats)
+    try:
+        yield stats
+    finally:
+        _ACTIVE.reset(token)

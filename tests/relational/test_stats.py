@@ -1,0 +1,168 @@
+"""EvalStats behaviour: zero on empty, monotone under composition, no
+cross-query leakage, and the lazy select row view."""
+
+import pytest
+
+from repro.relational.algebra import (
+    join_all,
+    natural_join,
+    project,
+    select,
+    semijoin,
+)
+from repro.relational.relation import Relation
+from repro.relational.stats import EvalStats, collect_stats, current_stats
+
+
+def small(name_pair, rows):
+    return Relation(name_pair, rows)
+
+
+R = small(("x", "y"), [(1, 2), (2, 3), (3, 4)])
+S = small(("y", "z"), [(2, 10), (3, 11)])
+
+
+class TestZeroAndEmpty:
+    def test_fresh_stats_all_zero(self):
+        stats = EvalStats()
+        assert stats.tuples_scanned == 0
+        assert stats.hash_probes == 0
+        assert stats.tuples_emitted == 0
+        assert stats.intermediate_sizes == []
+        assert stats.max_intermediate == 0
+        assert stats.total_intermediate == 0
+        assert stats.joins == 0
+        assert stats.wall_seconds == 0.0
+
+    def test_empty_inputs_scan_nothing(self):
+        empty_r = Relation.empty(("x", "y"))
+        empty_s = Relation.empty(("y", "z"))
+        with collect_stats() as stats:
+            result = natural_join(empty_r, empty_s)
+        assert not result
+        assert stats.tuples_scanned == 0
+        assert stats.hash_probes == 0
+        assert stats.tuples_emitted == 0
+        assert stats.max_intermediate == 0
+
+    def test_no_collection_outside_context(self):
+        assert current_stats() is None
+        natural_join(R, S)  # must not blow up nor record anywhere
+        assert current_stats() is None
+
+
+class TestCounting:
+    def test_join_counters(self):
+        with collect_stats() as stats:
+            result = natural_join(R, S)
+        assert stats.joins == 1
+        assert stats.tuples_scanned == len(R) + len(S)
+        assert stats.hash_probes == len(R)
+        assert stats.tuples_emitted == len(result) == 2
+        assert stats.intermediate_sizes == [2]
+        assert stats.wall_seconds > 0.0
+
+    def test_select_project_semijoin_counters(self):
+        with collect_stats() as stats:
+            select(R, lambda row: row["x"] > 1)
+            project(R, ("x",))
+            semijoin(R, S)
+        assert stats.operator_counts == {"select": 1, "project": 1, "semijoin": 1}
+        assert stats.tuples_scanned == len(R) + len(R) + (len(R) + len(S))
+
+    def test_join_all_records_every_intermediate(self):
+        with collect_stats() as stats:
+            join_all([R, S])
+        # One join against the unit seed plus one real join.
+        assert stats.joins == 2
+        assert len(stats.intermediate_sizes) == 2
+
+
+class TestComposition:
+    def test_merge_is_monotone_addition(self):
+        with collect_stats() as first:
+            natural_join(R, S)
+        with collect_stats() as second:
+            natural_join(S, R)
+        with collect_stats() as combined:
+            natural_join(R, S)
+            natural_join(S, R)
+        merged = EvalStats().merge(first).merge(second)
+        assert merged.tuples_scanned == combined.tuples_scanned
+        assert merged.hash_probes == combined.hash_probes
+        assert merged.tuples_emitted == combined.tuples_emitted
+        assert merged.intermediate_sizes == combined.intermediate_sizes
+        assert merged.operator_counts == combined.operator_counts
+
+    def test_counters_never_decrease_during_a_run(self):
+        with collect_stats() as stats:
+            before = (stats.tuples_scanned, stats.hash_probes, stats.joins)
+            natural_join(R, S)
+            mid = (stats.tuples_scanned, stats.hash_probes, stats.joins)
+            natural_join(R, S)
+            after = (stats.tuples_scanned, stats.hash_probes, stats.joins)
+        assert before <= mid <= after
+        assert mid < after
+
+
+class TestIsolation:
+    def test_reset_restores_fresh_state(self):
+        with collect_stats() as stats:
+            natural_join(R, S)
+        stats.reset()
+        assert stats.as_dict() == EvalStats().as_dict()
+
+    def test_two_runs_identical_counts(self):
+        """No leakage across runs: the same query twice gives equal stats."""
+        def run():
+            with collect_stats() as stats:
+                join_all([R, S], strategy="greedy")
+            return stats
+        a, b = run(), run()
+        assert a.tuples_scanned == b.tuples_scanned
+        assert a.intermediate_sizes == b.intermediate_sizes
+        assert a.operator_counts == b.operator_counts
+
+    def test_nested_contexts_shadow_not_leak(self):
+        with collect_stats() as outer:
+            natural_join(R, S)
+            with collect_stats() as inner:
+                natural_join(R, S)
+            after_inner = outer.joins
+        assert inner.joins == 1
+        assert after_inner == 1  # inner work not charged to outer
+        assert current_stats() is None
+
+    def test_explicit_stats_object_reusable(self):
+        stats = EvalStats()
+        with collect_stats(stats) as s:
+            assert s is stats
+            natural_join(R, S)
+        first = stats.joins
+        with collect_stats(stats):
+            natural_join(R, S)
+        assert stats.joins == first + 1  # accumulates when reused on purpose
+
+
+class TestLazySelectRow:
+    def test_predicate_receives_mapping_not_dict(self):
+        seen = []
+
+        def predicate(row):
+            seen.append(row)
+            return True
+
+        select(R, predicate)
+        assert seen and not any(isinstance(row, dict) for row in seen)
+        row = seen[0]
+        assert set(row) == {"x", "y"}
+        assert len(row) == 2
+        assert dict(row) in [dict(zip(R.attributes, t)) for t in R]
+
+    def test_partial_access_works(self):
+        result = select(R, lambda row: row["x"] >= 2)
+        assert result.tuples == {(2, 3), (3, 4)}
+
+    def test_missing_attribute_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            select(R, lambda row: row["nope"])

@@ -24,9 +24,30 @@ def test_examples_exist():
 
 
 def test_module_tour_runs(capsys):
-    import repro.__main__ as tour
+    import repro.__main__ as cli
 
-    tour.main()
+    cli.main([])
     out = capsys.readouterr().out
     assert "PODS" in out
     assert "[§7]" in out
+
+
+def test_stats_subcommand_runs(capsys):
+    import repro.__main__ as cli
+
+    cli.main(["stats", "--workload", "coloring", "--strategies", "greedy", "textbook"])
+    out = capsys.readouterr().out
+    assert "greedy" in out and "textbook" in out
+    assert "max-inter" in out
+
+
+def test_stats_subcommand_json(capsys):
+    import json
+
+    import repro.__main__ as cli
+
+    cli.main(["stats", "--workload", "chain", "--strategies", "greedy", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"greedy"}
+    assert payload["greedy"]["joins"] > 0
+    assert payload["greedy"]["max_intermediate"] >= 1
