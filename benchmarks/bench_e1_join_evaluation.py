@@ -77,6 +77,40 @@ def test_e1_planner_intermediates_never_worse(tightness):
         )
 
 
+@pytest.mark.parametrize("tightness", [0.2, 0.4, 0.6])
+def test_e1_indexed_scans_fewer_tuples(tightness):
+    """Acceptance criterion: on every E1 instance the hash-indexed
+    execution reads strictly fewer tuples than the nested-loop scan while
+    producing the same verdict and identical intermediates (reported in
+    EXPERIMENTS.md)."""
+    for inst in _instances(tightness):
+        runs = {}
+        for execution in ("indexed", "scan"):
+            with collect_stats() as stats:
+                verdict = join.is_solvable(inst, strategy=execution)
+            runs[execution] = (verdict, stats)
+        v_indexed, s_indexed = runs["indexed"]
+        v_scan, s_scan = runs["scan"]
+        assert v_indexed == v_scan
+        assert s_indexed.intermediate_sizes == s_scan.intermediate_sizes
+        assert s_indexed.tuples_scanned < s_scan.tuples_scanned, (
+            f"indexed execution read no fewer tuples at tightness {tightness}"
+        )
+        assert s_scan.index_builds == s_scan.index_hits == 0
+
+
+@pytest.mark.benchmark(group="E1 join executions")
+@pytest.mark.parametrize("execution", ["indexed", "scan"])
+def test_e1_join_execution(benchmark, execution):
+    """The same workload under each join execution — the hash path's win
+    is probe work proportional to matches, not to |L|·|R|."""
+    instances = _instances(0.4)
+    verdicts = benchmark(
+        lambda: [join.is_solvable(inst, strategy=execution) for inst in instances]
+    )
+    assert verdicts == [backtracking.is_solvable(inst) for inst in instances]
+
+
 @pytest.mark.benchmark(group="E1 colorability")
 @pytest.mark.parametrize("solver_name,decide", [
     ("join", join.is_solvable),

@@ -139,18 +139,22 @@ def stats_command(args: argparse.Namespace) -> None:
         return
 
     print(f"workload: {args.workload}  ({len(workload)} queries, seed {args.seed})")
-    header = ("strategy", "joins", "scanned", "probes", "max-inter", "total-inter", "seconds")
+    header = (
+        "strategy", "joins", "scanned", "probes", "ix-built", "ix-hits",
+        "misses", "max-inter", "total-inter", "seconds",
+    )
     print(" | ".join(str(c).ljust(11) for c in header))
     for strategy, st in per_strategy.items():
         row = (
             strategy, st.joins, st.tuples_scanned, st.hash_probes,
+            st.index_builds, st.index_hits, st.probe_misses,
             st.max_intermediate, st.total_intermediate, f"{st.wall_seconds:.4f}",
         )
         print(" | ".join(str(c).ljust(11) for c in row))
 
 
 def main(argv: list[str] | None = None) -> None:
-    from repro.relational.planner import STRATEGIES
+    from repro.relational.planner import EXECUTIONS, STRATEGIES
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -166,8 +170,14 @@ def main(argv: list[str] | None = None) -> None:
         help="which join workload to instrument (default: e1)",
     )
     stats.add_argument(
-        "--strategies", nargs="+", choices=STRATEGIES, default=list(STRATEGIES),
-        help="join-order strategies to compare (default: all)",
+        "--strategies",
+        nargs="+",
+        choices=STRATEGIES + EXECUTIONS,
+        default=list(STRATEGIES) + list(EXECUTIONS),
+        help=(
+            "join strategies to compare: orders (greedy/smallest/textbook) "
+            "and/or executions (indexed/scan); default: all"
+        ),
     )
     stats.add_argument("--seed", type=int, default=0, help="workload seed")
     stats.add_argument("--json", action="store_true", help="machine-readable output")

@@ -166,13 +166,18 @@ def _with_domains(
 
 
 def path_consistency(instance: CSPInstance) -> CSPInstance | None:
-    """Path consistency (PC-2 style) for *binary-or-smaller* instances.
+    """Strong path consistency (PC-2 + AC) for *binary-or-smaller* instances.
 
     For every ordered pair ``(x, y)`` the implicit binary relation
     ``R_xy`` is tightened through every third variable ``z``:
-    ``R_xy ← R_xy ∩ π_xy(R_xz ⋈ R_zy)``, to fixpoint.  Returns the
+    ``R_xy ← R_xy ∩ π_xy(R_xz ⋈ R_zy)``, interleaved with arc consistency
+    (a value survives in a domain iff it has a partner in every pair
+    relation it participates in), to a joint fixpoint.  Returns the
     tightened equivalent instance (with explicit binary constraints for all
-    pairs) or ``None`` when some relation empties, proving unsolvability.
+    pairs) or ``None`` when some relation or domain empties, proving
+    unsolvability.  Because AC runs to fixpoint alongside PC, the returned
+    instance is always arc-consistent — the classical "strong path
+    consistency" package (``tests/consistency`` asserts it).
 
     Instances containing constraints of arity > 2 are handled by first
     projecting those constraints onto their variable pairs — the result is
@@ -212,9 +217,17 @@ def path_consistency(instance: CSPInstance) -> CSPInstance | None:
                 pairs[(v, y)] = {p for p in pairs[(v, y)] if p[0] in dom}
                 pairs[(y, v)] = {p for p in pairs[(y, v)] if p[1] in dom}
 
+    # Anything already empty refutes outright (the fixpoint loop below only
+    # reports wipeouts it *causes*, not ones present from the start).
+    if variables and (
+        any(not unary[v] for v in variables) or any(not p for p in pairs.values())
+    ):
+        return None
+
     changed = True
     while changed:
         changed = False
+        # Path tightening: R_xy ← R_xy ∩ π_xy(R_xz ⋈ R_zy).
         for x in variables:
             for y in variables:
                 if x == y:
@@ -236,6 +249,24 @@ def path_consistency(instance: CSPInstance) -> CSPInstance | None:
                         if not allowed:
                             return None
                         changed = True
+        # Arc tightening: a value stays in dom(x) iff every pair relation
+        # R_xy still offers it a partner; shrunken domains then re-filter
+        # the pair relations.  Iterating both steps to a joint fixpoint is
+        # what upgrades plain PC to *strong* path consistency.
+        for x in variables:
+            narrowed = unary[x]
+            for y in variables:
+                if y != x:
+                    narrowed = narrowed & {a for (a, _) in pairs[(x, y)]}
+            if narrowed != unary[x]:
+                unary[x] = narrowed
+                if not narrowed:
+                    return None
+                changed = True
+                for y in variables:
+                    if y != x:
+                        pairs[(x, y)] = {p for p in pairs[(x, y)] if p[0] in narrowed}
+                        pairs[(y, x)] = {p for p in pairs[(y, x)] if p[1] in narrowed}
 
     constraints = [
         Constraint((x, y), pairs[(x, y)])

@@ -53,9 +53,11 @@ def atom_relation(atom: Atom, database: Structure) -> Relation:
 def _body_join(
     query: ConjunctiveQuery, database: Structure, strategy: str | None = None
 ) -> Relation:
-    """Join the body atoms.  ``strategy`` picks the join order (see
-    :mod:`repro.relational.planner`); ``"textbook"`` is the textual atom
-    order, the default is the cost-guided greedy plan."""
+    """Join the body atoms.  ``strategy`` picks the join order and execution
+    (see :func:`repro.relational.planner.parse_strategy`): ``"textbook"`` is
+    the textual atom order, ``"scan"`` forces nested-loop joins, and the
+    default is the cost-guided greedy plan over the hash-indexed
+    operators."""
     return join_all(
         (atom_relation(atom, database) for atom in query.body), strategy=strategy
     )

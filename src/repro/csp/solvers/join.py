@@ -11,7 +11,12 @@ to a solution by assigning unconstrained variables arbitrarily.
 The join order is chosen by the cost-guided planner in
 :mod:`repro.relational.planner` (smallest estimated intermediate first);
 pass ``strategy="textbook"`` to join the constraints in the order they were
-written, or ``"smallest"`` for the simple cardinality sort.
+written, or ``"smallest"`` for the simple cardinality sort.  Orthogonally,
+the join *execution* defaults to the hash-indexed build/probe operators;
+``strategy="scan"`` selects the nested-loop implementation (the
+differential-testing oracle), and compound specs such as
+``"textbook+scan"`` fix both — see
+:func:`repro.relational.planner.parse_strategy`.
 :mod:`repro.width.acyclic` offers the Yannakakis evaluation that is
 worst-case-optimal for acyclic instances.
 """
@@ -60,7 +65,8 @@ def join_of_constraints(
     """Evaluate ``⋈_{(t,R)∈C} R`` for the normalized instance.
 
     ``strategy`` selects the join order (``"greedy"``, ``"smallest"``,
-    ``"textbook"``); every order yields the same relation.
+    ``"textbook"``) and/or execution (``"indexed"``, ``"scan"``); every
+    combination yields the same relation.
     """
     return join_all(constraint_relations(instance), strategy=strategy)
 

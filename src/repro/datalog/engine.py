@@ -18,7 +18,13 @@ from typing import Any, Mapping
 from repro.cq.query import Atom, Var
 from repro.datalog.syntax import Program, Rule
 from repro.errors import VocabularyError
-from repro.relational.algebra import join_all
+from repro.relational.algebra import (
+    DEFAULT_EXECUTION,
+    DEFAULT_STRATEGY,
+    join_all,
+    warm_index,
+)
+from repro.relational.planner import order_relations, parse_strategy
 from repro.relational.relation import Relation
 from repro.relational.structure import Structure
 
@@ -45,9 +51,26 @@ def _edb_facts(program: Program, database: Structure | Mapping[str, Any]) -> Fac
     return facts
 
 
-def _atom_to_relation(atom: Atom, value: frozenset[tuple[Any, ...]]) -> Relation:
+#: Per-evaluation cache of atom relations, keyed by ``(atom, predicate
+#: value)``.  EDB predicates never change across fixpoint rounds, so every
+#: round after the first gets back the *same* :class:`Relation` object —
+#: and with it the memoized hash indexes built by earlier delta joins
+#: (``Relation.index_on``), instead of re-deriving and re-indexing the
+#: relation each round.
+_AtomCache = dict[tuple[Atom, frozenset], Relation]
+
+
+def _atom_to_relation(
+    atom: Atom,
+    value: frozenset[tuple[Any, ...]],
+    cache: _AtomCache | None = None,
+) -> Relation:
     """Filter a predicate's current value through the atom's constants and
     repeated variables; one column per distinct variable."""
+    if cache is not None:
+        cached = cache.get((atom, value))
+        if cached is not None:
+            return cached
     variables = atom.variables()
     first = {v: atom.terms.index(v) for v in variables}
 
@@ -60,10 +83,38 @@ def _atom_to_relation(atom: Atom, value: frozenset[tuple[Any, ...]]) -> Relation
                 return False
         return True
 
-    return Relation(
+    relation = Relation(
         tuple(v.name for v in variables),
         (tuple(row[first[v]] for v in variables) for row in value if matches(row)),
     )
+    if cache is not None:
+        cache[(atom, value)] = relation
+    return relation
+
+
+def _warm_static_indexes(
+    relations: list[Relation],
+    static_positions: list[int],
+    order: str,
+) -> None:
+    """Pre-build the hash indexes the coming rule-body join will probe on
+    the *static* relations (those that persist across fixpoint rounds).
+
+    ``join_all`` folds the planner's order left to right, so the join key
+    of each relation is its attributes shared with everything ordered
+    before it.  Warming a static relation's index makes
+    ``choose_build_side`` pick it as build side even when the fresh delta
+    relation is smaller — the build then amortizes across every remaining
+    round instead of being repaid per round.  The build is charged to
+    EvalStats by :func:`warm_index`, so the accounting stays honest.
+    """
+    static_ids = {id(relations[i]) for i in static_positions}
+    seen: set[str] = set()
+    for rel in order_relations(relations, order):
+        key = set(rel.attributes) & seen
+        if key and id(rel) in static_ids:
+            warm_index(rel, key)
+        seen.update(rel.attributes)
 
 
 def _apply_rule(
@@ -72,21 +123,35 @@ def _apply_rule(
     delta_atom_index: int | None = None,
     delta: Facts | None = None,
     strategy: str | None = None,
+    cache: _AtomCache | None = None,
+    static: frozenset[str] = frozenset(),
 ) -> set[tuple[Any, ...]]:
     """Evaluate one rule under the current predicate values.
 
     In semi-naive mode (``delta_atom_index`` set) the designated body atom
     reads the *delta* value of its predicate instead of the full value.
-    ``strategy`` picks the rule body's join order (``"textbook"`` keeps the
-    order the body was written in; the default is the cost-guided plan).
+    ``strategy`` picks the rule body's join order and execution
+    (``"textbook"`` keeps the order the body was written in; ``"scan"``
+    forces nested loops; the default is the cost-guided plan over the
+    hash-indexed operators).  ``static`` names the predicates whose
+    relations persist across rounds (the EDBs): their join-key indexes are
+    warmed up front so every round after the first probes them for free.
     """
     relations = []
+    static_positions = []
     for i, atom in enumerate(rule.body):
         if delta_atom_index is not None and i == delta_atom_index:
             value = (delta or {}).get(atom.predicate, frozenset())
         else:
             value = values.get(atom.predicate, frozenset())
-        relations.append(_atom_to_relation(atom, value))
+            if atom.predicate in static:
+                static_positions.append(i)
+        relations.append(_atom_to_relation(atom, value, cache))
+    order, execution = parse_strategy(
+        strategy, default_order=DEFAULT_STRATEGY, default_execution=DEFAULT_EXECUTION
+    )
+    if static_positions and execution == "indexed" and len(relations) > 1:
+        _warm_static_indexes(relations, static_positions, order)
     joined = join_all(relations, strategy=strategy) if relations else Relation.unit()
     derived: set[tuple[Any, ...]] = set()
     head = rule.head
@@ -109,11 +174,13 @@ def evaluate_naive(
     values = _edb_facts(program, database)
     for idb in program.idb_predicates():
         values[idb] = frozenset()
+    static = frozenset(program.edb_predicates())
+    cache: _AtomCache = {}
     changed = True
     while changed:
         changed = False
         for rule in program.rules:
-            new = _apply_rule(rule, values, strategy=strategy)
+            new = _apply_rule(rule, values, strategy=strategy, cache=cache, static=static)
             merged = values[rule.head.predicate] | new
             if merged != values[rule.head.predicate]:
                 values[rule.head.predicate] = frozenset(merged)
@@ -133,12 +200,14 @@ def evaluate_seminaive(
     idbs = program.idb_predicates()
     for idb in idbs:
         values[idb] = frozenset()
+    static = frozenset(program.edb_predicates())
+    cache: _AtomCache = {}
 
     # Round 0: rules evaluated on EDBs alone (IDB atoms are empty, so only
     # rules whose bodies are EDB-only can fire).
     delta: Facts = {idb: frozenset() for idb in idbs}
     for rule in program.rules:
-        new = _apply_rule(rule, values, strategy=strategy)
+        new = _apply_rule(rule, values, strategy=strategy, cache=cache, static=static)
         delta[rule.head.predicate] = delta[rule.head.predicate] | frozenset(new)
     for idb in idbs:
         values[idb] = delta[idb]
@@ -151,7 +220,13 @@ def evaluate_seminaive(
             ]
             for pos in idb_positions:
                 derived = _apply_rule(
-                    rule, values, delta_atom_index=pos, delta=delta, strategy=strategy
+                    rule,
+                    values,
+                    delta_atom_index=pos,
+                    delta=delta,
+                    strategy=strategy,
+                    cache=cache,
+                    static=static,
                 )
                 next_delta[rule.head.predicate] |= derived
         delta = {

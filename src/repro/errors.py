@@ -33,7 +33,9 @@ class ArityError(ReproError):
 
 
 class VocabularyError(ReproError):
-    """Two structures that must share a vocabulary do not."""
+    """A name is missing from the vocabulary it was looked up in: two
+    structures that must share a vocabulary do not, a predicate is absent
+    from a database, or an attribute is absent from a relation's scheme."""
 
 
 class DomainError(ReproError):

@@ -7,6 +7,7 @@ homomorphism search between structures.
 """
 
 from repro.relational.algebra import (
+    DEFAULT_EXECUTION,
     DEFAULT_STRATEGY,
     difference,
     division,
@@ -19,11 +20,15 @@ from repro.relational.algebra import (
     select,
     semijoin,
     union,
+    warm_index,
 )
 from repro.relational.planner import (
+    EXECUTIONS,
     STRATEGIES,
     JoinPlan,
+    choose_build_side,
     order_relations,
+    parse_strategy,
     plan_join,
 )
 from repro.relational.stats import EvalStats, collect_stats, current_stats
@@ -63,16 +68,21 @@ __all__ = [
     "natural_join",
     "join_all",
     "semijoin",
+    "warm_index",
     "union",
     "intersection",
     "difference",
     "product",
     "division",
     "DEFAULT_STRATEGY",
+    "DEFAULT_EXECUTION",
     "STRATEGIES",
+    "EXECUTIONS",
     "JoinPlan",
     "plan_join",
     "order_relations",
+    "parse_strategy",
+    "choose_build_side",
     "EvalStats",
     "collect_stats",
     "current_stats",

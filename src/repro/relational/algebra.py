@@ -13,12 +13,20 @@ Two cross-cutting facilities live alongside the operators:
 
 * **observability** — inside a :func:`repro.relational.stats.collect_stats`
   block, every join/semijoin/selection/projection records tuples scanned,
-  hash probes, result cardinalities, and wall time into the active
-  :class:`~repro.relational.stats.EvalStats`;
-* **planning** — :func:`join_all` accepts a ``strategy`` (``"greedy"``,
-  ``"smallest"``, or ``"textbook"``) and delegates the join *order* to
-  :mod:`repro.relational.planner`.  The default is the cost-guided greedy
-  order; ``DEFAULT_STRATEGY`` is the module-wide knob.
+  hash probes, index builds/hits/misses, result cardinalities, and wall
+  time into the active :class:`~repro.relational.stats.EvalStats`;
+* **planning** — :func:`join_all` accepts a ``strategy`` that combines a
+  join *order* (``"greedy"``, ``"smallest"``, ``"textbook"``) with a join
+  *execution* (``"indexed"``, ``"scan"``), e.g. ``"smallest+scan"``; see
+  :func:`repro.relational.planner.parse_strategy`.  The defaults are the
+  cost-guided greedy order and hash-indexed execution; ``DEFAULT_STRATEGY``
+  and ``DEFAULT_EXECUTION`` are the module-wide knobs.
+
+Indexed execution probes the lazily built, memoized per-key-column hash
+indexes of :meth:`Relation.index_on` — so a relation joined or
+semijoin-reduced repeatedly on the same key (semi-naive Datalog rounds,
+Yannakakis passes) pays for its hash table once.  The ``"scan"`` execution
+is the nested-loop implementation, kept as a differential-testing oracle.
 """
 
 from __future__ import annotations
@@ -26,19 +34,21 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
-from repro.errors import SchemaError
-from repro.relational.planner import order_relations
+from repro.errors import SchemaError, SolverError
+from repro.relational.planner import EXECUTIONS, choose_build_side, order_relations, parse_strategy
 from repro.relational.relation import Relation
 from repro.relational.stats import current_stats
 
 __all__ = [
     "DEFAULT_STRATEGY",
+    "DEFAULT_EXECUTION",
     "project",
     "select",
     "rename",
     "natural_join",
     "join_all",
     "semijoin",
+    "warm_index",
     "union",
     "intersection",
     "difference",
@@ -48,6 +58,19 @@ __all__ = [
 
 #: Join-order strategy used by :func:`join_all` when none is given.
 DEFAULT_STRATEGY = "greedy"
+
+#: Join-execution mode used by :func:`natural_join`/:func:`semijoin` when
+#: none is given: ``"indexed"`` (memoized hash indexes) or ``"scan"``.
+DEFAULT_EXECUTION = "indexed"
+
+
+def _resolve_execution(execution: str | None) -> str:
+    mode = execution or DEFAULT_EXECUTION
+    if mode not in EXECUTIONS:
+        raise SolverError(
+            f"unknown join execution {execution!r}; expected one of {EXECUTIONS}"
+        )
+    return mode
 
 
 def project(relation: Relation, attributes: Sequence[str]) -> Relation:
@@ -135,46 +158,130 @@ def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
 def _shared_and_private(
     left: Relation, right: Relation
 ) -> tuple[list[str], list[str]]:
-    """Attributes shared by both schemes, and attributes private to ``right``."""
+    """The canonical (sorted) join key shared by both schemes, and the
+    attributes private to ``right``.
+
+    The key is sorted so that it does not depend on operand order or scheme
+    layout: ``r ⋈ s``, ``s ⋈ r``, ``r ⋉ s``, and :func:`warm_index` all
+    name the same memoized :meth:`Relation.index_on` index.
+    """
     left_set = set(left.attributes)
-    shared = [a for a in right.attributes if a in left_set]
+    shared = sorted(a for a in right.attributes if a in left_set)
     private = [a for a in right.attributes if a not in left_set]
     return shared, private
 
 
-def natural_join(left: Relation, right: Relation) -> Relation:
-    """The natural join ``left ⋈ right`` (hash join on the shared attributes).
+def warm_index(relation: Relation, attributes: Iterable[str]) -> bool:
+    """Build (and memoize) ``relation``'s hash index on the canonical join
+    key for ``attributes``, charging the build to the active EvalStats.
 
-    When the schemes are disjoint this degenerates to the Cartesian product;
+    The canonical key is the sorted attribute tuple — exactly what
+    :func:`natural_join` and :func:`semijoin` probe on — so a caller that
+    knows a relation will be probed repeatedly on the same key (the Datalog
+    engine's static EDB relations across semi-naive rounds, a Yannakakis
+    reducer) can pay the build once, up front;
+    :func:`~repro.relational.planner.choose_build_side` then routes every
+    later join through the warmed side regardless of cardinalities.
+    Returns ``True`` iff an index was actually built (``False`` when the
+    key was already memoized).
+    """
+    key = tuple(sorted(attributes))
+    if relation.has_index(key):
+        return False
+    stats = current_stats()
+    start = perf_counter() if stats is not None else 0.0
+    relation.index_on(key)
+    if stats is not None:
+        stats.record(
+            "index_build",
+            scanned=len(relation),
+            index_builds=1,
+            seconds=perf_counter() - start,
+        )
+    return True
+
+
+def natural_join(
+    left: Relation, right: Relation, *, execution: str | None = None
+) -> Relation:
+    """The natural join ``left ⋈ right`` on the shared attributes.
+
+    ``execution`` picks the physical operator (default
+    :data:`DEFAULT_EXECUTION`):
+
+    * ``"indexed"`` — build-side/probe-side hash execution.
+      :func:`~repro.relational.planner.choose_build_side` decides which
+      operand owns the hash table (an already-memoized
+      :meth:`Relation.index_on` index is free; otherwise the smaller side
+      builds), and the other operand's rows probe it.
+    * ``"scan"`` — the nested-loop implementation: every probe scans the
+      whole other relation.  Kept for differential testing.
+
+    Both produce the same relation with the same column order
+    (``left``'s scheme followed by ``right``'s private attributes).  When
+    the schemes are disjoint this degenerates to the Cartesian product;
     when they are identical it degenerates to intersection.
     """
+    execution = _resolve_execution(execution)
     stats = current_stats()
     start = perf_counter() if stats is not None else 0.0
     shared, right_private = _shared_and_private(left, right)
-    left_key = [left.index_of(a) for a in shared]
-    right_key = [right.index_of(a) for a in shared]
+    key = tuple(shared)
     right_private_idx = [right.index_of(a) for a in right_private]
-
-    # Build a hash index on the smaller operand's key columns.
-    index: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
-    for t in right:
-        key = tuple(t[i] for i in right_key)
-        index.setdefault(key, []).append(t)
-
     out_attrs = left.attributes + tuple(right_private)
 
-    def rows() -> Iterable[tuple[Any, ...]]:
-        for lt in left:
-            key = tuple(lt[i] for i in left_key)
-            for rt in index.get(key, ()):
-                yield lt + tuple(rt[i] for i in right_private_idx)
+    if execution == "scan":
+        left_key = [left.index_of(a) for a in key]
+        right_key = [right.index_of(a) for a in key]
 
-    result = Relation(out_attrs, rows())
+        def scan_rows() -> Iterable[tuple[Any, ...]]:
+            for lt in left:
+                for rt in right:
+                    if all(lt[i] == rt[j] for i, j in zip(left_key, right_key)):
+                        yield lt + tuple(rt[i] for i in right_private_idx)
+
+        result = Relation(out_attrs, scan_rows())
+        if stats is not None:
+            stats.record(
+                "natural_join",
+                scanned=len(left) + len(left) * len(right),
+                emitted=len(result),
+                seconds=perf_counter() - start,
+                intermediate=len(result),
+            )
+        return result
+
+    build_side = choose_build_side(left, right, key)
+    build, probe = (right, left) if build_side == "right" else (left, right)
+    built = not build.has_index(key)
+    index = build.index_on(key)
+    probe_key = [probe.index_of(a) for a in key]
+    hits = misses = 0
+
+    def indexed_rows() -> Iterable[tuple[Any, ...]]:
+        nonlocal hits, misses
+        for pt in probe:
+            bucket = index.get(tuple(pt[i] for i in probe_key))
+            if bucket is None:
+                misses += 1
+                continue
+            hits += 1
+            if build_side == "right":
+                for rt in bucket:
+                    yield pt + tuple(rt[i] for i in right_private_idx)
+            else:
+                for lt in bucket:
+                    yield lt + tuple(pt[i] for i in right_private_idx)
+
+    result = Relation(out_attrs, indexed_rows())
     if stats is not None:
         stats.record(
             "natural_join",
-            scanned=len(left) + len(right),
-            probes=len(left),
+            scanned=len(probe) + (len(build) if built else 0),
+            probes=len(probe),
+            index_builds=1 if built else 0,
+            index_hits=hits,
+            probe_misses=misses,
             emitted=len(result),
             seconds=perf_counter() - start,
             intermediate=len(result),
@@ -182,25 +289,39 @@ def natural_join(left: Relation, right: Relation) -> Relation:
     return result
 
 
-def join_all(relations: Iterable[Relation], strategy: str | None = None) -> Relation:
+def join_all(
+    relations: Iterable[Relation],
+    strategy: str | None = None,
+    *,
+    execution: str | None = None,
+) -> Relation:
     """Natural join of a collection of relations.
 
-    The binary-join *order* — which determines every intermediate-relation
-    cardinality, though never the result — is delegated to
-    :func:`repro.relational.planner.order_relations`:
+    ``strategy`` combines a join *order* — which determines every
+    intermediate-relation cardinality, though never the result — and a join
+    *execution*; see :func:`repro.relational.planner.parse_strategy`.
+    Orders (delegated to :func:`repro.relational.planner.order_relations`):
 
     * ``"greedy"`` (the default via :data:`DEFAULT_STRATEGY`) — cost-guided,
       smallest estimated intermediate first;
     * ``"smallest"`` — sort once by cardinality (the historical order);
     * ``"textbook"`` — join in the order given, the naive baseline.
 
+    Executions: ``"indexed"`` (memoized hash indexes, the default) and
+    ``"scan"`` (nested loops); compound specs like ``"textbook+scan"``
+    fix both.  An explicit ``execution`` keyword overrides the spec.
+
     Joining the empty collection yields :meth:`Relation.unit`, the join
     identity, so ``join_all`` is a proper monoid fold.
     """
-    pending = order_relations(relations, strategy or DEFAULT_STRATEGY)
+    order, spec_execution = parse_strategy(
+        strategy, default_order=DEFAULT_STRATEGY, default_execution=DEFAULT_EXECUTION
+    )
+    execution = execution or spec_execution
+    pending = order_relations(relations, order)
     result = Relation.unit()
     for rel in pending:
-        result = natural_join(result, rel)
+        result = natural_join(result, rel, execution=execution)
         if not result:
             # Early exit: a join with an empty intermediate stays empty.
             all_attrs = list(result.attributes)
@@ -212,27 +333,68 @@ def join_all(relations: Iterable[Relation], strategy: str | None = None) -> Rela
     return result
 
 
-def semijoin(left: Relation, right: Relation) -> Relation:
+def semijoin(
+    left: Relation, right: Relation, *, execution: str | None = None
+) -> Relation:
     """The semijoin ``left ⋉ right``: rows of ``left`` that join with ``right``.
 
     This is the primitive of the Yannakakis algorithm for acyclic joins
-    (discussed in Section 6 of the tutorial via [45]).
+    (discussed in Section 6 of the tutorial via [45]).  ``execution`` picks
+    the physical operator: ``"indexed"`` probes ``right``'s memoized
+    :meth:`Relation.index_on` hash index on the shared attributes — so a
+    reducer used repeatedly (as in Yannakakis' two passes) pays for its
+    index once — while ``"scan"`` re-scans ``right`` per row of ``left``.
     """
+    execution = _resolve_execution(execution)
     stats = current_stats()
     start = perf_counter() if stats is not None else 0.0
     shared, _ = _shared_and_private(left, right)
-    left_key = [left.index_of(a) for a in shared]
-    right_key = [right.index_of(a) for a in shared]
-    keys = {tuple(t[i] for i in right_key) for t in right}
-    result = Relation(
-        left.attributes,
-        (t for t in left if tuple(t[i] for i in left_key) in keys),
-    )
+    key = tuple(shared)
+    left_key = [left.index_of(a) for a in key]
+
+    if execution == "scan":
+        right_key = [right.index_of(a) for a in key]
+        examined = 0
+
+        def scan_matches(lt: tuple[Any, ...]) -> bool:
+            nonlocal examined
+            for rt in right:
+                examined += 1
+                if all(lt[i] == rt[j] for i, j in zip(left_key, right_key)):
+                    return True
+            return False
+
+        result = Relation(left.attributes, (t for t in left if scan_matches(t)))
+        if stats is not None:
+            stats.record(
+                "semijoin",
+                scanned=len(left) + examined,
+                emitted=len(result),
+                seconds=perf_counter() - start,
+            )
+        return result
+
+    built = not right.has_index(key)
+    index = right.index_on(key)
+    hits = misses = 0
+
+    def indexed_matches(lt: tuple[Any, ...]) -> bool:
+        nonlocal hits, misses
+        if tuple(lt[i] for i in left_key) in index:
+            hits += 1
+            return True
+        misses += 1
+        return False
+
+    result = Relation(left.attributes, (t for t in left if indexed_matches(t)))
     if stats is not None:
         stats.record(
             "semijoin",
-            scanned=len(left) + len(right),
+            scanned=len(left) + (len(right) if built else 0),
             probes=len(left),
+            index_builds=1 if built else 0,
+            index_hits=hits,
+            probe_misses=misses,
             emitted=len(result),
             seconds=perf_counter() - start,
         )

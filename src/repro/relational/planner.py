@@ -12,7 +12,7 @@ where ``d_X(a)`` is the number of distinct values of attribute ``a`` in
 planner automatically prefers *connected* relations (shared-attribute
 connectivity) over Cartesian products.
 
-Three strategies are exposed:
+Three *order* strategies are exposed:
 
 * ``"greedy"``   — smallest relation first, then repeatedly the relation
   with the smallest estimated join with the running intermediate;
@@ -20,9 +20,21 @@ Three strategies are exposed:
   ``join_all`` order);
 * ``"textbook"`` — keep the given (textual) order, the naive baseline.
 
-All orders compute the same relation (the natural join is commutative and
-associative — see ``tests/relational/test_algebra_properties.py``); they
-differ only in cost.
+Orthogonally, two *execution* modes decide how each binary join/semijoin
+probes its operands:
+
+* ``"indexed"`` — build-side/probe-side hash execution over the memoized
+  per-key-column indexes of :meth:`Relation.index_on` (the default);
+* ``"scan"``    — the nested-loop implementation, kept for differential
+  testing.
+
+:func:`parse_strategy` accepts either kind of name, or a compound
+``"order+execution"`` spec such as ``"smallest+scan"``.  All combinations
+compute the same relation (the natural join is commutative and associative —
+see ``tests/relational/test_algebra_properties.py``); they differ only in
+cost.  :func:`choose_build_side` picks which operand of one indexed join
+pays for the hash table: an already-memoized index is free, otherwise the
+smaller (estimated-cheaper) side builds.
 """
 
 from __future__ import annotations
@@ -35,15 +47,78 @@ from repro.relational.relation import Relation
 
 __all__ = [
     "STRATEGIES",
+    "EXECUTIONS",
     "RelationProfile",
     "JoinPlan",
     "profile",
     "estimate_join",
     "plan_join",
     "order_relations",
+    "parse_strategy",
+    "choose_build_side",
 ]
 
+#: Join-*order* strategies (which relation joins next).
 STRATEGIES = ("greedy", "smallest", "textbook")
+
+#: Join-*execution* modes (how one binary join/semijoin probes its operands).
+EXECUTIONS = ("indexed", "scan")
+
+
+def parse_strategy(
+    spec: str | None,
+    *,
+    default_order: str = "greedy",
+    default_execution: str = "indexed",
+) -> tuple[str, str]:
+    """Split a strategy spec into ``(order, execution)``.
+
+    ``spec`` may be an order name (``"greedy"``, ``"smallest"``,
+    ``"textbook"``), an execution name (``"indexed"``, ``"scan"``), or a
+    compound ``"order+execution"`` such as ``"textbook+scan"``.  ``None``
+    yields the defaults.  Unknown or contradictory specs raise
+    :class:`~repro.errors.SolverError`.
+
+    >>> parse_strategy("scan")
+    ('greedy', 'scan')
+    >>> parse_strategy("smallest+indexed")
+    ('smallest', 'indexed')
+    """
+    order: str | None = None
+    execution: str | None = None
+    if spec is not None:
+        for part in spec.split("+"):
+            if part in STRATEGIES:
+                if order is not None:
+                    raise SolverError(f"strategy {spec!r} names two join orders")
+                order = part
+            elif part in EXECUTIONS:
+                if execution is not None:
+                    raise SolverError(f"strategy {spec!r} names two executions")
+                execution = part
+            else:
+                raise SolverError(
+                    f"unknown join strategy {part!r}; expected an order in "
+                    f"{STRATEGIES} and/or an execution in {EXECUTIONS}"
+                )
+    return order or default_order, execution or default_execution
+
+
+def choose_build_side(left: Relation, right: Relation, key: Sequence[str]) -> str:
+    """Which operand of an indexed join should own the hash table.
+
+    Returns ``"left"`` or ``"right"``.  A side whose index on ``key`` is
+    already memoized wins outright (probing it costs nothing extra);
+    otherwise the smaller side builds — the classical build-side rule, with
+    the exact cardinality standing in for the estimate.  Ties go right, so
+    an index-free join of equal operands matches the historical behavior.
+    """
+    left_key = tuple(key)
+    left_has = left.has_index(left_key)
+    right_has = right.has_index(left_key)
+    if left_has != right_has:
+        return "left" if left_has else "right"
+    return "left" if len(left) < len(right) else "right"
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
-from repro.errors import ArityError, SchemaError
+from repro.errors import ArityError, SchemaError, VocabularyError
 
 __all__ = ["Relation"]
 
@@ -51,7 +51,7 @@ class Relation:
     True
     """
 
-    __slots__ = ("_attributes", "_tuples", "_hash")
+    __slots__ = ("_attributes", "_tuples", "_hash", "_indexes")
 
     def __init__(self, attributes: Sequence[str], tuples: Iterable[Sequence[Any]] = ()):
         self._attributes = _check_scheme(attributes)
@@ -67,6 +67,7 @@ class Relation:
             rows.add(t)
         self._tuples: frozenset[tuple[Any, ...]] = frozenset(rows)
         self._hash: int | None = None
+        self._indexes: dict[tuple[str, ...], dict[tuple[Any, ...], list[tuple[Any, ...]]]] = {}
 
     # -- basic protocol ---------------------------------------------------
 
@@ -154,14 +155,54 @@ class Relation:
         return frozenset(t[idx] for t in self._tuples)
 
     def index_of(self, attribute: str) -> int:
-        """Position of ``attribute`` in the scheme; raises ``SchemaError`` if absent."""
+        """Position of ``attribute`` in the scheme.
+
+        Raises :class:`~repro.errors.VocabularyError` (naming the attribute
+        and the scheme) when the attribute is absent.
+        """
         try:
             return self._attributes.index(attribute)
         except ValueError:
-            raise SchemaError(
+            raise VocabularyError(
                 f"attribute {attribute!r} not in scheme {self._attributes!r}"
             ) from None
 
     def has_attribute(self, attribute: str) -> bool:
         """Whether ``attribute`` occurs in the scheme."""
         return attribute in self._attributes
+
+    # -- hash indexes ------------------------------------------------------
+
+    def index_on(
+        self, attributes: Sequence[str]
+    ) -> Mapping[tuple[Any, ...], Sequence[tuple[Any, ...]]]:
+        """A hash index on the given key columns: ``key-tuple → rows``.
+
+        The index maps each tuple of key-column values (in the order the
+        attributes are given) to the list of full rows carrying those
+        values.  Indexes are built lazily on first request and memoized on
+        the instance — relations are immutable, so a built index is valid
+        forever and is shared by every later join/semijoin probing the same
+        key.  The empty key indexes every row under ``()``.
+
+        Callers must not mutate the returned mapping or its row lists.
+
+        >>> r = Relation(("x", "y"), [(1, 2), (1, 3), (2, 2)])
+        >>> sorted(r.index_on(("x",))[(1,)])
+        [(1, 2), (1, 3)]
+        """
+        attrs = tuple(attributes)
+        cached = self._indexes.get(attrs)
+        if cached is not None:
+            return cached
+        positions = [self.index_of(a) for a in attrs]
+        index: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+        for t in self._tuples:
+            index.setdefault(tuple(t[i] for i in positions), []).append(t)
+        self._indexes[attrs] = index
+        return index
+
+    def has_index(self, attributes: Sequence[str]) -> bool:
+        """Whether :meth:`index_on` has already been built (and memoized)
+        for exactly this key-column tuple."""
+        return tuple(attributes) in self._indexes

@@ -7,6 +7,10 @@ the quantity that governs join cost; this module makes it observable.  An
 
 * ``tuples_scanned`` — rows read from operand relations,
 * ``hash_probes`` — lookups into a join's hash index,
+* ``index_builds`` — hash indexes actually built (a memoized
+  :meth:`~repro.relational.relation.Relation.index_on` hit builds nothing),
+* ``index_hits`` / ``probe_misses`` — probes that found / did not find a
+  matching key in the index,
 * ``tuples_emitted`` — rows produced,
 * ``intermediate_sizes`` — the cardinality of every join result, in order,
 * per-operator invocation counts and wall-clock seconds.
@@ -46,6 +50,9 @@ class EvalStats:
 
     tuples_scanned: int = 0
     hash_probes: int = 0
+    index_builds: int = 0
+    index_hits: int = 0
+    probe_misses: int = 0
     tuples_emitted: int = 0
     intermediate_sizes: list[int] = field(default_factory=list)
     operator_counts: dict[str, int] = field(default_factory=dict)
@@ -59,6 +66,9 @@ class EvalStats:
         *,
         scanned: int = 0,
         probes: int = 0,
+        index_builds: int = 0,
+        index_hits: int = 0,
+        probe_misses: int = 0,
         emitted: int = 0,
         seconds: float = 0.0,
         intermediate: int | None = None,
@@ -66,6 +76,9 @@ class EvalStats:
         """Record one operator invocation (called by the algebra)."""
         self.tuples_scanned += scanned
         self.hash_probes += probes
+        self.index_builds += index_builds
+        self.index_hits += index_hits
+        self.probe_misses += probe_misses
         self.tuples_emitted += emitted
         self.operator_counts[operator] = self.operator_counts.get(operator, 0) + 1
         self.operator_seconds[operator] = (
@@ -82,6 +95,9 @@ class EvalStats:
         """
         self.tuples_scanned += other.tuples_scanned
         self.hash_probes += other.hash_probes
+        self.index_builds += other.index_builds
+        self.index_hits += other.index_hits
+        self.probe_misses += other.probe_misses
         self.tuples_emitted += other.tuples_emitted
         self.intermediate_sizes.extend(other.intermediate_sizes)
         for op, n in other.operator_counts.items():
@@ -94,6 +110,9 @@ class EvalStats:
         """Zero every counter, returning the object to its freshly-built state."""
         self.tuples_scanned = 0
         self.hash_probes = 0
+        self.index_builds = 0
+        self.index_hits = 0
+        self.probe_misses = 0
         self.tuples_emitted = 0
         self.intermediate_sizes = []
         self.operator_counts = {}
@@ -126,6 +145,9 @@ class EvalStats:
         return {
             "tuples_scanned": self.tuples_scanned,
             "hash_probes": self.hash_probes,
+            "index_builds": self.index_builds,
+            "index_hits": self.index_hits,
+            "probe_misses": self.probe_misses,
             "tuples_emitted": self.tuples_emitted,
             "joins": self.joins,
             "max_intermediate": self.max_intermediate,
@@ -141,6 +163,9 @@ class EvalStats:
         lines = [
             f"tuples scanned      {self.tuples_scanned}",
             f"hash probes         {self.hash_probes}",
+            f"index builds        {self.index_builds}",
+            f"index hits          {self.index_hits}",
+            f"probe misses        {self.probe_misses}",
             f"tuples emitted      {self.tuples_emitted}",
             f"joins               {self.joins}",
             f"max intermediate    {self.max_intermediate}",

@@ -160,12 +160,17 @@ def _constraint_relations(instance: CSPInstance) -> tuple[CSPInstance, list[Rela
     return normalized, constraint_relations(normalized)
 
 
-def yannakakis_is_solvable(instance: CSPInstance) -> bool:
+def yannakakis_is_solvable(
+    instance: CSPInstance, *, execution: str | None = None
+) -> bool:
     """Decide an acyclic CSP instance by Yannakakis' bottom-up semijoin pass.
 
     Each constraint is semijoin-reduced by its join-tree children; the
     instance is solvable iff no relation empties.  Linear-shaped in the total
     size of the relations (each relation is touched once per tree edge).
+    ``execution`` selects the semijoin implementation (``"indexed"`` probes
+    each reducer's memoized hash index, ``"scan"`` re-scans it per row; see
+    :func:`repro.relational.algebra.semijoin`).
 
     Raises :class:`DecompositionError` on cyclic instances — callers should
     test :func:`is_acyclic` first or fall back to another solver.
@@ -180,19 +185,27 @@ def yannakakis_is_solvable(instance: CSPInstance) -> bool:
     for node in tree.topological_order():
         for child, par in tree.parent.items():
             if par == node:
-                reduced[node] = semijoin(reduced[node], reduced[child])
+                reduced[node] = semijoin(
+                    reduced[node], reduced[child], execution=execution
+                )
         if not reduced[node]:
             return False
     return all(bool(reduced[r]) for r in tree.roots)
 
 
-def yannakakis_solve(instance: CSPInstance) -> dict[Any, Any] | None:
+def yannakakis_solve(
+    instance: CSPInstance, *, execution: str | None = None
+) -> dict[Any, Any] | None:
     """Construct a solution of an acyclic instance backtrack-freely.
 
     After the bottom-up pass, a top-down pass semijoin-reduces children by
     their parents; then a greedy descent picks, at each node, any row
     agreeing with the values chosen so far — full consistency guarantees it
-    exists (the "backtrack-free search" of Section 5).
+    exists (the "backtrack-free search" of Section 5).  ``execution``
+    selects the semijoin implementation as in
+    :func:`yannakakis_is_solvable`; with the default hash-indexed semijoin,
+    a relation reducing several children in the top-down pass builds its
+    probe index once and reuses it for every child.
     """
     normalized, relations = _constraint_relations(instance)
     domain = sorted(normalized.domain, key=repr)
@@ -209,12 +222,16 @@ def yannakakis_solve(instance: CSPInstance) -> dict[Any, Any] | None:
     children = tree.children()
     for node in bottom_up:
         for child in children[node]:
-            reduced[node] = semijoin(reduced[node], reduced[child])
+            reduced[node] = semijoin(
+                reduced[node], reduced[child], execution=execution
+            )
         if not reduced[node]:
             return None
     for node in reversed(bottom_up):  # top-down
         for child in children[node]:
-            reduced[child] = semijoin(reduced[child], reduced[node])
+            reduced[child] = semijoin(
+                reduced[child], reduced[node], execution=execution
+            )
 
     # Greedy descent: fix attributes node by node, parents before children.
     chosen: dict[str, Any] = {}

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the consistency algorithms.
+
+Two contracts matter for everything built on top of §5 of the tutorial:
+
+* **Soundness** — a filtering algorithm may only remove values that occur
+  in *no* solution.  AC-3 (and its singleton refinement) must never prune
+  a value some solution uses, and a refutation must mean the instance is
+  genuinely unsolvable (checked against the brute-force oracle).
+* **Strong path consistency** — :func:`path_consistency` interleaves PC-2
+  with arc tightening, so its output must be arc-consistent on arrival:
+  running AC-3 on the result is a no-op.  It must also preserve the exact
+  solution set, not merely solvability.
+"""
+
+from itertools import product
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.arc import ac3, path_consistency
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.solvers import brute
+
+MAX_VARS = 4
+MAX_DOMAIN = 3
+
+
+@st.composite
+def binary_instances(draw):
+    """Small random CSP instances with unary and binary constraints —
+    the fragment path consistency is exact for."""
+    n = draw(st.integers(min_value=2, max_value=MAX_VARS))
+    d = draw(st.integers(min_value=2, max_value=MAX_DOMAIN))
+    variables = list(range(n))
+    domain = list(range(d))
+    n_constraints = draw(st.integers(min_value=1, max_value=5))
+    constraints = []
+    for _ in range(n_constraints):
+        arity = draw(st.integers(min_value=1, max_value=2))
+        scope = tuple(
+            draw(st.permutations(variables).map(lambda p: p[:arity]))
+        )
+        all_rows = sorted(product(domain, repeat=arity))
+        rows = draw(st.sets(st.sampled_from(all_rows), max_size=len(all_rows)))
+        constraints.append(Constraint(scope, rows))
+    return CSPInstance(variables, domain, constraints)
+
+
+def solution_set(instance):
+    return {tuple(sorted(s.items())) for s in brute.all_solutions(instance)}
+
+
+@settings(max_examples=80, deadline=None)
+@given(binary_instances())
+def test_ac3_never_removes_a_solution_value(instance):
+    result = ac3(instance)
+    solutions = list(brute.all_solutions(instance))
+    if solutions:
+        assert result.consistent, "AC-3 refuted a solvable instance"
+        for solution in solutions:
+            for variable, value in solution.items():
+                assert value in result.domains[variable]
+
+
+@settings(max_examples=80, deadline=None)
+@given(binary_instances())
+def test_ac3_refutation_is_sound(instance):
+    if not ac3(instance).consistent:
+        assert not brute.is_solvable(instance)
+
+
+@settings(max_examples=60, deadline=None)
+@given(binary_instances())
+def test_path_consistency_output_is_arc_consistent(instance):
+    out = path_consistency(instance)
+    if out is None:
+        assert not brute.is_solvable(instance)
+        return
+    result = ac3(out)
+    assert result.consistent
+    # AC-3 on the output is a no-op: the filtered domains coincide with the
+    # domains the output's unary constraints already imply.
+    implied = {v: set(out.domain) for v in out.variables}
+    for c in out.constraints:
+        if c.arity == 1:
+            implied[c.scope[0]] &= {row[0] for row in c.relation}
+    for variable in out.variables:
+        assert result.domains[variable] == implied[variable]
+
+
+@settings(max_examples=60, deadline=None)
+@given(binary_instances())
+def test_path_consistency_preserves_solution_set(instance):
+    out = path_consistency(instance)
+    if out is None:
+        assert not brute.is_solvable(instance)
+    else:
+        assert solution_set(out) == solution_set(instance)
+
+
+@settings(max_examples=60, deadline=None)
+@given(binary_instances())
+def test_path_consistency_domains_shrink_only(instance):
+    """The output's unary-implied domains are subsets of the input's —
+    tightening never invents values."""
+    out = path_consistency(instance)
+    if out is None:
+        return
+    before = {v: set(instance.domain) for v in instance.variables}
+    for c in instance.normalize().constraints:
+        if c.arity == 1:
+            before[c.scope[0]] &= {row[0] for row in c.relation}
+    after = {v: set(out.domain) for v in out.variables}
+    for c in out.constraints:
+        if c.arity == 1:
+            after[c.scope[0]] &= {row[0] for row in c.relation}
+    for variable in instance.variables:
+        assert after[variable] <= before[variable]

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.errors import SchemaError
+from repro.errors import SchemaError, VocabularyError
 from repro.relational.algebra import (
     difference,
     intersection,
@@ -34,7 +34,7 @@ class TestProject:
         assert project(r, ("y", "x")).tuples == frozenset({(2, 1)})
 
     def test_unknown_attribute_raises(self):
-        with pytest.raises(SchemaError):
+        with pytest.raises(VocabularyError):
             project(rel(("x",), []), ("nope",))
 
     def test_project_to_nothing_gives_unit_or_empty(self):

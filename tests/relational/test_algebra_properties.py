@@ -130,3 +130,81 @@ def test_semijoin_never_grows(r, s):
     assert reduced.tuples <= r.tuples
     # Semijoin is idempotent with the same reducer.
     assert semijoin(reduced, s) == reduced
+
+
+# --- indexed vs scan execution -------------------------------------------
+#
+# The hash-indexed build/probe operators must be observationally identical
+# to the nested-loop scan on every input.  Pairs are drawn with controlled
+# schema overlap so all three interesting regimes are exercised: shared
+# (same scheme → intersection), disjoint (no common attribute → Cartesian
+# product), and overlapping (a proper subset of attributes in common).
+
+DISJOINT_ATTRS = ("e", "f")
+
+
+@st.composite
+def relation_pairs(draw, max_rows=6):
+    """A pair of relations whose schemes share all, some, or none of their
+    attributes, with the overlap regime chosen by hypothesis."""
+    overlap = draw(st.sampled_from(["shared", "overlapping", "disjoint"]))
+    left = draw(relations(max_rows=max_rows))
+    if overlap == "shared":
+        scheme = draw(st.permutations(left.attributes).map(tuple))
+    elif overlap == "disjoint":
+        arity = draw(st.integers(min_value=1, max_value=len(DISJOINT_ATTRS)))
+        scheme = draw(
+            st.permutations(DISJOINT_ATTRS).map(lambda p: tuple(p[:arity]))
+        )
+    else:
+        common = draw(st.sampled_from(left.attributes))
+        extra = draw(st.sampled_from(DISJOINT_ATTRS))
+        scheme = (common, extra)
+    rows = draw(
+        st.lists(
+            st.tuples(*[VALUES] * len(scheme)), min_size=0, max_size=max_rows
+        )
+    )
+    return left, Relation(scheme, rows)
+
+
+@settings(max_examples=120, deadline=None)
+@given(relation_pairs())
+def test_join_indexed_matches_scan(pair):
+    r, s = pair
+    assert natural_join(r, s, execution="indexed") == natural_join(
+        r, s, execution="scan"
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(relation_pairs())
+def test_join_indexed_commutative_up_to_column_order(pair):
+    r, s = pair
+    assert normalized(natural_join(r, s, execution="indexed")) == normalized(
+        natural_join(s, r, execution="indexed")
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(relation_pairs())
+def test_semijoin_indexed_matches_scan_and_shrinks(pair):
+    r, s = pair
+    indexed = semijoin(r, s, execution="indexed")
+    assert indexed == semijoin(r, s, execution="scan")
+    assert indexed.tuples <= r.tuples
+
+
+@settings(max_examples=50, deadline=None)
+@given(relations(), relations(), relations())
+def test_join_all_compound_strategies_agree(r, s, t):
+    """Order and execution are orthogonal: every order+execution compound
+    spec computes the same relation."""
+    specs = [
+        "greedy+indexed", "greedy+scan", "smallest+scan",
+        "textbook+indexed", "textbook+scan", "indexed", "scan",
+    ]
+    forms = {
+        normalized(join_all([r, s, t], strategy=spec)) for spec in specs
+    }
+    assert len(forms) == 1

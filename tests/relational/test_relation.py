@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.errors import ArityError, SchemaError
+from repro.errors import ArityError, SchemaError, VocabularyError
 from repro.relational.relation import Relation
 
 
@@ -98,13 +98,52 @@ class TestViews:
 
     def test_index_of_unknown_raises(self):
         r = Relation(("x",), [])
-        with pytest.raises(SchemaError):
+        with pytest.raises(VocabularyError) as exc:
             r.index_of("z")
+        assert "'z'" in str(exc.value) and "'x'" in str(exc.value)
 
     def test_has_attribute(self):
         r = Relation(("x",), [])
         assert r.has_attribute("x")
         assert not r.has_attribute("y")
+
+
+class TestHashIndexes:
+    def test_index_groups_rows_by_key(self):
+        r = Relation(("x", "y"), [(1, 2), (1, 3), (2, 2)])
+        index = r.index_on(("x",))
+        assert set(index) == {(1,), (2,)}
+        assert sorted(index[(1,)]) == [(1, 2), (1, 3)]
+        assert index[(2,)] == [(2, 2)]
+
+    def test_index_key_order_matters(self):
+        r = Relation(("x", "y"), [(1, 2)])
+        assert set(r.index_on(("x", "y"))) == {(1, 2)}
+        assert set(r.index_on(("y", "x"))) == {(2, 1)}
+
+    def test_index_is_memoized(self):
+        r = Relation(("x", "y"), [(1, 2), (2, 3)])
+        assert not r.has_index(("y",))
+        first = r.index_on(("y",))
+        assert r.has_index(("y",))
+        assert r.index_on(("y",)) is first
+
+    def test_empty_key_indexes_all_rows(self):
+        r = Relation(("x",), [(1,), (2,)])
+        index = r.index_on(())
+        assert set(index) == {()}
+        assert sorted(index[()]) == [(1,), (2,)]
+
+    def test_index_on_unknown_attribute_raises(self):
+        r = Relation(("x",), [(1,)])
+        with pytest.raises(VocabularyError):
+            r.index_on(("ghost",))
+
+    def test_index_covers_every_row_exactly_once(self):
+        r = Relation(("x", "y"), [(i % 3, i) for i in range(9)])
+        index = r.index_on(("x",))
+        flattened = [t for bucket in index.values() for t in bucket]
+        assert sorted(flattened) == sorted(r.tuples)
 
 
 rows_strategy = st.lists(

@@ -9,6 +9,7 @@ from repro.relational.algebra import (
     project,
     select,
     semijoin,
+    warm_index,
 )
 from repro.relational.relation import Relation
 from repro.relational.stats import EvalStats, collect_stats, current_stats
@@ -53,22 +54,33 @@ class TestZeroAndEmpty:
 
 class TestCounting:
     def test_join_counters(self):
+        # Fresh relations: memoized indexes built by other tests must not
+        # change this test's build accounting.
+        r = small(("x", "y"), [(1, 2), (2, 3), (3, 4)])
+        s = small(("y", "z"), [(2, 10), (3, 11)])
         with collect_stats() as stats:
-            result = natural_join(R, S)
+            result = natural_join(r, s)
         assert stats.joins == 1
-        assert stats.tuples_scanned == len(R) + len(S)
-        assert stats.hash_probes == len(R)
+        # First join pays the build side (s, smaller) plus the probe side.
+        assert stats.tuples_scanned == len(r) + len(s)
+        assert stats.hash_probes == len(r)
+        assert stats.index_builds == 1
+        assert stats.index_hits == 2
+        assert stats.probe_misses == 1
         assert stats.tuples_emitted == len(result) == 2
         assert stats.intermediate_sizes == [2]
         assert stats.wall_seconds > 0.0
 
     def test_select_project_semijoin_counters(self):
+        r = small(("x", "y"), [(1, 2), (2, 3), (3, 4)])
+        s = small(("y", "z"), [(2, 10), (3, 11)])
         with collect_stats() as stats:
-            select(R, lambda row: row["x"] > 1)
-            project(R, ("x",))
-            semijoin(R, S)
+            select(r, lambda row: row["x"] > 1)
+            project(r, ("x",))
+            semijoin(r, s)
         assert stats.operator_counts == {"select": 1, "project": 1, "semijoin": 1}
-        assert stats.tuples_scanned == len(R) + len(R) + (len(R) + len(S))
+        assert stats.tuples_scanned == len(r) + len(r) + (len(r) + len(s))
+        assert stats.index_builds == 1
 
     def test_join_all_records_every_intermediate(self):
         with collect_stats() as stats:
@@ -78,8 +90,78 @@ class TestCounting:
         assert len(stats.intermediate_sizes) == 2
 
 
+class TestIndexCounters:
+    def test_memoized_index_is_not_rebuilt(self):
+        r = small(("x", "y"), [(1, 2), (2, 3), (3, 4)])
+        s = small(("y", "z"), [(2, 10), (3, 11)])
+        with collect_stats() as first:
+            natural_join(r, s)
+        with collect_stats() as second:
+            natural_join(r, s)
+        assert first.index_builds == 1
+        assert second.index_builds == 0
+        # The repeat probe pays only for the probe side, not the build.
+        assert second.tuples_scanned == len(r)
+        assert second.tuples_emitted == first.tuples_emitted
+
+    def test_semijoin_reuses_join_index(self):
+        r = small(("x", "y"), [(1, 2), (2, 3), (3, 4)])
+        s = small(("y", "z"), [(2, 10), (3, 11)])
+        semijoin(r, s)  # builds s's index on ("y",)
+        with collect_stats() as stats:
+            semijoin(r, s)
+        assert stats.index_builds == 0
+        assert stats.tuples_scanned == len(r)
+        assert stats.index_hits == 2
+        assert stats.probe_misses == 1
+
+    def test_scan_execution_records_no_index_traffic(self):
+        r = small(("x", "y"), [(1, 2), (2, 3), (3, 4)])
+        s = small(("y", "z"), [(2, 10), (3, 11)])
+        with collect_stats() as stats:
+            natural_join(r, s, execution="scan")
+        assert stats.index_builds == 0
+        assert stats.index_hits == 0
+        assert stats.probe_misses == 0
+        assert stats.hash_probes == 0
+        # Nested loops read the whole right side once per left row.
+        assert stats.tuples_scanned == len(r) + len(r) * len(s)
+
+    def test_warm_index_charges_build_once(self):
+        r = small(("x", "y"), [(1, 2), (2, 3), (3, 4)])
+        s = small(("y", "z"), [(2, 10), (3, 11)])
+        with collect_stats() as stats:
+            assert warm_index(r, {"y"}) is True
+            assert warm_index(r, ("y",)) is False  # memoized: free
+        assert stats.index_builds == 1
+        assert stats.tuples_scanned == len(r)
+        assert stats.operator_counts == {"index_build": 1}
+        # The warmed side now wins the build even though it is larger.
+        with collect_stats() as stats:
+            natural_join(r, s)
+        assert stats.index_builds == 0
+        assert stats.tuples_scanned == len(s)
+        assert stats.hash_probes == len(s)
+
+    def test_indexed_scans_fewer_tuples_than_scan(self):
+        r = small(("x", "y"), [(i, i + 1) for i in range(8)])
+        s = small(("y", "z"), [(i, 2 * i) for i in range(8)])
+        runs = {}
+        for execution in ("indexed", "scan"):
+            fresh_r = small(r.attributes, r.tuples)
+            fresh_s = small(s.attributes, s.tuples)
+            with collect_stats() as stats:
+                natural_join(fresh_r, fresh_s, execution=execution)
+            runs[execution] = stats.tuples_scanned
+        assert runs["indexed"] < runs["scan"]
+
+
 class TestComposition:
     def test_merge_is_monotone_addition(self):
+        # Warm the memoized hash indexes so all three runs probe the same
+        # pre-built index and the counters compose exactly.
+        natural_join(R, S)
+        natural_join(S, R)
         with collect_stats() as first:
             natural_join(R, S)
         with collect_stats() as second:

@@ -54,6 +54,9 @@ DECIDERS = [
     ("backtracking-mac", lambda i: backtracking.is_solvable(i, Inference.MAC)),
     ("backjumping", backjumping.is_solvable),
     ("join", join.is_solvable),
+    ("join-indexed", lambda i: join.is_solvable(i, strategy="indexed")),
+    ("join-scan", lambda i: join.is_solvable(i, strategy="scan")),
+    ("join-textbook-scan", lambda i: join.is_solvable(i, strategy="textbook+scan")),
     ("decomposition", decomposition.is_solvable),
     ("consistency-k2", lambda i: consistency.is_solvable(i, 2)),
     ("portfolio", portfolio.is_solvable),

@@ -43,6 +43,27 @@ class TestRelationalRejections:
         with pytest.raises(SchemaError):
             Relation(("x", "x"), [])
 
+    def test_unknown_attribute_lookup(self):
+        from repro.relational import Relation
+
+        r = Relation(("x", "y"), [(1, 2)])
+        with pytest.raises(VocabularyError) as exc:
+            r.index_of("ghost")
+        # The message names both the missing attribute and the scheme.
+        assert "'ghost'" in str(exc.value)
+        assert "('x', 'y')" in str(exc.value)
+        with pytest.raises(VocabularyError):
+            r.index_on(("x", "ghost"))
+
+    def test_unknown_strategy_spec(self):
+        from repro.relational import Relation
+        from repro.relational.algebra import join_all
+
+        with pytest.raises(SolverError):
+            join_all([Relation(("x",), [(1,)])], strategy="quantum")
+        with pytest.raises(SolverError):
+            join_all([Relation(("x",), [(1,)])], strategy="greedy+greedy")
+
     def test_structure_value_outside_domain(self):
         from repro.relational import Structure
 

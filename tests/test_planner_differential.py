@@ -1,13 +1,16 @@
 """Differential testing of the cost-guided join planner.
 
-The planner only chooses a join *order*; since the natural join is
-commutative and associative, every strategy must compute the identical
-relation.  This suite checks that on ~200 randomly generated instances:
+The planner chooses a join *order* and an *execution* (hash-indexed
+build/probe versus nested-loop scan); since the natural join is commutative
+and associative and both executions implement the same operator, every
+order+execution combination must compute the identical relation.  This
+suite checks that on ~200 randomly generated instances:
 
 * conjunctive queries evaluated with the greedy plan, the cardinality sort,
-  and the textbook (textual) order return exactly the same relation;
+  the textbook (textual) order, and the indexed/scan executions return
+  exactly the same relation;
 * Boolean CSP verdicts from the planned join solver agree with the
-  brute-force oracle for every strategy.
+  brute-force oracle for every strategy and execution.
 """
 
 import pytest
@@ -17,12 +20,20 @@ from repro.cq.evaluate import evaluate, evaluate_boolean
 from repro.generators.csp_random import coloring_instance, random_binary_csp
 from repro.generators.graphs import cycle_graph, path_graph, random_digraph
 from repro.generators.queries import chain_query, random_query, star_query
-from repro.relational.planner import STRATEGIES
+from repro.relational.planner import EXECUTIONS, STRATEGIES
 
 # 120 CQ cases (seeds × head arities) + 81 CSP cases (seeds × tightness)
 # + the fixed structured families = ~210 generated instances.
 CQ_SEEDS = range(60)
 CSP_SEEDS = range(27)
+
+# Every spec the planner accepts: bare orders, bare executions, and the
+# compound order+execution forms.
+ALL_SPECS = (
+    list(STRATEGIES)
+    + list(EXECUTIONS)
+    + [f"{order}+{execution}" for order in STRATEGIES for execution in EXECUTIONS]
+)
 
 
 @pytest.mark.parametrize("head_arity", [0, 2])
@@ -35,8 +46,8 @@ def test_random_cq_strategies_agree(seed, head_arity):
         head_arity=head_arity,
     )
     database = random_digraph(4 + seed % 4, 0.4, seed=seed)
-    results = {s: evaluate(query, database, strategy=s) for s in STRATEGIES}
-    assert results["greedy"] == results["textbook"] == results["smallest"]
+    results = {s: evaluate(query, database, strategy=s) for s in ALL_SPECS}
+    assert len(set(results.values())) == 1
 
 
 @pytest.mark.parametrize("builder", [lambda: chain_query(5), lambda: star_query(4)])
@@ -44,15 +55,15 @@ def test_structured_cq_strategies_agree(builder):
     query = builder()
     for seed in range(5):
         database = random_digraph(6, 0.35, seed=seed)
-        results = {s: evaluate(query, database, strategy=s) for s in STRATEGIES}
-        assert results["greedy"] == results["textbook"] == results["smallest"]
+        results = {s: evaluate(query, database, strategy=s) for s in ALL_SPECS}
+        assert len(set(results.values())) == 1
 
 
 @pytest.mark.parametrize("seed", CQ_SEEDS)
 def test_boolean_cq_strategies_agree(seed):
     query = random_query(n_atoms=3 + seed % 3, n_variables=3, seed=1000 + seed)
     database = random_digraph(5, 0.3, seed=seed)
-    verdicts = {evaluate_boolean(query, database, strategy=s) for s in STRATEGIES}
+    verdicts = {evaluate_boolean(query, database, strategy=s) for s in ALL_SPECS}
     assert len(verdicts) == 1
 
 
@@ -67,7 +78,7 @@ def test_csp_join_agrees_with_bruteforce(seed, tightness):
         seed=seed,
     )
     expected = brute.is_solvable(instance)
-    for strategy in STRATEGIES:
+    for strategy in ALL_SPECS:
         assert join.is_solvable(instance, strategy=strategy) == expected
 
 
@@ -75,10 +86,10 @@ def test_csp_join_agrees_with_bruteforce(seed, tightness):
 def test_coloring_csp_all_strategies(colors, expected):
     instance = coloring_instance(cycle_graph(7), colors)
     assert brute.is_solvable(instance) == expected
-    for strategy in STRATEGIES:
+    for strategy in ALL_SPECS:
         assert join.is_solvable(instance, strategy=strategy) == expected
     path = coloring_instance(path_graph(6), 2)
-    for strategy in STRATEGIES:
+    for strategy in ALL_SPECS:
         assert join.is_solvable(path, strategy=strategy) is True
 
 
@@ -89,10 +100,10 @@ def test_full_join_relation_identical_across_strategies():
             n_variables=5, domain_size=3, n_constraints=6, tightness=0.4, seed=seed
         )
         joined = {
-            s: join.join_of_constraints(instance, strategy=s) for s in STRATEGIES
+            s: join.join_of_constraints(instance, strategy=s) for s in ALL_SPECS
         }
         base = joined["textbook"]
-        for s in STRATEGIES:
+        for s in ALL_SPECS:
             assert set(joined[s].attributes) == set(base.attributes)
             # Compare as sets of attribute→value mappings (column order may
             # legitimately differ between plans).
