@@ -6,7 +6,12 @@
 * ``python -m repro stats`` — run a join workload under every join-order
   strategy and print the :class:`~repro.relational.stats.EvalStats`
   counters side by side (tuples scanned, hash probes, intermediate
-  cardinalities, wall time).  See ``docs/observability.md``.
+  cardinalities, wall time).  ``--workload propagation`` instead runs the
+  §4/§5 fixpoint engines (AC, SAC, the pebble game) under the ``naive``
+  and ``residual`` strategies and prints
+  :class:`~repro.consistency.propagation.PropagationStats` counters
+  (revisions, support checks, residual hits, trail restores, wipeouts).
+  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -120,13 +125,98 @@ def _stats_workload(name: str, seed: int):
     raise SystemExit(f"unknown workload {name!r}")
 
 
+def _propagation_workload(seed: int):
+    """The propagation workload: AC/SAC over 2-SAT, Horn, and coloring
+    instances plus one pebble-game solve, each parameterized by strategy."""
+    from repro.consistency.arc import ac3, singleton_arc_consistency
+    from repro.csp.convert import csp_to_homomorphism
+    from repro.dichotomy.cnf import cnf_to_csp
+    from repro.games.pebble import solve_game
+    from repro.generators.csp_random import coloring_instance
+    from repro.generators.graphs import cycle_graph
+    from repro.generators.sat import random_2sat, random_horn
+
+    families = {
+        "2sat": [cnf_to_csp(random_2sat(7, 14, seed=seed + s)) for s in range(2)],
+        "horn": [
+            cnf_to_csp(random_horn(7, 14, seed=seed + s, width=3)) for s in range(2)
+        ],
+        "color": [coloring_instance(cycle_graph(9), c) for c in (2, 3)],
+    }
+    jobs = []
+    for family, instances in families.items():
+        for i, inst in enumerate(instances):
+            jobs.append(
+                (f"{family}-ac[{i}]",
+                 lambda strategy, inst=inst: ac3(inst, strategy=strategy))
+            )
+            jobs.append(
+                (f"{family}-sac[{i}]",
+                 lambda strategy, inst=inst: singleton_arc_consistency(
+                     inst, strategy=strategy))
+            )
+    a, b = csp_to_homomorphism(families["color"][0])
+    jobs.append(
+        ("pebble-k2", lambda strategy: solve_game(a, b, 2, strategy=strategy))
+    )
+    return jobs
+
+
+def propagation_stats_command(args: argparse.Namespace) -> None:
+    """Run the propagation workload once per strategy; report the counters."""
+    import time
+
+    from repro.consistency.propagation import (
+        PROPAGATION_STRATEGIES,
+        PropagationStats,
+        collect_propagation,
+    )
+
+    strategies = [s for s in args.strategies if s in PROPAGATION_STRATEGIES]
+    if not strategies:
+        strategies = list(PROPAGATION_STRATEGIES)
+    workload = _propagation_workload(args.seed)
+    per_strategy: dict[str, tuple[PropagationStats, float]] = {}
+    for strategy in strategies:
+        total = PropagationStats()
+        start = time.perf_counter()
+        for _label, run in workload:
+            with collect_propagation() as stats:
+                run(strategy)
+            total.merge(stats)
+        per_strategy[strategy] = (total, time.perf_counter() - start)
+
+    if args.json:
+        print(json.dumps(
+            {s: dict(st.as_dict(), seconds=sec)
+             for s, (st, sec) in per_strategy.items()},
+            indent=2,
+        ))
+        return
+
+    print(f"workload: propagation  ({len(workload)} runs, seed {args.seed})")
+    header = (
+        "strategy", "revisions", "checks", "hits", "hit-rate",
+        "restores", "wipeouts", "seconds",
+    )
+    print(" | ".join(str(c).ljust(10) for c in header))
+    for strategy, (st, sec) in per_strategy.items():
+        row = (
+            strategy, st.revisions, st.support_checks, st.support_hits,
+            f"{st.hit_rate:.0%}", st.trail_restores, st.wipeouts, f"{sec:.4f}",
+        )
+        print(" | ".join(str(c).ljust(10) for c in row))
+
+
 def stats_command(args: argparse.Namespace) -> None:
     """Run the workload once per strategy and report the counters."""
+    from repro.relational.planner import EXECUTIONS, STRATEGIES
     from repro.relational.stats import EvalStats, collect_stats
 
+    join_strategies = [s for s in args.strategies if s in STRATEGIES + EXECUTIONS]
     workload = _stats_workload(args.workload, args.seed)
     per_strategy: dict[str, EvalStats] = {}
-    for strategy in args.strategies:
+    for strategy in join_strategies:
         total = EvalStats()
         for _label, run in workload:
             with collect_stats() as stats:
@@ -154,6 +244,7 @@ def stats_command(args: argparse.Namespace) -> None:
 
 
 def main(argv: list[str] | None = None) -> None:
+    from repro.consistency.propagation import PROPAGATION_STRATEGIES
     from repro.relational.planner import EXECUTIONS, STRATEGIES
 
     parser = argparse.ArgumentParser(
@@ -163,27 +254,34 @@ def main(argv: list[str] | None = None) -> None:
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("tour", help="guided tour of the tutorial's sections (default)")
     stats = sub.add_parser(
-        "stats", help="evaluate a join workload and print EvalStats per strategy"
+        "stats",
+        help="evaluate a workload and print EvalStats/PropagationStats per strategy",
     )
     stats.add_argument(
-        "--workload", choices=("e1", "coloring", "chain"), default="e1",
-        help="which join workload to instrument (default: e1)",
+        "--workload", choices=("e1", "coloring", "chain", "propagation"), default="e1",
+        help=(
+            "which workload to instrument: a join workload (e1/coloring/chain) "
+            "or the consistency/pebble propagation workload (default: e1)"
+        ),
     )
     stats.add_argument(
         "--strategies",
         nargs="+",
-        choices=STRATEGIES + EXECUTIONS,
-        default=list(STRATEGIES) + list(EXECUTIONS),
+        choices=STRATEGIES + EXECUTIONS + PROPAGATION_STRATEGIES,
+        default=list(STRATEGIES) + list(EXECUTIONS) + list(PROPAGATION_STRATEGIES),
         help=(
-            "join strategies to compare: orders (greedy/smallest/textbook) "
-            "and/or executions (indexed/scan); default: all"
+            "strategies to compare: join orders (greedy/smallest/textbook), "
+            "join executions (indexed/scan), or propagation strategies "
+            "(residual/naive, for --workload propagation); default: all"
         ),
     )
     stats.add_argument("--seed", type=int, default=0, help="workload seed")
     stats.add_argument("--json", action="store_true", help="machine-readable output")
     args = parser.parse_args(argv)
 
-    if args.command == "stats":
+    if args.command == "stats" and args.workload == "propagation":
+        propagation_stats_command(args)
+    elif args.command == "stats":
         stats_command(args)
     else:
         tour()

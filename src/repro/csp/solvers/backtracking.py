@@ -12,9 +12,19 @@ Three inference levels are provided:
 * ``Inference.MAC`` — maintain (generalized) arc consistency on the residual
   problem after each assignment (AC-3 over constraint/variable arcs).
 
+MAC takes the same ``strategy`` knob as the §5 consistency engines:
+``"residual"`` (default) maintains arc consistency through one shared
+:class:`~repro.consistency.propagation.PropagationEngine`, so residual
+supports and hash-index candidate lists persist across *all* nodes of the
+search, and per-node undo is a trail rollback instead of a full domain
+copy; ``"naive"`` is the seed AC-3, kept as the differential oracle.
+Assigned variables carry singleton domains, so the engine's domains-only
+revisions coincide with the assignment-aware ones.
+
 Variable order is dynamic (minimum-remaining-values, ties by degree); value
 order is deterministic.  The solver records search statistics so benchmarks
-can report node counts alongside wall-clock time.
+can report node counts alongside wall-clock time; propagation counters
+accumulate in ``SearchStats.propagation``.
 """
 
 from __future__ import annotations
@@ -23,6 +33,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.consistency.propagation import (
+    PropagationEngine,
+    PropagationStats,
+    check_propagation_strategy,
+    publish,
+)
 from repro.csp.instance import Constraint, CSPInstance
 
 __all__ = ["Inference", "SearchStats", "solve", "is_solvable", "solve_with_stats"]
@@ -38,11 +54,17 @@ class Inference(enum.Enum):
 
 @dataclass
 class SearchStats:
-    """Counters accumulated during one search run."""
+    """Counters accumulated during one search run.
+
+    ``propagation`` aggregates the inference layer's
+    :class:`~repro.consistency.propagation.PropagationStats` across the whole
+    search (root pass plus every node), for both strategies.
+    """
 
     nodes: int = 0
     backtracks: int = 0
     prunings: int = 0
+    propagation: PropagationStats = field(default_factory=PropagationStats)
     solution: dict[Any, Any] | None = field(default=None, repr=False)
 
 
@@ -51,6 +73,7 @@ def _revise(
     variable: Any,
     domains: dict[Any, set[Any]],
     assignment: dict[Any, Any],
+    prop: PropagationStats,
 ) -> tuple[bool, int]:
     """Shrink ``domains[variable]`` to values extendable on ``constraint``.
 
@@ -63,7 +86,9 @@ def _revise(
     scope = constraint.scope
     positions = [i for i, v in enumerate(scope) if v == variable]
     supported: set[Any] = set()
+    prop.revisions += 1
     for row in constraint.relation:
+        prop.support_checks += 1
         ok = True
         for i, v in enumerate(scope):
             if v in assignment:
@@ -119,10 +144,13 @@ def _ac3(
 
     while queue:
         constraint, variable = queue.pop()
-        changed, removed = _revise(constraint, variable, domains, assignment)
+        changed, removed = _revise(
+            constraint, variable, domains, assignment, stats.propagation
+        )
         if changed:
             stats.prunings += removed
             if not domains[variable]:
+                stats.propagation.wipeouts += 1
                 return False
             for c in constraints_on[variable]:
                 if c is not constraint:
@@ -146,9 +174,10 @@ def _forward_check(
         for v in c.variables():
             if v in assignment:
                 continue
-            _, removed = _revise(c, v, domains, assignment)
+            _, removed = _revise(c, v, domains, assignment, stats.propagation)
             stats.prunings += removed
             if not domains[v]:
+                stats.propagation.wipeouts += 1
                 return False
     return True
 
@@ -156,13 +185,18 @@ def _forward_check(
 def solve_with_stats(
     instance: CSPInstance,
     inference: Inference = Inference.MAC,
+    strategy: str = "residual",
 ) -> SearchStats:
     """Run backtracking search, returning full :class:`SearchStats`.
 
     ``stats.solution`` is a solution dict or ``None`` if unsolvable.
+    ``strategy`` selects the MAC propagation engine (see module docstring);
+    it does not affect which solutions exist, only how inference is run.
     """
+    check_propagation_strategy(strategy)
     instance = instance.normalize()
     stats = SearchStats()
+    prop = stats.propagation
     domains: dict[Any, set[Any]] = {v: set(instance.domain) for v in instance.variables}
     assignment: dict[Any, Any] = {}
 
@@ -170,66 +204,112 @@ def solve_with_stats(
         v: len(instance.constraints_on(v)) for v in instance.variables
     }
 
+    engine: PropagationEngine | None = None
+    if inference is Inference.MAC and strategy == "residual":
+        engine = PropagationEngine(instance)
+
+    def trailed_prunings(trail: list[tuple[Any, set[Any]]]) -> int:
+        return sum(len(removed) for _, removed in trail)
+
     # Unary constraints and empty relations are handled up front by a root
     # propagation pass (harmless for NONE since it only tightens domains).
-    if inference is Inference.MAC:
-        if not _ac3(instance, domains, assignment, stats, seeds=None):
-            return stats
-    else:
-        for c in instance.constraints:
-            if not c.relation:
+    try:
+        if engine is not None:
+            root_trail: list[tuple[Any, set[Any]]] = []
+            ok = engine.propagate(
+                domains, engine.full_worklist(), prop, trail=root_trail
+            )
+            stats.prunings += trailed_prunings(root_trail)
+            if not ok:
                 return stats
-            if c.arity == 1:
-                var = c.scope[0]
-                domains[var] &= {row[0] for row in c.relation}
-                if not domains[var]:
+        elif inference is Inference.MAC:
+            if not _ac3(instance, domains, assignment, stats, seeds=None):
+                return stats
+        else:
+            for c in instance.constraints:
+                if not c.relation:
                     return stats
+                if c.arity == 1:
+                    var = c.scope[0]
+                    domains[var] &= {row[0] for row in c.relation}
+                    if not domains[var]:
+                        return stats
 
-    def select_variable() -> Any:
-        unassigned = [v for v in instance.variables if v not in assignment]
-        return min(unassigned, key=lambda v: (len(domains[v]), -degree[v], repr(v)))
+        def select_variable() -> Any:
+            unassigned = [v for v in instance.variables if v not in assignment]
+            return min(unassigned, key=lambda v: (len(domains[v]), -degree[v], repr(v)))
 
-    def consistent(variable: Any) -> bool:
-        for c in instance.constraints:
-            if variable in c.scope and not c.consistent_with(assignment):
-                return False
-        return True
-
-    def search() -> bool:
-        if len(assignment) == len(instance.variables):
+        def consistent(variable: Any) -> bool:
+            for c in instance.constraints:
+                if variable in c.scope and not c.consistent_with(assignment):
+                    return False
             return True
-        variable = select_variable()
-        for value in sorted(domains[variable], key=repr):
-            stats.nodes += 1
-            assignment[variable] = value
-            if consistent(variable):
-                saved = {v: set(d) for v, d in domains.items()}
-                domains[variable] = {value}
-                ok = True
-                if inference is Inference.FORWARD_CHECKING:
-                    ok = _forward_check(instance, variable, domains, assignment, stats)
-                elif inference is Inference.MAC:
-                    ok = _ac3(instance, domains, assignment, stats, seeds=[variable])
-                if ok and search():
-                    return True
-                domains.clear()
-                domains.update(saved)
-            del assignment[variable]
-            stats.backtracks += 1
-        return False
 
-    if search():
-        stats.solution = dict(assignment)
-    return stats
+        def search() -> bool:
+            if len(assignment) == len(instance.variables):
+                return True
+            variable = select_variable()
+            for value in sorted(domains[variable], key=repr):
+                stats.nodes += 1
+                assignment[variable] = value
+                if consistent(variable):
+                    if engine is not None:
+                        # Trail-based undo: the assignment restriction is the
+                        # first trail entry (not counted as a pruning), then
+                        # the engine records every propagation deletion.
+                        trail = [(variable, domains[variable] - {value})]
+                        domains[variable] = {value}
+                        ok = engine.propagate(
+                            domains,
+                            engine.arcs_from([variable], skip=assignment),
+                            prop,
+                            trail=trail,
+                            skip=assignment,
+                        )
+                        stats.prunings += trailed_prunings(trail[1:])
+                        if ok and search():
+                            return True
+                        engine.restore(domains, trail, prop)
+                    else:
+                        saved = {v: set(d) for v, d in domains.items()}
+                        domains[variable] = {value}
+                        ok = True
+                        if inference is Inference.FORWARD_CHECKING:
+                            ok = _forward_check(
+                                instance, variable, domains, assignment, stats
+                            )
+                        elif inference is Inference.MAC:
+                            ok = _ac3(
+                                instance, domains, assignment, stats, seeds=[variable]
+                            )
+                        if ok and search():
+                            return True
+                        domains.clear()
+                        domains.update(saved)
+                del assignment[variable]
+                stats.backtracks += 1
+            return False
+
+        if search():
+            stats.solution = dict(assignment)
+        return stats
+    finally:
+        publish(prop)
 
 
 def solve(
-    instance: CSPInstance, inference: Inference = Inference.MAC
+    instance: CSPInstance,
+    inference: Inference = Inference.MAC,
+    strategy: str = "residual",
 ) -> dict[Any, Any] | None:
     """Return one solution (or ``None``) using backtracking search."""
-    return solve_with_stats(instance, inference).solution
+    return solve_with_stats(instance, inference, strategy=strategy).solution
 
 
-def is_solvable(instance: CSPInstance, inference: Inference = Inference.MAC) -> bool:
+def is_solvable(
+    instance: CSPInstance,
+    inference: Inference = Inference.MAC,
+    strategy: str = "residual",
+) -> bool:
     """Decide solvability using backtracking search."""
-    return solve(instance, inference) is not None
+    return solve(instance, inference, strategy=strategy) is not None

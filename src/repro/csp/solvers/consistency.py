@@ -36,15 +36,23 @@ class Verdict(enum.Enum):
     CONSISTENT = "consistent"  # Duplicator wins: solvable if ¬CSP(B) ∈ k-Datalog
 
 
-def decide_homomorphism(a: Structure, b: Structure, k: int) -> Verdict:
-    """Run the k-pebble game on ``(A, B)`` and report the verdict."""
-    game = solve_game(a, b, k)
+def decide_homomorphism(
+    a: Structure, b: Structure, k: int, strategy: str = "residual"
+) -> Verdict:
+    """Run the k-pebble game on ``(A, B)`` and report the verdict.
+
+    ``strategy`` selects the game's pruning engine (``"residual"`` or
+    ``"naive"``); both compute the same verdict.
+    """
+    game = solve_game(a, b, k, strategy=strategy)
     if game.spoiler_wins:
         return Verdict.UNSATISFIABLE
     return Verdict.CONSISTENT
 
 
-def solve_decision(instance: CSPInstance, k: int) -> Verdict:
+def solve_decision(
+    instance: CSPInstance, k: int, strategy: str = "residual"
+) -> Verdict:
     """The k-consistency decision procedure on a CSP instance.
 
     ``UNSATISFIABLE`` is always correct.  ``CONSISTENT`` certifies a solution
@@ -52,23 +60,25 @@ def solve_decision(instance: CSPInstance, k: int) -> Verdict:
     (Theorems 4.6, 5.7) — the regime benchmarked in E4/E11.
     """
     a, b = csp_to_homomorphism(instance)
-    return decide_homomorphism(a, b, k)
+    return decide_homomorphism(a, b, k, strategy=strategy)
 
 
-def solve(instance: CSPInstance, k: int = 2) -> dict[Any, Any] | None:
+def solve(
+    instance: CSPInstance, k: int = 2, strategy: str = "residual"
+) -> dict[Any, Any] | None:
     """A complete solver: k-consistency refutation first, then backtracking.
 
     On inputs the game refutes, this answers in the polynomial game time; on
     the rest it falls back to MAC backtracking (which also produces the
     witness assignment that the pure decision procedure does not).
     """
-    if solve_decision(instance, k) is Verdict.UNSATISFIABLE:
+    if solve_decision(instance, k, strategy=strategy) is Verdict.UNSATISFIABLE:
         return None
     from repro.csp.solvers import backtracking
 
-    return backtracking.solve(instance)
+    return backtracking.solve(instance, strategy=strategy)
 
 
-def is_solvable(instance: CSPInstance, k: int = 2) -> bool:
+def is_solvable(instance: CSPInstance, k: int = 2, strategy: str = "residual") -> bool:
     """Complete solvability test with the k-consistency fast path."""
-    return solve(instance, k) is not None
+    return solve(instance, k, strategy=strategy) is not None

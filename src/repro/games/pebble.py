@@ -21,6 +21,18 @@ until nothing changes.  This is the polynomial-time algorithm promised by
 Theorem 4.5(2); the O(n^{2k})-shape bound of Theorem 4.7 is exercised by
 ``benchmarks/bench_e3_pebble_games.py``.
 
+Like the §5 consistency engines, the pruning takes a ``strategy`` knob:
+``"residual"`` (default) runs the delete-cascade on the shared
+deduplicating worklist core of :mod:`repro.consistency.propagation` and
+maintains a per-(function, element) count of surviving one-point
+extensions, so the forth-failure check is O(1) instead of re-scanning
+extension groups; ``"naive"`` is the seed implementation, kept as the
+differential oracle.  Both are instrumented with
+:class:`~repro.consistency.propagation.PropagationStats` (a ``revision``
+is one forth-check, a ``support check`` one extension-group inspection)
+and publish into any active
+:func:`~repro.consistency.propagation.collect_propagation` block.
+
 Partial functions are represented as ``frozenset`` s of ``(a, b)`` pairs.
 """
 
@@ -30,6 +42,12 @@ from dataclasses import dataclass
 from itertools import combinations, product
 from typing import Any, Iterable, Iterator
 
+from repro.consistency.propagation import (
+    PropagationStats,
+    Worklist,
+    check_propagation_strategy,
+    publish,
+)
 from repro.errors import DomainError, VocabularyError
 from repro.relational.homomorphism import is_partial_homomorphism
 from repro.relational.structure import Structure
@@ -137,23 +155,12 @@ def _restrictions(f: PartialFunction) -> Iterator[PartialFunction]:
         yield f - {pair}
 
 
-def largest_winning_strategy(a: Structure, b: Structure, k: int) -> frozenset:
-    """Compute ``H^k(A, B)``, the union of all Duplicator winning strategies.
-
-    Returns the empty frozenset when the Spoiler wins.  See module docstring
-    for the greatest-fixpoint algorithm.
+def _extension_groups(
+    family: set[PartialFunction],
+) -> dict[PartialFunction, dict[Any, set[PartialFunction]]]:
+    """``extensions_of[f][x]`` = surviving one-point extensions of ``f`` that
+    add the element ``x``; maintained incrementally as functions are deleted.
     """
-    if k < 1:
-        raise DomainError(f"the pebble game needs k >= 1, got {k}")
-    if a.vocabulary != b.vocabulary:
-        raise VocabularyError("pebble game requires a common vocabulary")
-
-    family = _all_partial_homomorphisms(a, b, k)
-    a_elems = sorted(a.domain, key=repr)
-    b_elems = sorted(b.domain, key=repr)
-
-    # extensions_of[f] = surviving one-point extensions of f, grouped by the
-    # new element; maintained incrementally as functions are deleted.
     extensions_of: dict[PartialFunction, dict[Any, set[PartialFunction]]] = {
         f: {} for f in family
     }
@@ -164,6 +171,22 @@ def largest_winning_strategy(a: Structure, b: Structure, k: int) -> frozenset:
             f = g - {pair}
             if f in extensions_of:
                 extensions_of[f].setdefault(pair[0], set()).add(g)
+    return extensions_of
+
+
+def _prune_naive(
+    family: set[PartialFunction],
+    a_elems: list,
+    k: int,
+    stats: PropagationStats,
+) -> set[PartialFunction]:
+    """The seed greatest-fixpoint pruning, instrumented.
+
+    Uses an unbounded LIFO ``pending`` list (the same function may be queued
+    many times) and re-scans extension groups on every forth check.  Kept as
+    the differential oracle for the residual cascade.
+    """
+    extensions_of = _extension_groups(family)
 
     def fails_forth(f: PartialFunction) -> bool:
         if len(f) >= k:
@@ -171,13 +194,16 @@ def largest_winning_strategy(a: Structure, b: Structure, k: int) -> frozenset:
         dom = {p[0] for p in f}
         ext = extensions_of[f]
         for x in a_elems:
-            if x not in dom and not ext.get(x):
+            if x in dom:
+                continue
+            stats.support_checks += 1
+            if not ext.get(x):
                 return True
         return False
 
-    # Initial worklist: every function of size < k (forth check) plus every
-    # function (restriction check is vacuous initially since the family is
-    # restriction-closed by construction).
+    # Initial worklist: every function of size < k (forth check); the
+    # restriction check is vacuous initially since the family is
+    # restriction-closed by construction.
     pending: list[PartialFunction] = [f for f in family if len(f) < k]
     alive = set(family)
 
@@ -205,37 +231,154 @@ def largest_winning_strategy(a: Structure, b: Structure, k: int) -> frozenset:
                         group.discard(g)
                     pending.append(r)
 
-    # b_elems unused beyond construction, but keeping the sorted order
-    # documents determinism of the enumeration.
-    del b_elems
-
     while pending:
         f = pending.pop()
-        if f in alive and fails_forth(f):
-            delete(f)
+        if f in alive:
+            stats.revisions += 1
+            if fails_forth(f):
+                delete(f)
 
-    if frozenset() not in alive:
-        return frozenset()
-    return frozenset(alive)
+    return alive
 
 
-def solve_game(a: Structure, b: Structure, k: int) -> PebbleGameResult:
+def _prune_residual(
+    family: set[PartialFunction],
+    a_elems: list,
+    k: int,
+    stats: PropagationStats,
+) -> set[PartialFunction]:
+    """Greatest-fixpoint pruning with O(1) forth-failure detection.
+
+    The per-(function, element) extension *count* is ``len(group)`` for the
+    groups of :func:`_extension_groups`, and groups only ever shrink — so an
+    empty group is a permanent certificate that its owner fails the forth
+    property.  The initial sweep enqueues every function with an empty
+    group (short-circuiting at the first, like the naive check); afterwards
+    a function is (re-)examined only at the instant a deletion empties one
+    of its groups, via the shared deduplicating
+    :class:`~repro.consistency.propagation.Worklist` — never by rescanning
+    its groups wholesale, which is what the naive strategy does on every
+    requeue.
+    """
+    extensions_of = _extension_groups(family)
+    alive = set(family)
+    worklist: Worklist = Worklist()
+
+    def cascade(f: PartialFunction) -> None:
+        """Delete ``f`` (already certified to fail forth) and propagate."""
+        stack = [f]
+        while stack:
+            g = stack.pop()
+            if g not in alive:
+                continue
+            alive.discard(g)
+            # Upward cascade: any surviving extension loses a restriction.
+            for by_elem in extensions_of.get(g, {}).values():
+                for h in by_elem:
+                    if h in alive:
+                        stack.append(h)
+            # Downward notification: the restriction's extension group for
+            # g's extra element shrinks; only an empty-transition can flip
+            # its forth status, so only then is it re-enqueued.  This is
+            # the same O(1) discard bookkeeping the naive cascade performs
+            # — the saved work (not re-scanning r's groups on requeue) is
+            # what the naive strategy's extra support_checks measure.
+            for r in _restrictions(g):
+                if r in alive:
+                    new_elem = next(iter({p[0] for p in g} - {p[0] for p in r}))
+                    group = extensions_of[r].get(new_elem)
+                    if group is not None and g in group:
+                        group.discard(g)
+                        if not group:
+                            worklist.push(r)
+
+    # One lazy sweep, smallest functions first: a function already killed
+    # by an earlier cascade is never scanned at all, and each scan
+    # short-circuits at the first empty group — exactly the naive check's
+    # cost.  Cascades drain eagerly so later sweep entries see the
+    # fixpoint-so-far.  Empty groups never refill, so a worklist entry is
+    # a certificate and needs no rescan on pop.
+    for f in sorted((f for f in family if len(f) < k), key=len):
+        if f not in alive:
+            continue
+        stats.revisions += 1
+        dom = {p[0] for p in f}
+        failed = False
+        for x in a_elems:
+            if x in dom:
+                continue
+            stats.support_checks += 1
+            if not extensions_of[f].get(x):
+                failed = True
+                break
+        if not failed:
+            continue
+        cascade(f)
+        while worklist:
+            g = worklist.pop()
+            if g in alive:
+                stats.revisions += 1
+                cascade(g)
+
+    return alive
+
+
+def largest_winning_strategy(
+    a: Structure, b: Structure, k: int, strategy: str = "residual"
+) -> frozenset:
+    """Compute ``H^k(A, B)``, the union of all Duplicator winning strategies.
+
+    Returns the empty frozenset when the Spoiler wins.  See module docstring
+    for the greatest-fixpoint algorithm and the ``strategy`` knob; both
+    strategies compute the same (unique) greatest fixpoint.
+    """
+    if k < 1:
+        raise DomainError(f"the pebble game needs k >= 1, got {k}")
+    if a.vocabulary != b.vocabulary:
+        raise VocabularyError("pebble game requires a common vocabulary")
+    check_propagation_strategy(strategy)
+
+    stats = PropagationStats()
+    try:
+        family = _all_partial_homomorphisms(a, b, k)
+        a_elems = sorted(a.domain, key=repr)
+        if strategy == "naive":
+            alive = _prune_naive(family, a_elems, k, stats)
+        else:
+            alive = _prune_residual(family, a_elems, k, stats)
+        if frozenset() not in alive:
+            stats.wipeouts += 1
+            return frozenset()
+        return frozenset(alive)
+    finally:
+        publish(stats)
+
+
+def solve_game(
+    a: Structure, b: Structure, k: int, strategy: str = "residual"
+) -> PebbleGameResult:
     """Solve the existential k-pebble game on ``(A, B)``.
 
     Polynomial in ``(|A| + |B|)^{O(k)}`` — the effective content of
     Theorem 4.5(2).
     """
-    return PebbleGameResult(k=k, strategy=largest_winning_strategy(a, b, k))
+    return PebbleGameResult(
+        k=k, strategy=largest_winning_strategy(a, b, k, strategy=strategy)
+    )
 
 
-def duplicator_wins(a: Structure, b: Structure, k: int) -> bool:
+def duplicator_wins(
+    a: Structure, b: Structure, k: int, strategy: str = "residual"
+) -> bool:
     """Whether the Duplicator wins the existential k-pebble game on (A, B)."""
-    return solve_game(a, b, k).duplicator_wins
+    return solve_game(a, b, k, strategy=strategy).duplicator_wins
 
 
-def spoiler_wins(a: Structure, b: Structure, k: int) -> bool:
+def spoiler_wins(
+    a: Structure, b: Structure, k: int, strategy: str = "residual"
+) -> bool:
     """Whether the Spoiler wins the existential k-pebble game on (A, B)."""
-    return not duplicator_wins(a, b, k)
+    return not duplicator_wins(a, b, k, strategy=strategy)
 
 
 def has_forth_property(

@@ -57,6 +57,38 @@ class TestAC3:
         assert result.domains["x"] == {0, 1}
 
 
+class TestStrategies:
+    def test_unknown_strategy_raises(self):
+        from repro.errors import SolverError
+
+        inst = coloring_instance(cycle_graph(4), 2)
+        with pytest.raises(SolverError, match="unknown propagation strategy"):
+            ac3(inst, strategy="bogus")
+
+    def test_result_carries_stats(self):
+        inst = coloring_instance(cycle_graph(4), 2)
+        for strategy in ("residual", "naive"):
+            result = ac3(inst, strategy=strategy)
+            assert result.stats is not None
+            assert result.revisions == result.stats.revisions > 0
+
+    def test_residual_records_hits_naive_does_not(self):
+        from repro.consistency.arc import singleton_arc_consistency
+
+        inst = coloring_instance(cycle_graph(5), 3)
+        assert singleton_arc_consistency(inst, strategy="residual").stats.support_hits > 0
+        assert singleton_arc_consistency(inst, strategy="naive").stats.support_hits == 0
+
+    def test_strategies_agree_on_fixture_family(self):
+        for seed in range(10):
+            inst = random_binary_csp(4, 3, 5, 0.5, seed=seed)
+            naive = ac3(inst, strategy="naive")
+            residual = ac3(inst, strategy="residual")
+            assert naive.consistent == residual.consistent
+            if naive.consistent:
+                assert naive.domains == residual.domains
+
+
 class TestEnforce:
     def test_returns_none_on_wipeout(self):
         inst = CSPInstance(["x"], [0], [Constraint(("x",), [])])

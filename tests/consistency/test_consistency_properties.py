@@ -97,6 +97,37 @@ def test_path_consistency_preserves_solution_set(instance):
         assert solution_set(out) == solution_set(instance)
 
 
+@settings(max_examples=80, deadline=None)
+@given(binary_instances())
+def test_residual_and_naive_strategies_coincide(instance):
+    """The two propagation strategies are observationally identical: same
+    verdicts always, same fixpoint domains when consistent.  Hypothesis
+    shrinks any divergence to a minimal counterexample."""
+    from repro.consistency.arc import singleton_arc_consistency
+
+    ac_naive = ac3(instance, strategy="naive")
+    ac_res = ac3(instance, strategy="residual")
+    assert ac_naive.consistent == ac_res.consistent
+    if ac_naive.consistent:
+        assert ac_naive.domains == ac_res.domains
+
+    sac_naive = singleton_arc_consistency(instance, strategy="naive")
+    sac_res = singleton_arc_consistency(instance, strategy="residual")
+    assert sac_naive.consistent == sac_res.consistent
+    if sac_naive.consistent:
+        assert sac_naive.domains == sac_res.domains
+
+
+@settings(max_examples=60, deadline=None)
+@given(binary_instances())
+def test_path_consistency_strategies_same_verdict(instance):
+    naive = path_consistency(instance, strategy="naive")
+    residual = path_consistency(instance, strategy="residual")
+    assert (naive is None) == (residual is None)
+    if naive is not None:
+        assert solution_set(naive) == solution_set(residual)
+
+
 @settings(max_examples=60, deadline=None)
 @given(binary_instances())
 def test_path_consistency_domains_shrink_only(instance):

@@ -1,0 +1,183 @@
+"""Unit tests for the residual-support propagation core."""
+
+import pytest
+
+from repro.consistency.propagation import (
+    PROPAGATION_STRATEGIES,
+    PropagationEngine,
+    PropagationStats,
+    Worklist,
+    check_propagation_strategy,
+    collect_propagation,
+    current_propagation,
+    publish,
+)
+from repro.csp.instance import Constraint, CSPInstance
+from repro.errors import SolverError
+
+NE = {(0, 1), (1, 0)}
+
+
+def chain_instance():
+    """x≠y, y≠z over {0,1} — arc consistent with full domains."""
+    return CSPInstance(
+        ["x", "y", "z"],
+        [0, 1],
+        [Constraint(("x", "y"), NE), Constraint(("y", "z"), NE)],
+    )
+
+
+class TestStrategyKnob:
+    def test_known_strategies(self):
+        assert PROPAGATION_STRATEGIES == ("residual", "naive")
+        for s in PROPAGATION_STRATEGIES:
+            assert check_propagation_strategy(s) == s
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(SolverError, match="unknown propagation strategy"):
+            check_propagation_strategy("ac2001")
+
+
+class TestWorklist:
+    def test_deduplicates_on_push(self):
+        wl = Worklist([1, 2, 1, 2, 3])
+        assert len(wl) == 3
+
+    def test_fifo_order(self):
+        wl = Worklist([1, 2, 3])
+        assert [wl.pop(), wl.pop(), wl.pop()] == [1, 2, 3]
+
+    def test_push_reports_whether_enqueued(self):
+        wl = Worklist()
+        assert wl.push("a") is True
+        assert wl.push("a") is False
+        wl.pop()
+        assert wl.push("a") is True  # re-entry after pop is allowed
+
+    def test_contains_and_bool(self):
+        wl = Worklist()
+        assert not wl
+        wl.push(7)
+        assert wl and 7 in wl
+        wl.pop()
+        assert 7 not in wl
+
+
+class TestPropagationStats:
+    def test_merge_is_componentwise_sum(self):
+        a = PropagationStats(revisions=1, support_checks=2, support_hits=1)
+        b = PropagationStats(revisions=10, trail_restores=3, wipeouts=1)
+        a.merge(b)
+        assert a.revisions == 11
+        assert a.support_checks == 2
+        assert a.trail_restores == 3
+        assert a.wipeouts == 1
+
+    def test_reset_zeroes_everything(self):
+        s = PropagationStats(revisions=5, support_checks=9, support_hits=4)
+        s.reset()
+        assert s.as_dict() == PropagationStats().as_dict()
+
+    def test_hit_rate(self):
+        assert PropagationStats().hit_rate == 0.0
+        assert PropagationStats(support_checks=4, support_hits=1).hit_rate == 0.25
+
+    def test_summary_mentions_all_counters(self):
+        text = PropagationStats(support_checks=3, support_hits=3).summary()
+        for word in ("revisions", "support checks", "hits", "restores", "wipeouts"):
+            assert word in text
+
+
+class TestCollectPropagation:
+    def test_engines_publish_into_active_block(self):
+        from repro.consistency.arc import ac3
+
+        with collect_propagation() as stats:
+            ac3(chain_instance())
+        assert stats.revisions > 0
+        assert stats.support_checks > 0
+
+    def test_nested_blocks_shadow(self):
+        from repro.consistency.arc import ac3
+
+        with collect_propagation() as outer:
+            with collect_propagation() as inner:
+                ac3(chain_instance())
+        assert inner.revisions > 0
+        assert outer.revisions == 0
+
+    def test_no_block_means_no_active_stats(self):
+        assert current_propagation() is None
+
+    def test_publish_merges_and_returns(self):
+        s = PropagationStats(revisions=2)
+        with collect_propagation() as active:
+            assert publish(s) is s
+        assert active.revisions == 2
+
+    def test_publish_of_active_object_does_not_double_count(self):
+        with collect_propagation() as active:
+            active.revisions = 3
+            publish(active)
+        assert active.revisions == 3
+
+
+class TestPropagationEngine:
+    def test_full_propagation_reaches_ac_fixpoint(self):
+        inst = CSPInstance(
+            ["x", "y"],
+            [0, 1, 2],
+            [Constraint(("x", "y"), {(0, 1), (1, 2)}), Constraint(("y",), [(2,)])],
+        )
+        engine = PropagationEngine(inst)
+        domains = engine.fresh_domains()
+        stats = PropagationStats()
+        assert engine.propagate(domains, engine.full_worklist(), stats)
+        assert domains["x"] == {1}
+        assert domains["y"] == {2}
+
+    def test_wipeout_returns_false_and_counts(self):
+        inst = CSPInstance(
+            ["x", "y"], [0, 1], [Constraint(("x", "y"), {(0, 0)}),
+                                 Constraint(("x",), [(1,)])]
+        )
+        engine = PropagationEngine(inst)
+        domains = engine.fresh_domains()
+        stats = PropagationStats()
+        assert not engine.propagate(domains, engine.full_worklist(), stats)
+        assert stats.wipeouts == 1
+
+    def test_trail_records_deletions_and_restore_round_trips(self):
+        engine = PropagationEngine(chain_instance())
+        domains = engine.fresh_domains()
+        stats = PropagationStats()
+        trail = [("x", domains["x"] - {0})]
+        domains["x"] = {0}
+        assert engine.propagate(
+            domains, engine.arcs_from(["x"]), stats, trail=trail
+        )
+        assert domains["y"] == {1} and domains["z"] == {0}
+        engine.restore(domains, trail, stats)
+        assert not trail
+        assert all(domains[v] == {0, 1} for v in ("x", "y", "z"))
+        assert stats.trail_restores == 3  # x's 1 back, y's 0 back, z's 1 back
+
+    def test_residual_supports_hit_on_repeat_propagation(self):
+        engine = PropagationEngine(chain_instance())
+        first = PropagationStats()
+        engine.propagate(engine.fresh_domains(), engine.full_worklist(), first)
+        second = PropagationStats()
+        engine.propagate(engine.fresh_domains(), engine.full_worklist(), second)
+        # Supports stored during the first pass answer the second pass:
+        # every check is a stored-row re-verification, none was on pass one.
+        assert first.support_hits == 0
+        assert second.support_hits == second.support_checks > 0
+
+    def test_arcs_from_excludes_changed_and_skipped(self):
+        engine = PropagationEngine(chain_instance())
+        arcs = engine.arcs_from(["y"], skip={"z"})
+        targets = set()
+        while arcs:
+            _rc, v = arcs.pop()
+            targets.add(v)
+        assert targets == {"x"}

@@ -36,6 +36,45 @@ K2 = clique(2)
 K3 = clique(3)
 
 
+class TestStrategies:
+    def test_unknown_strategy_raises(self):
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError, match="unknown propagation strategy"):
+            solve_game(K2, K2, 2, strategy="bogus")
+
+    def test_naive_and_residual_fixpoints_identical(self):
+        pairs = [
+            (sym_cycle(3), K2),  # spoiler wins at k=3
+            (sym_cycle(5), K2),
+            (sym_cycle(4), K2),  # homomorphic: duplicator wins every k
+            (K3, sym_cycle(5)),
+        ]
+        for a, b in pairs:
+            for k in (1, 2, 3):
+                naive = largest_winning_strategy(a, b, k, strategy="naive")
+                residual = largest_winning_strategy(a, b, k, strategy="residual")
+                assert naive == residual
+
+    def test_both_strategies_publish_counters(self):
+        from repro.consistency.propagation import collect_propagation
+
+        for strategy in ("naive", "residual"):
+            with collect_propagation() as stats:
+                solve_game(sym_cycle(5), K2, 3, strategy=strategy)
+            assert stats.support_checks > 0
+            assert stats.wipeouts == 1  # spoiler win = strategy wiped out
+
+    def test_residual_checks_fewer_groups_on_heavy_cascade(self):
+        from repro.consistency.propagation import collect_propagation
+
+        with collect_propagation() as naive:
+            solve_game(sym_cycle(5), K2, 3, strategy="naive")
+        with collect_propagation() as residual:
+            solve_game(sym_cycle(5), K2, 3, strategy="residual")
+        assert residual.support_checks < naive.support_checks
+
+
 class TestBasics:
     def test_k_must_be_positive(self):
         with pytest.raises(DomainError):

@@ -52,6 +52,8 @@ DECIDERS = [
     ("backtracking-none", lambda i: backtracking.is_solvable(i, Inference.NONE)),
     ("backtracking-fc", lambda i: backtracking.is_solvable(i, Inference.FORWARD_CHECKING)),
     ("backtracking-mac", lambda i: backtracking.is_solvable(i, Inference.MAC)),
+    ("backtracking-mac-naive", lambda i: backtracking.is_solvable(
+        i, Inference.MAC, strategy="naive")),
     ("backjumping", backjumping.is_solvable),
     ("join", join.is_solvable),
     ("join-indexed", lambda i: join.is_solvable(i, strategy="indexed")),
@@ -59,6 +61,7 @@ DECIDERS = [
     ("join-textbook-scan", lambda i: join.is_solvable(i, strategy="textbook+scan")),
     ("decomposition", decomposition.is_solvable),
     ("consistency-k2", lambda i: consistency.is_solvable(i, 2)),
+    ("consistency-k2-naive", lambda i: consistency.is_solvable(i, 2, strategy="naive")),
     ("portfolio", portfolio.is_solvable),
     ("hom-search", lambda i: homomorphism_exists(*csp_to_homomorphism(i))),
 ]
@@ -117,6 +120,88 @@ def test_solutions_from_every_solver_are_valid(seed):
         solution = solver(inst)
         if solution is not None:
             assert norm.is_solution(solution)
+
+
+def _canonical_pc(instance):
+    """A strategy-comparable view of a path-consistency output: the map from
+    each binary scope (sorted) to its relation, plus unary domains."""
+    if instance is None:
+        return None
+    unary = {}
+    pairs = {}
+    for c in instance.constraints:
+        if c.arity == 1:
+            v = c.scope[0]
+            rows = {row[0] for row in c.relation}
+            unary[v] = unary.get(v, rows) & rows
+        elif c.arity == 2:
+            x, y = c.scope
+            rows = set(c.relation) if x < y else {(b, a) for a, b in c.relation}
+            key = (min(x, y), max(x, y))
+            pairs[key] = pairs.get(key, rows) & rows
+    return unary, pairs
+
+
+@pytest.mark.parametrize("seed", range(200))
+def test_propagation_strategies_identical(seed):
+    """The tentpole differential: residual-support AC/SAC/PC must compute
+    exactly what the naive seed implementations compute — same verdicts
+    always (wipeouts included), bit-identical fixpoint domains whenever
+    consistent.  (On a wipeout the *partial* domains of any AC variant
+    depend on worklist pop order, so only the verdict is compared.)
+
+    The instance family mixes unary through ternary constraints, so the
+    sweep covers generalized (non-binary) arc consistency too.
+    """
+    inst = random_instance(seed + 6000)
+
+    ac_naive = ac3(inst, strategy="naive")
+    ac_res = ac3(inst, strategy="residual")
+    assert ac_naive.consistent == ac_res.consistent, f"ac3 verdict, seed {seed}"
+    if ac_naive.consistent:
+        assert ac_naive.domains == ac_res.domains, f"ac3 domains, seed {seed}"
+
+    sac_naive = singleton_arc_consistency(inst, strategy="naive")
+    sac_res = singleton_arc_consistency(inst, strategy="residual")
+    assert sac_naive.consistent == sac_res.consistent, f"sac verdict, seed {seed}"
+    if sac_naive.consistent:
+        assert sac_naive.domains == sac_res.domains, f"sac domains, seed {seed}"
+
+    from repro.consistency.arc import path_consistency
+
+    pc_naive = path_consistency(inst, strategy="naive")
+    pc_res = path_consistency(inst, strategy="residual")
+    assert (pc_naive is None) == (pc_res is None), f"pc verdict, seed {seed}"
+    assert _canonical_pc(pc_naive) == _canonical_pc(pc_res), f"pc output, seed {seed}"
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_pebble_strategies_identical(seed):
+    """Naive and residual pebble-game prunings reach the same greatest
+    fixpoint — the literal strategy sets, not just the winner."""
+    from repro.games.pebble import largest_winning_strategy
+
+    inst = random_instance(seed + 7000)
+    a, b = csp_to_homomorphism(inst)
+    for k in (1, 2):
+        naive = largest_winning_strategy(a, b, k, strategy="naive")
+        residual = largest_winning_strategy(a, b, k, strategy="residual")
+        assert naive == residual, f"pebble k={k}, seed {seed}"
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_mac_strategies_agree_and_solutions_valid(seed):
+    """MAC search under both propagation strategies: same verdict, and any
+    solution found must actually solve the instance."""
+    inst = random_instance(seed + 8000)
+    norm = inst.normalize()
+    verdicts = {}
+    for strategy in ("naive", "residual"):
+        stats = backtracking.solve_with_stats(inst, Inference.MAC, strategy=strategy)
+        verdicts[strategy] = stats.solution is not None
+        if stats.solution is not None:
+            assert norm.is_solution(stats.solution), f"{strategy}, seed {seed}"
+    assert verdicts["naive"] == verdicts["residual"], f"seed {seed}"
 
 
 @pytest.mark.parametrize("seed", range(15))
