@@ -6,12 +6,13 @@
 * ``python -m repro stats`` — run a join workload under every join-order
   strategy and print the :class:`~repro.relational.stats.EvalStats`
   counters side by side (tuples scanned, hash probes, intermediate
-  cardinalities, wall time).  ``--workload propagation`` instead runs the
-  §4/§5 fixpoint engines (AC, SAC, the pebble game) under the ``naive``
-  and ``residual`` strategies and prints
+  cardinalities, interning tables, mask operations, wall time).
+  ``--workload propagation`` instead runs the §4/§5 fixpoint engines
+  (AC, SAC, the pebble game) under the ``naive``, ``residual``, and
+  ``interned`` strategies and prints
   :class:`~repro.consistency.propagation.PropagationStats` counters
-  (revisions, support checks, residual hits, trail restores, wipeouts).
-  See ``docs/observability.md``.
+  (revisions, support checks, residual hits, trail restores, wipeouts,
+  intern tables, bitset words, mask ops).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -172,7 +173,9 @@ def propagation_stats_command(args: argparse.Namespace) -> None:
         collect_propagation,
     )
 
-    strategies = [s for s in args.strategies if s in PROPAGATION_STRATEGIES]
+    strategies = list(
+        dict.fromkeys(s for s in args.strategies if s in PROPAGATION_STRATEGIES)
+    )
     if not strategies:
         strategies = list(PROPAGATION_STRATEGIES)
     workload = _propagation_workload(args.seed)
@@ -197,13 +200,14 @@ def propagation_stats_command(args: argparse.Namespace) -> None:
     print(f"workload: propagation  ({len(workload)} runs, seed {args.seed})")
     header = (
         "strategy", "revisions", "checks", "hits", "hit-rate",
-        "restores", "wipeouts", "seconds",
+        "restores", "wipeouts", "itabs", "words", "mask-ops", "seconds",
     )
     print(" | ".join(str(c).ljust(10) for c in header))
     for strategy, (st, sec) in per_strategy.items():
         row = (
             strategy, st.revisions, st.support_checks, st.support_hits,
-            f"{st.hit_rate:.0%}", st.trail_restores, st.wipeouts, f"{sec:.4f}",
+            f"{st.hit_rate:.0%}", st.trail_restores, st.wipeouts,
+            st.intern_tables, st.bitset_words, st.mask_ops, f"{sec:.4f}",
         )
         print(" | ".join(str(c).ljust(10) for c in row))
 
@@ -213,7 +217,9 @@ def stats_command(args: argparse.Namespace) -> None:
     from repro.relational.planner import EXECUTIONS, STRATEGIES
     from repro.relational.stats import EvalStats, collect_stats
 
-    join_strategies = [s for s in args.strategies if s in STRATEGIES + EXECUTIONS]
+    join_strategies = list(
+        dict.fromkeys(s for s in args.strategies if s in STRATEGIES + EXECUTIONS)
+    )
     workload = _stats_workload(args.workload, args.seed)
     per_strategy: dict[str, EvalStats] = {}
     for strategy in join_strategies:
@@ -231,14 +237,15 @@ def stats_command(args: argparse.Namespace) -> None:
     print(f"workload: {args.workload}  ({len(workload)} queries, seed {args.seed})")
     header = (
         "strategy", "joins", "scanned", "probes", "ix-built", "ix-hits",
-        "misses", "max-inter", "total-inter", "seconds",
+        "misses", "max-inter", "total-inter", "itabs", "mask-ops", "seconds",
     )
     print(" | ".join(str(c).ljust(11) for c in header))
     for strategy, st in per_strategy.items():
         row = (
             strategy, st.joins, st.tuples_scanned, st.hash_probes,
             st.index_builds, st.index_hits, st.probe_misses,
-            st.max_intermediate, st.total_intermediate, f"{st.wall_seconds:.4f}",
+            st.max_intermediate, st.total_intermediate,
+            st.intern_tables, st.mask_ops, f"{st.wall_seconds:.4f}",
         )
         print(" | ".join(str(c).ljust(11) for c in row))
 
@@ -264,15 +271,21 @@ def main(argv: list[str] | None = None) -> None:
             "or the consistency/pebble propagation workload (default: e1)"
         ),
     )
+    # "interned" names both a join execution and a propagation strategy, so
+    # the combined choice list is deduplicated.
+    all_strategies = tuple(
+        dict.fromkeys(STRATEGIES + EXECUTIONS + PROPAGATION_STRATEGIES)
+    )
     stats.add_argument(
         "--strategies",
         nargs="+",
-        choices=STRATEGIES + EXECUTIONS + PROPAGATION_STRATEGIES,
-        default=list(STRATEGIES) + list(EXECUTIONS) + list(PROPAGATION_STRATEGIES),
+        choices=all_strategies,
+        default=list(all_strategies),
         help=(
             "strategies to compare: join orders (greedy/smallest/textbook), "
-            "join executions (indexed/scan), or propagation strategies "
-            "(residual/naive, for --workload propagation); default: all"
+            "join executions (indexed/scan/interned), or propagation "
+            "strategies (residual/naive/interned, for --workload "
+            "propagation); default: all"
         ),
     )
     stats.add_argument("--seed", type=int, default=0, help="workload seed")

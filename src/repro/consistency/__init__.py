@@ -18,6 +18,7 @@ from repro.consistency.arc import (
 )
 from repro.consistency.propagation import (
     PROPAGATION_STRATEGIES,
+    InternedEngine,
     PropagationEngine,
     PropagationStats,
     Worklist,
@@ -32,6 +33,7 @@ __all__ = [
     "path_consistency",
     "singleton_arc_consistency",
     "PROPAGATION_STRATEGIES",
+    "InternedEngine",
     "PropagationEngine",
     "PropagationStats",
     "Worklist",

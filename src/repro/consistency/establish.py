@@ -38,14 +38,24 @@ __all__ = [
 ]
 
 
-def can_establish(a: Structure, b: Structure, k: int) -> bool:
+def can_establish(
+    a: Structure, b: Structure, k: int, strategy: str = "residual"
+) -> bool:
     """Whether strong k-consistency can be established for ``(A, B)`` —
-    equivalently (Thm 5.6), whether the Duplicator wins the k-pebble game."""
-    return solve_game(a, b, k).duplicator_wins
+    equivalently (Thm 5.6), whether the Duplicator wins the k-pebble game.
+
+    ``strategy`` selects the game's pruning engine (``"residual"``,
+    ``"naive"``, or ``"interned"``); all compute the same answer.
+    """
+    return solve_game(a, b, k, strategy=strategy).duplicator_wins
 
 
 def establishment_csp(
-    a: Structure, b: Structure, k: int, game: PebbleGameResult | None = None
+    a: Structure,
+    b: Structure,
+    k: int,
+    game: PebbleGameResult | None = None,
+    strategy: str = "residual",
 ) -> CSPInstance:
     """Steps 1–3 of Theorem 5.6: the CSP instance whose constraints are all
     the relations ``R_ā`` read off the largest winning strategy.
@@ -58,7 +68,7 @@ def establishment_csp(
     strong k-consistency cannot be established (Thm 5.6, only-if direction).
     """
     if game is None:
-        game = solve_game(a, b, k)
+        game = solve_game(a, b, k, strategy=strategy)
     if game.spoiler_wins:
         raise UnsatisfiableError(
             "the Spoiler wins the existential k-pebble game; "
@@ -80,15 +90,15 @@ def _distinct_tuples(elements: list[Any], size: int):
 
 
 def establish_strong_k_consistency(
-    a: Structure, b: Structure, k: int
+    a: Structure, b: Structure, k: int, strategy: str = "residual"
 ) -> tuple[Structure, Structure]:
     """The full four-step procedure of Theorem 5.6.
 
     Returns the homomorphism instance ``(A′, B′)`` of the establishment CSP —
     the largest coherent instance establishing strong k-consistency for
-    ``(A, B)``.
+    ``(A, B)``.  ``strategy`` selects the underlying game engine.
     """
-    instance = establishment_csp(a, b, k)
+    instance = establishment_csp(a, b, k, strategy=strategy)
     return csp_to_homomorphism(instance)
 
 

@@ -18,6 +18,7 @@ from repro.csp.instance import CSPInstance
 from repro.errors import DomainError
 from repro.games.pebble import has_forth_property, is_winning_strategy
 from repro.relational.homomorphism import is_partial_homomorphism
+from repro.relational.interning import encode_structure
 from repro.relational.structure import Structure
 
 __all__ = [
@@ -93,15 +94,25 @@ def is_strongly_k_consistent(instance: CSPInstance, k: int) -> bool:
 def _partial_homomorphism_family(
     a: Structure, b: Structure, size: int
 ) -> set[frozenset]:
-    """All partial homomorphisms A → B with domain of size exactly ``size``."""
+    """All partial homomorphisms A → B with domain of size exactly ``size``.
+
+    The exhaustive |A|^size·|B|^size sweep runs in code space: both
+    structures are interned to dense ints so every candidate mapping is
+    built, hashed, and homomorphism-checked over small-int pairs, and only
+    the accepted mappings are decoded back to original values.  The family
+    returned is exactly the one the plain enumeration produced.
+    """
+    enc_a, codec_a = encode_structure(a)
+    enc_b, codec_b = encode_structure(b)
     family: set[frozenset] = set()
-    a_elems = sorted(a.domain, key=repr)
-    b_elems = sorted(b.domain, key=repr)
+    a_elems = sorted(enc_a.domain)
+    b_elems = sorted(enc_b.domain)
+    da, db = codec_a.decode, codec_b.decode
     for dom in combinations(a_elems, size):
         for image in product(b_elems, repeat=size):
             mapping = dict(zip(dom, image))
-            if is_partial_homomorphism(mapping, a, b):
-                family.add(frozenset(mapping.items()))
+            if is_partial_homomorphism(mapping, enc_a, enc_b):
+                family.add(frozenset((da(x), db(y)) for x, y in mapping.items()))
     return family
 
 

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Container, Hashable, Iterable, Iterator
 
 from repro.csp.instance import Constraint, CSPInstance
+from repro.relational.interning import bit_positions, encode_instance
 from repro.relational.relation import Relation
 
 __all__ = [
@@ -48,15 +49,18 @@ __all__ = [
     "current_propagation",
     "Worklist",
     "PropagationEngine",
+    "InternedEngine",
     "PROPAGATION_STRATEGIES",
     "check_propagation_strategy",
 ]
 
 #: The propagation strategies every §4/§5 fixpoint engine accepts:
-#: ``"residual"`` (the support-indexed default) and ``"naive"`` (the
+#: ``"residual"`` (the support-indexed default), ``"naive"`` (the
 #: rescan-everything baseline, kept as the differential-testing oracle —
-#: the same role ``execution="scan"`` plays in the join backend).
-PROPAGATION_STRATEGIES: tuple[str, ...] = ("residual", "naive")
+#: the same role ``execution="scan"`` plays in the join backend), and
+#: ``"interned"`` (bitset domains over dense-int value codes; see
+#: :class:`InternedEngine`).
+PROPAGATION_STRATEGIES: tuple[str, ...] = ("residual", "naive", "interned")
 
 
 def check_propagation_strategy(strategy: str) -> str:
@@ -96,6 +100,14 @@ class PropagationStats:
     wipeouts:
         Domain (or pair-relation) wipeouts observed — each one is a proof
         of unsatisfiability of the probed instance.
+    intern_tables:
+        Value ↔ dense-int codec tables built by interned engines.
+    bitset_words:
+        64-bit words held by the bitset domain representation (variables ×
+        words-per-domain), charged once per interned engine build.
+    mask_ops:
+        Word-level membership operations performed by bitset revisions —
+        the interned counterpart of ``support_checks``.
     """
 
     revisions: int = 0
@@ -103,6 +115,9 @@ class PropagationStats:
     support_hits: int = 0
     trail_restores: int = 0
     wipeouts: int = 0
+    intern_tables: int = 0
+    bitset_words: int = 0
+    mask_ops: int = 0
 
     def merge(self, other: "PropagationStats") -> "PropagationStats":
         """Fold ``other``'s counters into this object (in place); return it."""
@@ -111,6 +126,9 @@ class PropagationStats:
         self.support_hits += other.support_hits
         self.trail_restores += other.trail_restores
         self.wipeouts += other.wipeouts
+        self.intern_tables += other.intern_tables
+        self.bitset_words += other.bitset_words
+        self.mask_ops += other.mask_ops
         return self
 
     def reset(self) -> None:
@@ -120,6 +138,9 @@ class PropagationStats:
         self.support_hits = 0
         self.trail_restores = 0
         self.wipeouts = 0
+        self.intern_tables = 0
+        self.bitset_words = 0
+        self.mask_ops = 0
 
     @property
     def hit_rate(self) -> float:
@@ -135,6 +156,9 @@ class PropagationStats:
             "trail_restores": self.trail_restores,
             "wipeouts": self.wipeouts,
             "hit_rate": self.hit_rate,
+            "intern_tables": self.intern_tables,
+            "bitset_words": self.bitset_words,
+            "mask_ops": self.mask_ops,
         }
 
     def summary(self) -> str:
@@ -146,6 +170,9 @@ class PropagationStats:
                 f"support hits    {self.support_hits} ({self.hit_rate:.0%})",
                 f"trail restores  {self.trail_restores}",
                 f"wipeouts        {self.wipeouts}",
+                f"intern tables   {self.intern_tables}",
+                f"bitset words    {self.bitset_words}",
+                f"mask ops        {self.mask_ops}",
             ]
         )
 
@@ -340,6 +367,7 @@ class PropagationEngine:
         if not instance.is_normalized():
             instance = instance.normalize()
         self.instance = instance
+        self._ordered_domain = sorted(instance.domain, key=repr)
         self.constraints = [_ResidualConstraint(c) for c in instance.constraints]
         self.constraints_on: dict[Any, list[_ResidualConstraint]] = {
             v: [] for v in instance.variables
@@ -417,3 +445,252 @@ class PropagationEngine:
             variable, removed = trail.pop()
             domains[variable] |= removed
             stats.trail_restores += len(removed)
+
+    # -- generic domain protocol --------------------------------------------
+    #
+    # SAC and MAC drive either engine through these accessors, so the two
+    # domain representations (value sets here, bitmasks in InternedEngine)
+    # share one search/probe loop.  ``domain_values`` must enumerate in the
+    # canonical ``repr`` order both engines agree on.
+
+    def charge_build(self, stats: PropagationStats) -> None:
+        """Charge this engine's representation cost to ``stats`` (nothing
+        for the plain set engine; codec + bitset words for the interned one).
+        """
+
+    def domain_size(self, domains: dict[Any, Any], variable: Any) -> int:
+        return len(domains[variable])
+
+    def domain_values(self, domains: dict[Any, Any], variable: Any) -> list[Any]:
+        """The current domain in canonical (``repr``-sorted) order.
+
+        The instance-wide order is precomputed once, so per-call work is a
+        filter, not a sort.
+        """
+        current = domains[variable]
+        return [v for v in self._ordered_domain if v in current]
+
+    def contains(self, domains: dict[Any, Any], variable: Any, value: Any) -> bool:
+        return value in domains[variable]
+
+    def is_empty(self, domains: dict[Any, Any], variable: Any) -> bool:
+        return not domains[variable]
+
+    def pin(self, domains: dict[Any, Any], variable: Any, value: Any) -> Any:
+        """Narrow ``variable`` to ``{value}``; return what was removed.
+
+        Returns a falsy empty removal when the domain already was the
+        singleton.  The removal is the trail entry for :meth:`restore`.
+        """
+        removed = domains[variable] - {value}
+        if removed:
+            domains[variable] = {value}
+        return removed
+
+    def discard(self, domains: dict[Any, Any], variable: Any, value: Any) -> None:
+        domains[variable].discard(value)
+
+    def count(self, removed: Any) -> int:
+        """Number of values in a removal produced by revise/pin."""
+        return len(removed)
+
+    def export_domains(self, domains: dict[Any, Any]) -> dict[Any, set[Any]]:
+        """The domains as plain value sets (already are, for this engine)."""
+        return domains
+
+    def decode_assignment(self, assignment: dict[Any, Any]) -> dict[Any, Any]:
+        """A plain-value copy of a solver assignment (identity here)."""
+        return dict(assignment)
+
+
+class _BitsetConstraint:
+    """One code-space constraint prepared for bitset revision.
+
+    The relation's rows are tuples of dense int codes, so support questions
+    become word operations on int bitmasks:
+
+    * arity 1 — intersect the domain with the precomputed allowed mask;
+    * arity 2 — for each candidate value, one ``partner_mask & other_domain``
+      AND decides support (the partner masks are precomputed per value and
+      position);
+    * arity ≥ 3 — walk the per-(position, value) candidate rows testing each
+      entry with a ``(domain >> code) & 1`` bit probe.
+
+    Every word-level membership operation is counted in
+    ``PropagationStats.mask_ops`` — the interned analogue of the residual
+    engine's ``support_checks``.
+    """
+
+    __slots__ = ("scope", "arity", "position", "allowed_mask", "partner_masks", "candidates")
+
+    def __init__(self, constraint: Constraint, n_codes: int):
+        self.scope = constraint.scope
+        self.arity = constraint.arity
+        # Normalized scopes have distinct variables, so positions are unique.
+        self.position = {v: i for i, v in enumerate(self.scope)}
+        self.allowed_mask = 0
+        self.partner_masks: tuple[list[int], list[int]] | None = None
+        self.candidates: list[list[list[tuple[int, ...]]]] | None = None
+        rows = constraint.relation
+        if self.arity == 1:
+            mask = 0
+            for row in rows:
+                mask |= 1 << row[0]
+            self.allowed_mask = mask
+        elif self.arity == 2:
+            first = [0] * n_codes
+            second = [0] * n_codes
+            for a, b in rows:
+                first[a] |= 1 << b
+                second[b] |= 1 << a
+            self.partner_masks = (first, second)
+        else:
+            cand = [[[] for _ in range(n_codes)] for _ in range(self.arity)]
+            for row in rows:
+                for i, code in enumerate(row):
+                    cand[i][code].append(row)
+            self.candidates = cand
+
+    def revise(
+        self,
+        variable: Any,
+        domains: dict[Any, int],
+        stats: PropagationStats,
+    ) -> int:
+        """Remove and return (as a bitmask) the unsupported values of
+        ``variable`` — the bitset counterpart of
+        :meth:`_ResidualConstraint.revise`."""
+        position = self.position[variable]
+        current = domains[variable]
+        if not current:
+            return 0
+        stats.revisions += 1
+        if self.arity == 1:
+            stats.mask_ops += 1
+            new = current & self.allowed_mask
+        elif self.arity == 2:
+            other = domains[self.scope[1 - position]]
+            masks = self.partner_masks[position]
+            new = 0
+            ops = 0
+            m = current
+            while m:
+                low = m & -m
+                ops += 1
+                if masks[low.bit_length() - 1] & other:
+                    new |= low
+                m ^= low
+            stats.mask_ops += ops
+        else:
+            scope = self.scope
+            arity = self.arity
+            cand = self.candidates[position]
+            new = 0
+            ops = 0
+            m = current
+            while m:
+                low = m & -m
+                for row in cand[low.bit_length() - 1]:
+                    valid = True
+                    for i in range(arity):
+                        if i == position:
+                            continue
+                        ops += 1
+                        if not (domains[scope[i]] >> row[i]) & 1:
+                            valid = False
+                            break
+                    if valid:
+                        new |= low
+                        break
+                m ^= low
+            stats.mask_ops += ops
+        removed = current & ~new
+        if removed:
+            domains[variable] = new
+        return removed
+
+
+class InternedEngine(PropagationEngine):
+    """Generalized arc consistency over bitset domains in code space.
+
+    The instance's values are interned to dense int codes (in ``repr``
+    order, so ascending code order matches the plain engines' canonical
+    value order); each variable's domain becomes one int bitmask; and
+    revisions are word operations (:class:`_BitsetConstraint`).  The
+    worklist discipline, the propagate loop, and the trail protocol are
+    inherited unchanged from :class:`PropagationEngine` — a trail entry is
+    ``(variable, removed_mask)`` and restore is ``domains[v] |= mask``,
+    which is the same ``|=`` the set engine uses.
+
+    Callers that build one should charge ``intern_tables += 1`` and
+    ``bitset_words += engine.bitset_words`` to their stats object, so the
+    representation cost stays visible next to the ``mask_ops`` it buys.
+    """
+
+    def __init__(self, instance: CSPInstance):
+        if not instance.is_normalized():
+            instance = instance.normalize()
+        self.instance = instance
+        self.encoded, self.codec = encode_instance(instance)
+        n = len(self.codec)
+        self.full_mask = (1 << n) - 1
+        self.bitset_words = len(instance.variables) * ((n + 63) // 64 if n else 0)
+        self.constraints = [
+            _BitsetConstraint(c, n) for c in self.encoded.constraints
+        ]
+        self.constraints_on = {v: [] for v in instance.variables}
+        for bc in self.constraints:
+            for v in bc.scope:
+                self.constraints_on[v].append(bc)
+
+    def charge_build(self, stats: PropagationStats) -> None:
+        stats.intern_tables += 1
+        stats.bitset_words += self.bitset_words
+
+    def fresh_domains(self) -> dict[Any, int]:
+        """Full domains (all bits set) for every variable."""
+        return {v: self.full_mask for v in self.instance.variables}
+
+    @staticmethod
+    def restore(
+        domains: dict[Any, int],
+        trail: list[tuple[Any, int]],
+        stats: PropagationStats,
+    ) -> None:
+        """Undo every deletion recorded on ``trail`` (newest first)."""
+        while trail:
+            variable, removed = trail.pop()
+            domains[variable] |= removed
+            stats.trail_restores += removed.bit_count()
+
+    # -- generic domain protocol (bitmask versions) -------------------------
+
+    def domain_size(self, domains: dict[Any, int], variable: Any) -> int:
+        return domains[variable].bit_count()
+
+    def domain_values(self, domains: dict[Any, int], variable: Any) -> list[int]:
+        """The current domain codes ascending — the original ``repr`` order."""
+        return list(bit_positions(domains[variable]))
+
+    def contains(self, domains: dict[Any, int], variable: Any, value: int) -> bool:
+        return bool((domains[variable] >> value) & 1)
+
+    def pin(self, domains: dict[Any, int], variable: Any, value: int) -> int:
+        bit = 1 << value
+        removed = domains[variable] & ~bit
+        if removed:
+            domains[variable] = bit
+        return removed
+
+    def discard(self, domains: dict[Any, int], variable: Any, value: int) -> None:
+        domains[variable] &= ~(1 << value)
+
+    def count(self, removed: int) -> int:
+        return removed.bit_count()
+
+    def export_domains(self, domains: dict[Any, int]) -> dict[Any, set[Any]]:
+        """Decode the bitmask domains to plain value sets."""
+        return {v: self.codec.set_of(mask) for v, mask in domains.items()}
+
+    def decode_assignment(self, assignment: dict[Any, int]) -> dict[Any, Any]:
+        return {v: self.codec.decode(code) for v, code in assignment.items()}

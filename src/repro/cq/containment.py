@@ -94,7 +94,36 @@ def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
     Repeatedly drops a body atom when the remaining query is still
     equivalent (safety of the head is preserved by construction of the
     candidate).  The result is minimal: no further atom can be dropped.
+
+    The fixed side of every equivalence check is ``query`` itself, so its
+    canonical database, predicate map, and constant set are computed once
+    and shared across the O(n²) drop loop instead of being rebuilt by
+    :func:`are_equivalent` for each candidate.  This is sound because every
+    candidate's body is a subset of the original body: the candidate's
+    predicates and constants are already covered by the query's, so the
+    hoisted database is exactly the one :func:`is_contained_in` would build
+    per candidate (``canonical_database`` marks its own body's constants
+    regardless of the ``constants`` argument).
     """
+    predicates = dict(query.predicates())
+    constants = {t for atom in query.body for t in atom.constants()}
+    fixed_db = canonical_database(
+        query, extra_predicates=predicates, constants=constants
+    )
+    head = tuple(query.distinguished)
+
+    def equivalent_to_query(candidate: ConjunctiveQuery) -> bool:
+        # query ⊆ candidate: evaluate the candidate on the hoisted canonical
+        # database of the query.
+        if head not in evaluate(candidate, fixed_db).tuples:
+            return False
+        # candidate ⊆ query: the candidate's canonical database changes per
+        # candidate, but the predicate map and constant set are the query's.
+        db = canonical_database(
+            candidate, extra_predicates=predicates, constants=constants
+        )
+        return tuple(candidate.distinguished) in evaluate(query, db).tuples
+
     body = list(query.body)
     changed = True
     while changed:
@@ -111,7 +140,7 @@ def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
             candidate = ConjunctiveQuery(
                 query.head_name, query.distinguished, candidate_body
             )
-            if are_equivalent(query, candidate):
+            if equivalent_to_query(candidate):
                 body = candidate_body
                 changed = True
                 break

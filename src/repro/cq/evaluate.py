@@ -13,7 +13,7 @@ from typing import Any, Iterator
 
 from repro.cq.query import Atom, ConjunctiveQuery, Var
 from repro.errors import VocabularyError
-from repro.relational.algebra import join_all, project
+from repro.relational.algebra import join_all, project, semijoin
 from repro.relational.relation import Relation
 from repro.relational.structure import Structure
 
@@ -57,10 +57,47 @@ def _body_join(
     (see :func:`repro.relational.planner.parse_strategy`): ``"textbook"`` is
     the textual atom order, ``"scan"`` forces nested-loop joins, and the
     default is the cost-guided greedy plan over the hash-indexed
-    operators."""
+    operators.  ``"auto"`` routes acyclic bodies through Yannakakis'
+    semijoin reducer (see :func:`_yannakakis_body_join`) and falls back to
+    the default plan otherwise."""
+    if strategy == "auto":
+        relations = [atom_relation(atom, database) for atom in query.body]
+        reduced = _yannakakis_reduce(relations)
+        if reduced is not None:
+            return join_all(reduced)
+        return join_all(relations)
     return join_all(
         (atom_relation(atom, database) for atom in query.body), strategy=strategy
     )
+
+
+def _yannakakis_reduce(relations: list[Relation]) -> list[Relation] | None:
+    """Yannakakis' full reducer for an acyclic body, or ``None`` if cyclic.
+
+    When the body hypergraph (one hyperedge per atom's variable set) is
+    α-acyclic, a bottom-up semijoin pass over a join tree followed by a
+    top-down pass makes every relation globally consistent, so the final
+    join's intermediates never exceed the output size — the Section 6
+    polynomial-time guarantee for acyclic joins.  The reduced relations
+    join to exactly the same result as the unreduced ones (semijoins only
+    delete dangling rows).
+    """
+    from repro.width.acyclic import is_acyclic, join_tree
+
+    scopes = [frozenset(r.attributes) for r in relations]
+    if not is_acyclic(scopes):
+        return None
+    tree = join_tree(scopes)
+    reduced = list(relations)
+    bottom_up = tree.topological_order()
+    children = tree.children()
+    for node in bottom_up:
+        for child in children[node]:
+            reduced[node] = semijoin(reduced[node], reduced[child])
+    for node in reversed(bottom_up):
+        for child in children[node]:
+            reduced[child] = semijoin(reduced[child], reduced[node])
+    return reduced
 
 
 def evaluate(
@@ -70,7 +107,10 @@ def evaluate(
 
     For a Boolean query the result is the nullary relation — nonempty
     (containing the empty tuple) iff the query holds.  ``strategy`` selects
-    the join order; all strategies compute the same relation.
+    the join order; all strategies compute the same relation.  Besides the
+    order/execution specs of :func:`repro.relational.planner.parse_strategy`,
+    ``"auto"`` is accepted: acyclic bodies are fully semijoin-reduced
+    (Yannakakis) before the join, cyclic ones use the default plan.
     """
     joined = _body_join(query, database, strategy)
     return project(joined, tuple(v.name for v in query.distinguished))
@@ -79,7 +119,19 @@ def evaluate(
 def evaluate_boolean(
     query: ConjunctiveQuery, database: Structure, strategy: str | None = None
 ) -> bool:
-    """Whether a Boolean conjunctive query holds on the database."""
+    """Whether a Boolean conjunctive query holds on the database.
+
+    With ``strategy="auto"`` and an acyclic body, the answer is read off
+    the full reducer without materializing the join at all: after the two
+    semijoin passes the join is nonempty iff every reduced relation is
+    (global consistency of full-reduced acyclic joins).
+    """
+    if strategy == "auto":
+        relations = [atom_relation(atom, database) for atom in query.body]
+        reduced = _yannakakis_reduce(relations)
+        if reduced is not None:
+            return all(reduced)
+        return bool(join_all(relations))
     return bool(_body_join(query, database, strategy))
 
 

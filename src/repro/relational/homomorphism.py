@@ -97,20 +97,34 @@ def _connectivity_order(a: Structure, facts_of: dict) -> list[Any]:
     those already placed.  Keeps consecutive variables connected, so each
     assignment instantiates constraints early — crucial on chain/tree-shaped
     structures, where degree-only orderings degenerate to exponential search.
+
+    The shared-fact counts are maintained incrementally: placing ``v`` bumps
+    the count of each element of each *newly* placed fact, instead of
+    re-scanning every remaining element's fact list on every selection.
+    ``shared[u]`` always equals ``|facts_of[u] ∩ placed_facts|`` (a fact
+    containing ``u`` is counted exactly once, when it first enters
+    ``placed_facts``), so the order is identical to the rescanning version's.
     """
     remaining = set(a.domain)
     order: list[Any] = []
     placed_facts: set[tuple[str, tuple]] = set()
+    shared = {v: 0 for v in remaining}
+    base = {v: (len(facts_of[v]), repr(v)) for v in remaining}
 
     def weight(v: Any) -> tuple[int, int, str]:
-        shared = sum(1 for f in facts_of[v] if f in placed_facts)
-        return (shared, len(facts_of[v]), repr(v))
+        return (shared[v], *base[v])
 
     while remaining:
         v = max(remaining, key=weight)
         remaining.discard(v)
         order.append(v)
-        placed_facts.update(facts_of[v])
+        for f in facts_of[v]:
+            if f in placed_facts:
+                continue
+            placed_facts.add(f)
+            for u in set(f[1]):
+                if u in remaining:
+                    shared[u] += 1
     return order
 
 

@@ -26,7 +26,11 @@ probes its operands:
 * ``"indexed"`` — build-side/probe-side hash execution over the memoized
   per-key-column indexes of :meth:`Relation.index_on` (the default);
 * ``"scan"``    — the nested-loop implementation, kept for differential
-  testing.
+  testing;
+* ``"interned"`` — the code-space fast path: key values are interned to
+  dense ints and probed through the radix-packed
+  :meth:`Relation.code_index_on` indexes (``join_all`` additionally runs
+  the whole pipeline over int-encoded rows, decoding at the boundary).
 
 :func:`parse_strategy` accepts either kind of name, or a compound
 ``"order+execution"`` spec such as ``"smallest+scan"``.  All combinations
@@ -62,7 +66,7 @@ __all__ = [
 STRATEGIES = ("greedy", "smallest", "textbook")
 
 #: Join-*execution* modes (how one binary join/semijoin probes its operands).
-EXECUTIONS = ("indexed", "scan")
+EXECUTIONS = ("indexed", "scan", "interned")
 
 
 def parse_strategy(
@@ -104,7 +108,9 @@ def parse_strategy(
     return order or default_order, execution or default_execution
 
 
-def choose_build_side(left: Relation, right: Relation, key: Sequence[str]) -> str:
+def choose_build_side(
+    left: Relation, right: Relation, key: Sequence[str], *, interned: bool = False
+) -> str:
     """Which operand of an indexed join should own the hash table.
 
     Returns ``"left"`` or ``"right"``.  A side whose index on ``key`` is
@@ -112,10 +118,16 @@ def choose_build_side(left: Relation, right: Relation, key: Sequence[str]) -> st
     otherwise the smaller side builds — the classical build-side rule, with
     the exact cardinality standing in for the estimate.  Ties go right, so
     an index-free join of equal operands matches the historical behavior.
+    ``interned=True`` consults the memoized
+    :meth:`Relation.code_index_on` indexes instead of the tuple-keyed ones.
     """
     left_key = tuple(key)
-    left_has = left.has_index(left_key)
-    right_has = right.has_index(left_key)
+    if interned:
+        left_has = left.has_code_index(left_key)
+        right_has = right.has_code_index(left_key)
+    else:
+        left_has = left.has_index(left_key)
+        right_has = right.has_index(left_key)
     if left_has != right_has:
         return "left" if left_has else "right"
     return "left" if len(left) < len(right) else "right"

@@ -18,7 +18,82 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import ArityError, SchemaError, VocabularyError
 
-__all__ = ["Relation"]
+__all__ = ["Relation", "CodeIndex", "DENSE_KEY_SPACE_CAP"]
+
+#: Largest packed-key space for which :meth:`Relation.code_index_on` uses a
+#: dense array (plus membership bitmap) instead of a dict of packed keys.
+DENSE_KEY_SPACE_CAP = 1 << 16
+
+
+class CodeIndex:
+    """A hash index whose keys are radix-packed dense ints, not tuples.
+
+    Built by :meth:`Relation.code_index_on`: the key-column values are
+    interned to codes ``0..base-1`` and each row's key becomes the single
+    int ``((c₀·base + c₁)·base + c₂)…`` — so a probe costs one small-int
+    arithmetic fold and one lookup, with no per-probe tuple allocation or
+    tuple hashing.  When the packed key space ``base**len(key)`` is small
+    (≤ :data:`DENSE_KEY_SPACE_CAP`) the buckets live in a plain list indexed
+    by the packed key and a membership bitmap answers semijoin probes with
+    one shift-and-mask; otherwise a dict of packed ints is used.
+
+    Attributes
+    ----------
+    encode:
+        ``value → code`` for the key-column universe of the build side.
+        A probe value absent from this map cannot match any row.
+    base:
+        The radix (``max(1, |universe|)``).
+    dense:
+        Whether ``buckets`` is a list (dense array) or a dict.
+    buckets:
+        ``packed-key → list of rows`` (list with ``None`` holes when dense).
+    member_mask:
+        Dense mode only: bit ``packed`` is set iff the key occurs.
+    words:
+        64-bit words held by the membership bitmap (0 in dict mode).
+    """
+
+    __slots__ = ("encode", "base", "dense", "buckets", "member_mask", "words")
+
+    def __init__(self, tuples, positions):
+        universe = sorted({t[i] for t in tuples for i in positions}, key=repr)
+        self.encode = {v: i for i, v in enumerate(universe)}
+        self.base = max(1, len(universe))
+        space = self.base ** len(positions)
+        self.dense = space <= DENSE_KEY_SPACE_CAP
+        encode, base = self.encode, self.base
+        if self.dense:
+            buckets: list = [None] * space
+            member_mask = 0
+            for t in tuples:
+                packed = 0
+                for i in positions:
+                    packed = packed * base + encode[t[i]]
+                bucket = buckets[packed]
+                if bucket is None:
+                    buckets[packed] = [t]
+                    member_mask |= 1 << packed
+                else:
+                    bucket.append(t)
+            self.buckets = buckets
+            self.member_mask = member_mask
+            self.words = (space + 63) // 64
+        else:
+            grouped: dict = {}
+            for t in tuples:
+                packed = 0
+                for i in positions:
+                    packed = packed * base + encode[t[i]]
+                grouped.setdefault(packed, []).append(t)
+            self.buckets = grouped
+            self.member_mask = 0
+            self.words = 0
+
+    def lookup(self):
+        """The packed-key → bucket-or-None lookup callable (branch hoisted
+        out of probe loops: list indexing when dense, ``dict.get`` else)."""
+        return self.buckets.__getitem__ if self.dense else self.buckets.get
 
 
 def _check_scheme(attributes: Sequence[str]) -> tuple[str, ...]:
@@ -51,7 +126,7 @@ class Relation:
     True
     """
 
-    __slots__ = ("_attributes", "_tuples", "_hash", "_indexes")
+    __slots__ = ("_attributes", "_tuples", "_hash", "_indexes", "_code_indexes")
 
     def __init__(self, attributes: Sequence[str], tuples: Iterable[Sequence[Any]] = ()):
         self._attributes = _check_scheme(attributes)
@@ -68,6 +143,7 @@ class Relation:
         self._tuples: frozenset[tuple[Any, ...]] = frozenset(rows)
         self._hash: int | None = None
         self._indexes: dict[tuple[str, ...], dict[tuple[Any, ...], list[tuple[Any, ...]]]] = {}
+        self._code_indexes: dict[tuple[str, ...], CodeIndex] = {}
 
     # -- basic protocol ---------------------------------------------------
 
@@ -206,3 +282,26 @@ class Relation:
         """Whether :meth:`index_on` has already been built (and memoized)
         for exactly this key-column tuple."""
         return tuple(attributes) in self._indexes
+
+    def code_index_on(self, attributes: Sequence[str]) -> CodeIndex:
+        """The interned fast-path counterpart of :meth:`index_on`.
+
+        Returns a :class:`CodeIndex` whose keys are single radix-packed
+        ints over a dense interning of the key-column values.  Like
+        :meth:`index_on` it is built lazily and memoized per key-column
+        tuple, so the codec and the packed buckets are shared by every
+        later interned join/semijoin probing the same key.
+        """
+        attrs = tuple(attributes)
+        cached = self._code_indexes.get(attrs)
+        if cached is not None:
+            return cached
+        positions = [self.index_of(a) for a in attrs]
+        index = CodeIndex(self._tuples, positions)
+        self._code_indexes[attrs] = index
+        return index
+
+    def has_code_index(self, attributes: Sequence[str]) -> bool:
+        """Whether :meth:`code_index_on` has already been memoized for
+        exactly this key-column tuple."""
+        return tuple(attributes) in self._code_indexes

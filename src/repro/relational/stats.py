@@ -12,6 +12,9 @@ the quantity that governs join cost; this module makes it observable.  An
 * ``index_hits`` / ``probe_misses`` — probes that found / did not find a
   matching key in the index,
 * ``tuples_emitted`` — rows produced,
+* ``intern_tables`` / ``bitset_words`` / ``mask_ops`` — interned-execution
+  work: codec + code-index builds, 64-bit words held by packed structures,
+  and word-level membership operations,
 * ``intermediate_sizes`` — the cardinality of every join result, in order,
 * per-operator invocation counts and wall-clock seconds.
 
@@ -54,6 +57,9 @@ class EvalStats:
     index_hits: int = 0
     probe_misses: int = 0
     tuples_emitted: int = 0
+    intern_tables: int = 0
+    bitset_words: int = 0
+    mask_ops: int = 0
     intermediate_sizes: list[int] = field(default_factory=list)
     operator_counts: dict[str, int] = field(default_factory=dict)
     operator_seconds: dict[str, float] = field(default_factory=dict)
@@ -70,6 +76,9 @@ class EvalStats:
         index_hits: int = 0,
         probe_misses: int = 0,
         emitted: int = 0,
+        intern_tables: int = 0,
+        bitset_words: int = 0,
+        mask_ops: int = 0,
         seconds: float = 0.0,
         intermediate: int | None = None,
     ) -> None:
@@ -80,6 +89,9 @@ class EvalStats:
         self.index_hits += index_hits
         self.probe_misses += probe_misses
         self.tuples_emitted += emitted
+        self.intern_tables += intern_tables
+        self.bitset_words += bitset_words
+        self.mask_ops += mask_ops
         self.operator_counts[operator] = self.operator_counts.get(operator, 0) + 1
         self.operator_seconds[operator] = (
             self.operator_seconds.get(operator, 0.0) + seconds
@@ -99,6 +111,9 @@ class EvalStats:
         self.index_hits += other.index_hits
         self.probe_misses += other.probe_misses
         self.tuples_emitted += other.tuples_emitted
+        self.intern_tables += other.intern_tables
+        self.bitset_words += other.bitset_words
+        self.mask_ops += other.mask_ops
         self.intermediate_sizes.extend(other.intermediate_sizes)
         for op, n in other.operator_counts.items():
             self.operator_counts[op] = self.operator_counts.get(op, 0) + n
@@ -114,6 +129,9 @@ class EvalStats:
         self.index_hits = 0
         self.probe_misses = 0
         self.tuples_emitted = 0
+        self.intern_tables = 0
+        self.bitset_words = 0
+        self.mask_ops = 0
         self.intermediate_sizes = []
         self.operator_counts = {}
         self.operator_seconds = {}
@@ -149,6 +167,9 @@ class EvalStats:
             "index_hits": self.index_hits,
             "probe_misses": self.probe_misses,
             "tuples_emitted": self.tuples_emitted,
+            "intern_tables": self.intern_tables,
+            "bitset_words": self.bitset_words,
+            "mask_ops": self.mask_ops,
             "joins": self.joins,
             "max_intermediate": self.max_intermediate,
             "total_intermediate": self.total_intermediate,
@@ -167,6 +188,9 @@ class EvalStats:
             f"index hits          {self.index_hits}",
             f"probe misses        {self.probe_misses}",
             f"tuples emitted      {self.tuples_emitted}",
+            f"intern tables       {self.intern_tables}",
+            f"bitset words        {self.bitset_words}",
+            f"mask ops            {self.mask_ops}",
             f"joins               {self.joins}",
             f"max intermediate    {self.max_intermediate}",
             f"total intermediate  {self.total_intermediate}",
