@@ -237,7 +237,8 @@ def stats_command(args: argparse.Namespace) -> None:
     print(f"workload: {args.workload}  ({len(workload)} queries, seed {args.seed})")
     header = (
         "strategy", "joins", "scanned", "probes", "ix-built", "ix-hits",
-        "misses", "max-inter", "total-inter", "itabs", "mask-ops", "seconds",
+        "misses", "max-inter", "total-inter", "itabs", "mask-ops",
+        "tries", "seeks", "lf-rounds", "seconds",
     )
     print(" | ".join(str(c).ljust(11) for c in header))
     for strategy, st in per_strategy.items():
@@ -245,7 +246,9 @@ def stats_command(args: argparse.Namespace) -> None:
             strategy, st.joins, st.tuples_scanned, st.hash_probes,
             st.index_builds, st.index_hits, st.probe_misses,
             st.max_intermediate, st.total_intermediate,
-            st.intern_tables, st.mask_ops, f"{st.wall_seconds:.4f}",
+            st.intern_tables, st.mask_ops,
+            st.trie_builds, st.seeks, st.leapfrog_rounds,
+            f"{st.wall_seconds:.4f}",
         )
         print(" | ".join(str(c).ljust(11) for c in row))
 
@@ -283,7 +286,7 @@ def main(argv: list[str] | None = None) -> None:
         default=list(all_strategies),
         help=(
             "strategies to compare: join orders (greedy/smallest/textbook), "
-            "join executions (indexed/scan/interned), or propagation "
+            "join executions (indexed/scan/interned/wcoj), or propagation "
             "strategies (residual/naive/interned, for --workload "
             "propagation); default: all"
         ),

@@ -55,17 +55,21 @@ def _body_join(
 ) -> Relation:
     """Join the body atoms.  ``strategy`` picks the join order and execution
     (see :func:`repro.relational.planner.parse_strategy`): ``"textbook"`` is
-    the textual atom order, ``"scan"`` forces nested-loop joins, and the
-    default is the cost-guided greedy plan over the hash-indexed
-    operators.  ``"auto"`` routes acyclic bodies through Yannakakis'
-    semijoin reducer (see :func:`_yannakakis_body_join`) and falls back to
-    the default plan otherwise."""
+    the textual atom order, ``"scan"`` forces nested-loop joins, ``"wcoj"``
+    the leapfrog triejoin, and the default is the cost-guided greedy plan
+    over the hash-indexed operators.  ``"auto"`` consults the body's
+    hypergraph (:mod:`repro.width`): acyclic bodies go through Yannakakis'
+    semijoin reducer, **cyclic** bodies through the worst-case optimal
+    leapfrog triejoin — the regime where every pairwise plan is
+    AGM-suboptimal — and the default plan covers the rest."""
     if strategy == "auto":
         relations = [atom_relation(atom, database) for atom in query.body]
         reduced = _yannakakis_reduce(relations)
         if reduced is not None:
             return join_all(reduced)
-        return join_all(relations)
+        from repro.relational.wcoj import leapfrog_join
+
+        return leapfrog_join(relations)
     return join_all(
         (atom_relation(atom, database) for atom in query.body), strategy=strategy
     )
@@ -110,7 +114,8 @@ def evaluate(
     the join order; all strategies compute the same relation.  Besides the
     order/execution specs of :func:`repro.relational.planner.parse_strategy`,
     ``"auto"`` is accepted: acyclic bodies are fully semijoin-reduced
-    (Yannakakis) before the join, cyclic ones use the default plan.
+    (Yannakakis) before the join, cyclic ones run the worst-case optimal
+    leapfrog triejoin (:mod:`repro.relational.wcoj`).
     """
     joined = _body_join(query, database, strategy)
     return project(joined, tuple(v.name for v in query.distinguished))
@@ -131,7 +136,11 @@ def evaluate_boolean(
         reduced = _yannakakis_reduce(relations)
         if reduced is not None:
             return all(reduced)
-        return bool(join_all(relations))
+        # Cyclic body: leapfrog with limit=1 — the first full binding
+        # decides the query, with nothing materialized at all.
+        from repro.relational.wcoj import leapfrog_join
+
+        return bool(leapfrog_join(relations, limit=1))
     return bool(_body_join(query, database, strategy))
 
 

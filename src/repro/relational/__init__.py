@@ -32,6 +32,15 @@ from repro.relational.planner import (
     plan_join,
 )
 from repro.relational.stats import EvalStats, collect_stats, current_stats
+from repro.relational.wcoj import (
+    Leapfrog,
+    TrieCursor,
+    TrieRelation,
+    leapfrog_intersect,
+    leapfrog_join,
+    trie_semijoin,
+    variable_order,
+)
 from repro.relational.core import (
     core,
     homomorphically_equivalent,
@@ -86,6 +95,13 @@ __all__ = [
     "EvalStats",
     "collect_stats",
     "current_stats",
+    "Leapfrog",
+    "TrieCursor",
+    "TrieRelation",
+    "leapfrog_intersect",
+    "leapfrog_join",
+    "trie_semijoin",
+    "variable_order",
     "is_homomorphism",
     "is_partial_homomorphism",
     "find_homomorphism",

@@ -220,6 +220,10 @@ def natural_join(
       columns are interned to dense ints and probed through the memoized
       radix-packed :meth:`Relation.code_index_on` index, so a probe costs
       one small-int fold instead of a tuple allocation plus tuple hash.
+    * ``"wcoj"`` — the two-relation leapfrog triejoin of
+      :mod:`repro.relational.wcoj`: both operands are sorted into
+      per-attribute tries over a shared dense-int codec and intersected
+      variable-at-a-time (seek-based, no hash tables).
 
     All produce the same relation with the same column order
     (``left``'s scheme followed by ``right``'s private attributes).  When
@@ -227,6 +231,10 @@ def natural_join(
     when they are identical it degenerates to intersection.
     """
     execution = _resolve_execution(execution)
+    if execution == "wcoj":
+        from repro.relational.wcoj import leapfrog_natural_join
+
+        return leapfrog_natural_join(left, right)
     stats = current_stats()
     start = perf_counter() if stats is not None else 0.0
     shared, right_private = _shared_and_private(left, right)
@@ -365,7 +373,11 @@ def join_all(
     pipeline: every base relation is re-encoded over one shared dense-int
     codec, the fold runs entirely on int tuples probing radix-packed code
     indexes, and the final relation is decoded back — values cross the
-    value↔code boundary exactly twice); compound specs like
+    value↔code boundary exactly twice), and ``"wcoj"`` (the worst-case
+    optimal leapfrog triejoin: the binary fold is replaced by one
+    variable-at-a-time multi-way join over per-attribute sorted tries,
+    materializing nothing but the output — see
+    :mod:`repro.relational.wcoj`); compound specs like
     ``"textbook+scan"`` fix both.  An explicit ``execution`` keyword
     overrides the spec.
 
@@ -377,6 +389,13 @@ def join_all(
     )
     execution = execution or spec_execution
     pending = order_relations(relations, order)
+    if execution == "wcoj":
+        # The worst-case optimal path is a single multi-way operator: the
+        # planner's binary order is irrelevant (a global *variable* order
+        # drives the enumeration) and no intermediate is materialized.
+        from repro.relational.wcoj import leapfrog_join
+
+        return leapfrog_join(pending)
     if execution == "interned":
         return _join_all_interned(pending)
     result = Relation.unit()
@@ -479,6 +498,10 @@ def semijoin(
     ``EvalStats.mask_ops``).
     """
     execution = _resolve_execution(execution)
+    if execution == "wcoj":
+        from repro.relational.wcoj import trie_semijoin
+
+        return trie_semijoin(left, right)
     stats = current_stats()
     start = perf_counter() if stats is not None else 0.0
     shared, _ = _shared_and_private(left, right)

@@ -68,6 +68,13 @@ class Codec:
         return self._values
 
     @property
+    def code_map(self) -> Dict[Any, int]:
+        """The ``value → code`` dict, for probe loops that treat an absent
+        value as "cannot match" instead of an error (callers must not
+        mutate it)."""
+        return self._codes
+
+    @property
     def full_mask(self) -> int:
         """Bitmask with one bit set per interned value."""
         return (1 << len(self._values)) - 1

@@ -30,7 +30,13 @@ probes its operands:
 * ``"interned"`` — the code-space fast path: key values are interned to
   dense ints and probed through the radix-packed
   :meth:`Relation.code_index_on` indexes (``join_all`` additionally runs
-  the whole pipeline over int-encoded rows, decoding at the boundary).
+  the whole pipeline over int-encoded rows, decoding at the boundary);
+* ``"wcoj"`` — the worst-case optimal multi-way path: ``join_all``
+  abandons the binary fold for the leapfrog triejoin of
+  :mod:`repro.relational.wcoj`, which joins variable-at-a-time over
+  per-attribute sorted tries and never materializes an intermediate
+  relation — the strategy of choice on cyclic bodies, where every
+  pairwise order is AGM-suboptimal.
 
 :func:`parse_strategy` accepts either kind of name, or a compound
 ``"order+execution"`` spec such as ``"smallest+scan"``.  All combinations
@@ -66,7 +72,12 @@ __all__ = [
 STRATEGIES = ("greedy", "smallest", "textbook")
 
 #: Join-*execution* modes (how one binary join/semijoin probes its operands).
-EXECUTIONS = ("indexed", "scan", "interned")
+#: ``"wcoj"`` is the odd one out: in :func:`repro.relational.algebra.join_all`
+#: it replaces the binary fold entirely with the worst-case optimal
+#: leapfrog triejoin of :mod:`repro.relational.wcoj` (variable-at-a-time,
+#: no intermediate relations), while a binary join/semijoin under it runs
+#: the two-relation leapfrog / trie-probe special case.
+EXECUTIONS = ("indexed", "scan", "interned", "wcoj")
 
 
 def parse_strategy(

@@ -15,6 +15,9 @@ the quantity that governs join cost; this module makes it observable.  An
 * ``intern_tables`` / ``bitset_words`` / ``mask_ops`` — interned-execution
   work: codec + code-index builds, 64-bit words held by packed structures,
   and word-level membership operations,
+* ``seeks`` / ``leapfrog_rounds`` / ``trie_builds`` — worst-case-optimal
+  join work: trie-cursor seek/next bisections, leapfrog-chase iterations,
+  and sorted tries constructed (see :mod:`repro.relational.wcoj`),
 * ``intermediate_sizes`` — the cardinality of every join result, in order,
 * per-operator invocation counts and wall-clock seconds.
 
@@ -60,6 +63,9 @@ class EvalStats:
     intern_tables: int = 0
     bitset_words: int = 0
     mask_ops: int = 0
+    seeks: int = 0
+    leapfrog_rounds: int = 0
+    trie_builds: int = 0
     intermediate_sizes: list[int] = field(default_factory=list)
     operator_counts: dict[str, int] = field(default_factory=dict)
     operator_seconds: dict[str, float] = field(default_factory=dict)
@@ -79,6 +85,9 @@ class EvalStats:
         intern_tables: int = 0,
         bitset_words: int = 0,
         mask_ops: int = 0,
+        seeks: int = 0,
+        leapfrog_rounds: int = 0,
+        trie_builds: int = 0,
         seconds: float = 0.0,
         intermediate: int | None = None,
     ) -> None:
@@ -92,6 +101,9 @@ class EvalStats:
         self.intern_tables += intern_tables
         self.bitset_words += bitset_words
         self.mask_ops += mask_ops
+        self.seeks += seeks
+        self.leapfrog_rounds += leapfrog_rounds
+        self.trie_builds += trie_builds
         self.operator_counts[operator] = self.operator_counts.get(operator, 0) + 1
         self.operator_seconds[operator] = (
             self.operator_seconds.get(operator, 0.0) + seconds
@@ -114,6 +126,9 @@ class EvalStats:
         self.intern_tables += other.intern_tables
         self.bitset_words += other.bitset_words
         self.mask_ops += other.mask_ops
+        self.seeks += other.seeks
+        self.leapfrog_rounds += other.leapfrog_rounds
+        self.trie_builds += other.trie_builds
         self.intermediate_sizes.extend(other.intermediate_sizes)
         for op, n in other.operator_counts.items():
             self.operator_counts[op] = self.operator_counts.get(op, 0) + n
@@ -132,6 +147,9 @@ class EvalStats:
         self.intern_tables = 0
         self.bitset_words = 0
         self.mask_ops = 0
+        self.seeks = 0
+        self.leapfrog_rounds = 0
+        self.trie_builds = 0
         self.intermediate_sizes = []
         self.operator_counts = {}
         self.operator_seconds = {}
@@ -170,6 +188,9 @@ class EvalStats:
             "intern_tables": self.intern_tables,
             "bitset_words": self.bitset_words,
             "mask_ops": self.mask_ops,
+            "seeks": self.seeks,
+            "leapfrog_rounds": self.leapfrog_rounds,
+            "trie_builds": self.trie_builds,
             "joins": self.joins,
             "max_intermediate": self.max_intermediate,
             "total_intermediate": self.total_intermediate,
@@ -191,6 +212,9 @@ class EvalStats:
             f"intern tables       {self.intern_tables}",
             f"bitset words        {self.bitset_words}",
             f"mask ops            {self.mask_ops}",
+            f"seeks               {self.seeks}",
+            f"leapfrog rounds     {self.leapfrog_rounds}",
+            f"trie builds         {self.trie_builds}",
             f"joins               {self.joins}",
             f"max intermediate    {self.max_intermediate}",
             f"total intermediate  {self.total_intermediate}",

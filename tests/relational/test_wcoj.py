@@ -1,0 +1,381 @@
+"""Property-based tests for the leapfrog triejoin (:mod:`repro.relational.wcoj`).
+
+Four contracts pin the engine to its specification:
+
+* **Leapfrog intersection is set intersection** — on any collection of
+  sorted arrays, :func:`leapfrog_intersect` emits exactly the elements
+  common to all of them, in ascending order.
+* **The seek contract** — ``seek(target)`` positions a cursor on the
+  *least* element ≥ ``target`` (or ``at_end``), for both the unary
+  :class:`ArrayCursor` and an open :class:`TrieCursor` level.
+* **Trie navigation round-trips** — depth-first ``open``/``next``/``up``
+  over a :class:`TrieRelation` enumerates exactly the relation's distinct
+  projected rows in lexicographic order, and ``up()`` restores the parent
+  position.
+* **Variable-order invariance** — :func:`leapfrog_join` computes the same
+  relation under *every* global variable order; only the work differs.
+
+Plus the differential that matters most: ``leapfrog_join`` equals the
+nested-loop ``join_all`` oracle on random relation collections.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchemaError, VocabularyError
+from repro.relational.algebra import join_all, semijoin
+from repro.relational.relation import Relation
+from repro.relational.wcoj import (
+    ArrayCursor,
+    Leapfrog,
+    TrieCursor,
+    TrieRelation,
+    leapfrog_intersect,
+    leapfrog_join,
+    trie_semijoin,
+    variable_order,
+)
+
+sorted_arrays = st.lists(
+    st.lists(st.integers(min_value=0, max_value=40), max_size=25).map(
+        lambda xs: sorted(set(xs))
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+# ---------------------------------------------------------------------------
+# leapfrog intersection == set intersection
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(sorted_arrays)
+def test_leapfrog_intersect_is_set_intersection(arrays):
+    expected = sorted(set.intersection(*(set(a) for a in arrays)))
+    assert leapfrog_intersect(arrays) == expected
+
+
+def test_leapfrog_intersect_edge_cases():
+    assert leapfrog_intersect([[1, 2, 3]]) == [1, 2, 3]
+    assert leapfrog_intersect([[1, 2], []]) == []
+    assert leapfrog_intersect([[], []]) == []
+    assert leapfrog_intersect([[1, 3, 5], [2, 4, 6]]) == []
+    assert leapfrog_intersect([[1, 2, 3], [2, 3, 4], [3, 4, 5]]) == [3]
+
+
+# ---------------------------------------------------------------------------
+# the seek contract: least element >= target
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=20).map(
+        lambda xs: sorted(set(xs))
+    ),
+    st.integers(min_value=0, max_value=31),
+)
+def test_array_cursor_seek_contract(values, target):
+    cursor = ArrayCursor(values)
+    cursor.seek(target)
+    geq = [v for v in values if v >= target]
+    if geq:
+        assert not cursor.at_end
+        assert cursor.key() == geq[0]
+    else:
+        assert cursor.at_end
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=20).map(
+        lambda xs: sorted(set(xs))
+    ),
+    st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=6),
+)
+def test_array_cursor_monotone_seek_chain(values, targets):
+    """A forward chain of seeks (the only way leapfrog calls them) always
+    lands on the least element >= the running maximum target."""
+    cursor = ArrayCursor(values)
+    running = 0
+    for t in targets:
+        running = max(running, t)
+        if cursor.at_end:
+            break
+        running = max(running, cursor.key())
+        cursor.seek(running)
+        geq = [v for v in values if v >= running]
+        if geq:
+            assert cursor.key() == geq[0]
+        else:
+            assert cursor.at_end
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_strategy, st.integers(min_value=0, max_value=5))
+def test_trie_cursor_seek_contract_at_depth_two(rows, target):
+    """After descending one level, seek at the second level sees exactly the
+    distinct second-column values under the current first-column prefix."""
+    trie = TrieRelation(("a", "b", "c"), rows, ("a", "b", "c"))
+    cursor = trie.cursor()
+    cursor.open()
+    if cursor.at_end:
+        assert not rows
+        return
+    prefix = cursor.key()
+    cursor.open()
+    children = sorted({r[1] for r in rows if r[0] == prefix})
+    assert cursor.key() == children[0]
+    cursor.seek(target)
+    geq = [v for v in children if v >= target]
+    if geq:
+        assert cursor.key() == geq[0]
+    else:
+        assert cursor.at_end
+
+
+# ---------------------------------------------------------------------------
+# trie open/next/up round-trips
+# ---------------------------------------------------------------------------
+
+
+def _walk(trie):
+    """Depth-first enumeration through the cursor API only."""
+    cursor = trie.cursor()
+    out = []
+    prefix = []
+
+    def descend():
+        cursor.open()
+        while not cursor.at_end:
+            prefix.append(cursor.key())
+            if cursor.depth == len(trie.levels):
+                out.append(tuple(prefix))
+            else:
+                descend()
+            prefix.pop()
+            cursor.next()
+        cursor.up()
+
+    descend()
+    return out
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_strategy)
+def test_trie_walk_enumerates_sorted_distinct_rows(rows):
+    trie = TrieRelation(("a", "b", "c"), rows, ("a", "b", "c"))
+    assert _walk(trie) == sorted(set(rows))
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_strategy)
+def test_trie_walk_of_projection(rows):
+    """Levels restricted to a scheme subset enumerate the projection."""
+    trie = TrieRelation(("a", "b", "c"), rows, ("c", "a"))
+    assert _walk(trie) == sorted({(r[2], r[0]) for r in rows})
+
+
+def test_trie_up_restores_parent_key():
+    rows = [(0, 1), (0, 2), (3, 4)]
+    trie = TrieRelation(("a", "b"), rows, ("a", "b"))
+    cursor = trie.cursor()
+    cursor.open()
+    assert cursor.key() == 0
+    cursor.open()
+    assert cursor.key() == 1
+    cursor.next()
+    assert cursor.key() == 2
+    cursor.next()
+    assert cursor.at_end
+    cursor.up()
+    assert not cursor.at_end
+    assert cursor.key() == 0  # the parent position is untouched
+    cursor.next()
+    assert cursor.key() == 3
+
+
+def test_trie_unknown_level_attribute_raises_vocabulary_error():
+    with pytest.raises(VocabularyError) as excinfo:
+        TrieRelation(("a", "b"), [(0, 1)], ("a", "z"))
+    # The PR-2 convention: the message names the attribute and the scheme.
+    assert "'z'" in str(excinfo.value)
+    assert "('a', 'b')" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# Leapfrog multi-cursor stepping
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(sorted_arrays)
+def test_leapfrog_class_enumerates_intersection(arrays):
+    lf = Leapfrog([ArrayCursor(a) for a in arrays])
+    out = []
+    while not lf.at_end:
+        out.append(lf.key())
+        lf.next()
+    assert out == sorted(set.intersection(*(set(a) for a in arrays)))
+
+
+def test_leapfrog_single_cursor_degenerates_to_iteration():
+    lf = Leapfrog([ArrayCursor([2, 5, 9])])
+    seen = []
+    while not lf.at_end:
+        seen.append(lf.key())
+        lf.next()
+    assert seen == [2, 5, 9]
+
+
+# ---------------------------------------------------------------------------
+# leapfrog_join: differential vs the scan oracle, order invariance
+# ---------------------------------------------------------------------------
+
+
+def _canon(rel):
+    return {frozenset(zip(rel.attributes, t)) for t in rel.tuples}
+
+
+relation_lists = st.lists(
+    st.tuples(
+        st.lists(
+            st.sampled_from(["w", "x", "y", "z"]), min_size=1, max_size=3, unique=True
+        ),
+        st.integers(min_value=0, max_value=60),
+    ),
+    min_size=1,
+    max_size=4,
+).map(
+    lambda specs: [
+        Relation(
+            tuple(attrs),
+            {
+                tuple((seed * 31 + i * 7 + j * 13) % 4 for j in range(len(attrs)))
+                for i in range(seed % 9)
+            },
+        )
+        for attrs, seed in specs
+    ]
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(relation_lists)
+def test_leapfrog_join_matches_scan_oracle(relations):
+    expected = join_all(relations, strategy="textbook+scan")
+    got = leapfrog_join(relations)
+    assert _canon(got) == _canon(expected)
+
+
+@settings(max_examples=80, deadline=None)
+@given(relation_lists, st.randoms(use_true_random=False))
+def test_leapfrog_join_is_variable_order_invariant(relations, rng):
+    default = leapfrog_join(relations)
+    attrs = list(default.attributes)
+    for _ in range(3):
+        rng.shuffle(attrs)
+        permuted = leapfrog_join(relations, order=tuple(attrs))
+        assert _canon(permuted) == _canon(default)
+
+
+@settings(max_examples=100, deadline=None)
+@given(relation_lists)
+def test_trie_semijoin_matches_scan_oracle(relations):
+    left = relations[0]
+    right = relations[-1]
+    expected = semijoin(left, right, execution="scan")
+    assert trie_semijoin(left, right).tuples == expected.tuples
+
+
+def test_leapfrog_join_edge_cases():
+    # No relations: the unit.
+    assert leapfrog_join([]) == Relation.unit()
+    # Any empty operand: empty result over the union scheme.
+    r = Relation(("x", "y"), [(1, 2)])
+    empty = Relation(("y", "z"), [])
+    assert len(leapfrog_join([r, empty])) == 0
+    assert set(leapfrog_join([r, empty]).attributes) == {"x", "y", "z"}
+    # Nullary nonempty operands are join identities.
+    assert leapfrog_join([r, Relation.unit()]).tuples == {(1, 2)}
+    assert leapfrog_join([Relation.unit(), Relation.unit()]) == Relation.unit()
+    # Single-tuple relations chain.
+    s = Relation(("y", "z"), [(2, 3)])
+    assert _canon(leapfrog_join([r, s])) == _canon(join_all([r, s], strategy="scan"))
+
+
+def test_leapfrog_join_limit_stops_enumeration():
+    r = Relation(("x",), [(i,) for i in range(10)])
+    assert len(leapfrog_join([r], limit=1)) == 1
+    assert len(leapfrog_join([r], limit=4)) == 4
+    assert len(leapfrog_join([r], limit=None)) == 10
+
+
+def test_leapfrog_join_rejects_bad_order_and_scheme():
+    r = Relation(("x", "y"), [(1, 2)])
+    with pytest.raises(SchemaError):
+        leapfrog_join([r], order=("x",))
+    with pytest.raises(SchemaError):
+        leapfrog_join([r], order=("x", "y", "q"))
+    with pytest.raises(SchemaError):
+        leapfrog_join([r], out_attributes=("x",))
+
+
+def test_leapfrog_join_mixed_value_types():
+    """Heterogeneous universes intern into one comparable code space."""
+    r = Relation(("x", "y"), [("a", 1), ("b", 2), (("t",), 1)])
+    s = Relation(("y", "z"), [(1, "u"), (2, ("v",))])
+    expected = join_all([r, s], strategy="scan")
+    assert _canon(leapfrog_join([r, s])) == _canon(expected)
+
+
+def test_trie_semijoin_records_probe_counters():
+    from repro.relational.stats import collect_stats
+
+    left = Relation(("x", "y"), [(1, 2), (3, 4), (5, 6)])
+    right = Relation(("y", "z"), [(2, 0), (4, 0)])
+    with collect_stats() as stats:
+        out = trie_semijoin(left, right)
+    assert out.tuples == {(1, 2), (3, 4)}
+    assert stats.hash_probes == 3
+    assert stats.index_hits == 2
+    assert stats.probe_misses == 1
+    assert stats.trie_builds == 1
+    assert stats.intern_tables == 1
+    assert stats.seeks > 0
+    # A semijoin materializes no join intermediate.
+    assert stats.intermediate_sizes == []
+
+
+def test_leapfrog_natural_join_keeps_binary_scheme_order():
+    from repro.relational.wcoj import leapfrog_natural_join
+
+    left = Relation(("b", "a"), [(1, 2), (3, 4)])
+    right = Relation(("a", "c"), [(2, 9), (4, 7)])
+    out = leapfrog_natural_join(left, right)
+    # The binary operators' contract: left scheme, then right's private.
+    assert out.attributes == ("b", "a", "c")
+    assert out.tuples == {(1, 2, 9), (3, 4, 7)}
+
+
+def test_variable_order_covers_all_attributes_and_is_deterministic():
+    rels = [
+        Relation(("x", "y"), [(0, 0)]),
+        Relation(("y", "z"), [(0, 0)]),
+        Relation(("z", "x"), [(0, 0)]),
+    ]
+    order = variable_order(rels)
+    assert sorted(order) == ["x", "y", "z"]
+    assert variable_order(rels) == order

@@ -64,6 +64,9 @@ DECIDERS = [
     ("join-textbook-scan", lambda i: join.is_solvable(i, strategy="textbook+scan")),
     ("join-smallest-interned", lambda i: join.is_solvable(
         i, strategy="smallest+interned")),
+    ("join-wcoj", lambda i: join.is_solvable(i, strategy="wcoj")),
+    ("join-textbook-wcoj", lambda i: join.is_solvable(
+        i, strategy="textbook+wcoj")),
     ("decomposition", decomposition.is_solvable),
     ("consistency-k2", lambda i: consistency.is_solvable(i, 2)),
     ("consistency-k2-naive", lambda i: consistency.is_solvable(i, 2, strategy="naive")),

@@ -98,6 +98,83 @@ def test_coloring_csp_all_strategies(colors, expected):
         assert join.is_solvable(path, strategy=strategy) is True
 
 
+def test_cyclic_bodies_all_strategies_agree():
+    """Explicitly cyclic bodies — triangle, 4-cycle, and a chorded cycle —
+    where ``"auto"`` routes to the leapfrog triejoin rather than
+    Yannakakis.  Every spec (wcoj included) must return the same relation."""
+    from repro.cq.query import Atom, ConjunctiveQuery, Var
+
+    x, y, z, w = Var("x"), Var("y"), Var("z"), Var("w")
+    cyclic_queries = [
+        ConjunctiveQuery(
+            "Q", (x, y, z),
+            [Atom("E", (x, y)), Atom("E", (y, z)), Atom("E", (z, x))],
+        ),
+        ConjunctiveQuery(
+            "Q", (),
+            [Atom("E", (x, y)), Atom("E", (y, z)), Atom("E", (z, w)),
+             Atom("E", (w, x))],
+        ),
+        ConjunctiveQuery(
+            "Q", (x, z),
+            [Atom("E", (x, y)), Atom("E", (y, z)), Atom("E", (z, x)),
+             Atom("E", (x, z))],
+        ),
+    ]
+    for seed in range(6):
+        database = random_digraph(6, 0.4, seed=seed)
+        for query in cyclic_queries:
+            results = {s: evaluate(query, database, strategy=s) for s in CQ_SPECS}
+            assert len(set(results.values())) == 1, f"seed {seed}, {query!r}"
+            verdicts = {
+                evaluate_boolean(query, database, strategy=s) for s in CQ_SPECS
+            }
+            assert len(verdicts) == 1, f"seed {seed}, {query!r}"
+
+
+def test_empty_relation_bodies_all_strategies_agree():
+    """An atom over an empty relation empties the whole join under every
+    spec — including wcoj's early exit and auto's cyclic route."""
+    from repro.cq.query import Atom, ConjunctiveQuery, Var
+    from repro.relational.structure import Structure
+
+    x, y, z = Var("x"), Var("y"), Var("z")
+    database = Structure(
+        {"E": 2, "F": 2}, range(4),
+        {"E": [(0, 1), (1, 2), (2, 0)], "F": []},
+    )
+    queries = [
+        ConjunctiveQuery("Q", (x, y), [Atom("E", (x, y)), Atom("F", (y, z))]),
+        ConjunctiveQuery(
+            "Q", (),
+            [Atom("E", (x, y)), Atom("E", (y, z)), Atom("F", (z, x))],
+        ),
+    ]
+    for query in queries:
+        for s in CQ_SPECS:
+            assert len(evaluate(query, database, strategy=s)) == 0, s
+            assert evaluate_boolean(query, database, strategy=s) is False, s
+
+
+def test_single_tuple_bodies_all_strategies_agree():
+    """Single-tuple relations: the join either chains to exactly one row or
+    to none, identically under every spec."""
+    from repro.cq.query import Atom, ConjunctiveQuery, Var
+    from repro.relational.structure import Structure
+
+    x, y, z = Var("x"), Var("y"), Var("z")
+    query = ConjunctiveQuery(
+        "Q", (x, z), [Atom("E", (x, y)), Atom("E", (y, z)), Atom("E", (z, x))]
+    )
+    hit = Structure({"E": 2}, range(3), {"E": [(0, 0)]})
+    miss = Structure({"E": 2}, range(3), {"E": [(0, 1)]})
+    for s in CQ_SPECS:
+        assert evaluate(query, hit, strategy=s).tuples == {(0, 0)}, s
+        assert len(evaluate(query, miss, strategy=s)) == 0, s
+        assert evaluate_boolean(query, hit, strategy=s) is True, s
+        assert evaluate_boolean(query, miss, strategy=s) is False, s
+
+
 def test_full_join_relation_identical_across_strategies():
     """Not just the verdict: the full joined relation matches per strategy."""
     for seed in range(10):
