@@ -12,7 +12,16 @@
   ``interned`` strategies and prints
   :class:`~repro.consistency.propagation.PropagationStats` counters
   (revisions, support checks, residual hits, trail restores, wipeouts,
-  intern tables, bitset words, mask ops).  See ``docs/observability.md``.
+  intern tables, bitset words, mask ops).  With ``--json`` both report the
+  canonical :func:`repro.telemetry.payload` shape.
+* ``python -m repro profile --workload {triangle,join,datalog,propagation,
+  search}`` — run one workload under the span tracer and print the
+  EXPLAIN-ANALYZE-style profile (per-operator durations, cardinalities,
+  % of total); ``--jsonl`` emits the raw event stream instead.
+* ``python -m repro trace --jsonl`` — same trace, always as JSONL (the
+  machine-readable form ``tools/validate_trace.py`` checks).
+
+See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -190,8 +199,10 @@ def propagation_stats_command(args: argparse.Namespace) -> None:
         per_strategy[strategy] = (total, time.perf_counter() - start)
 
     if args.json:
+        from repro.telemetry import payload
+
         print(json.dumps(
-            {s: dict(st.as_dict(), seconds=sec)
+            {s: dict(payload(st), seconds=sec)
              for s, (st, sec) in per_strategy.items()},
             indent=2,
         ))
@@ -231,7 +242,9 @@ def stats_command(args: argparse.Namespace) -> None:
         per_strategy[strategy] = total
 
     if args.json:
-        print(json.dumps({s: st.as_dict() for s, st in per_strategy.items()}, indent=2))
+        from repro.telemetry import payload
+
+        print(json.dumps({s: payload(st) for s, st in per_strategy.items()}, indent=2))
         return
 
     print(f"workload: {args.workload}  ({len(workload)} queries, seed {args.seed})")
@@ -251,6 +264,117 @@ def stats_command(args: argparse.Namespace) -> None:
             f"{st.wall_seconds:.4f}",
         )
         print(" | ".join(str(c).ljust(11) for c in row))
+
+
+def _profile_workload(name: str, seed: int):
+    """Build the named profile workload: a ``(description, run)`` pair where
+    ``run()`` executes the workload once, to be called under the tracer."""
+    if name == "triangle":
+        from repro.cq.evaluate import evaluate
+        from repro.cq.parser import parse_query
+        from repro.generators.graphs import random_digraph
+
+        query = parse_query("Q(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).")
+        db = random_digraph(30, 0.15, seed=seed)
+        return (
+            "cyclic triangle query, strategy=auto (routes to leapfrog triejoin)",
+            lambda: evaluate(query, db, strategy="auto"),
+        )
+    if name == "join":
+        from repro.cq.evaluate import evaluate
+        from repro.generators.graphs import random_digraph
+        from repro.generators.queries import chain_query
+
+        query = chain_query(6)
+        db = random_digraph(12, 0.3, seed=seed)
+        return (
+            "acyclic chain query, strategy=auto (routes to Yannakakis)",
+            lambda: evaluate(query, db, strategy="auto"),
+        )
+    if name == "datalog":
+        from repro.datalog.engine import evaluate_seminaive
+        from repro.datalog.library import transitive_closure_program
+        from repro.generators.graphs import random_digraph
+
+        program = transitive_closure_program()
+        db = random_digraph(16, 0.12, seed=seed)
+        return (
+            "semi-naive transitive closure (one span per fixpoint round)",
+            lambda: evaluate_seminaive(program, db),
+        )
+    if name == "propagation":
+        from repro.consistency.arc import ac3, singleton_arc_consistency
+        from repro.generators.csp_random import coloring_instance
+        from repro.generators.graphs import cycle_graph
+
+        inst2 = coloring_instance(cycle_graph(9), 2)
+        inst3 = coloring_instance(cycle_graph(9), 3)
+
+        def run():
+            ac3(inst3)
+            singleton_arc_consistency(inst2)
+
+        return ("AC-3 and singleton arc consistency on cycle colorings", run)
+    if name == "search":
+        from repro.csp.solvers.backtracking import Inference, solve_with_stats
+        from repro.generators.csp_random import coloring_instance
+        from repro.generators.graphs import cycle_graph
+
+        inst = coloring_instance(cycle_graph(11 + (seed % 4) * 2), 3)
+        return (
+            "MAC backtracking search (batched node spans)",
+            lambda: solve_with_stats(inst, Inference.MAC),
+        )
+    raise SystemExit(f"unknown workload {name!r}")
+
+
+def profile_command(args: argparse.Namespace) -> None:
+    """Trace one workload end to end and print the span-tree profile, or
+    (with ``--jsonl``) the raw event stream."""
+    import sys
+
+    from repro.consistency.propagation import collect_propagation
+    from repro.relational.stats import collect_stats
+    from repro.telemetry import QueryProfile, tracing, write_jsonl
+
+    description, run = _profile_workload(args.workload, args.seed)
+    # The stats collectors enter *before* the tracer so the root span opens
+    # against fresh zero counters — the topmost span deltas (and hence the
+    # reaggregated JSONL) then equal the in-process totals exactly.
+    with collect_stats(), collect_propagation():
+        with tracing(f"profile:{args.workload}") as trace:
+            run()
+    if args.jsonl:
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fp:
+                n = write_jsonl(trace, fp)
+            print(f"wrote {n} events to {args.out}", file=sys.stderr)
+        else:
+            write_jsonl(trace, sys.stdout)
+        return
+    print(f"workload: {args.workload} — {description}  (seed {args.seed})")
+    print(QueryProfile(trace).render())
+
+
+def trace_command(args: argparse.Namespace) -> None:
+    """``repro trace``: the profile trace, always as JSONL events."""
+    args.jsonl = True
+    profile_command(args)
+
+
+_PROFILE_WORKLOADS = ("triangle", "join", "datalog", "propagation", "search")
+
+
+def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", choices=_PROFILE_WORKLOADS, default="triangle",
+        help="which workload to trace (default: triangle)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSONL event stream to FILE instead of stdout",
+    )
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -293,12 +417,33 @@ def main(argv: list[str] | None = None) -> None:
     )
     stats.add_argument("--seed", type=int, default=0, help="workload seed")
     stats.add_argument("--json", action="store_true", help="machine-readable output")
+    profile = sub.add_parser(
+        "profile",
+        help="trace one workload and print the span-tree profile",
+    )
+    _add_profile_arguments(profile)
+    profile.add_argument(
+        "--jsonl", action="store_true",
+        help="emit the raw JSONL event stream instead of the rendered profile",
+    )
+    trace = sub.add_parser(
+        "trace", help="trace one workload and emit the JSONL event stream"
+    )
+    _add_profile_arguments(trace)
+    trace.add_argument(
+        "--jsonl", action="store_true",
+        help="accepted for symmetry; trace always emits JSONL",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "stats" and args.workload == "propagation":
         propagation_stats_command(args)
     elif args.command == "stats":
         stats_command(args)
+    elif args.command == "profile":
+        profile_command(args)
+    elif args.command == "trace":
+        trace_command(args)
     else:
         tour()
 

@@ -42,6 +42,8 @@ from typing import Any, Container, Hashable, Iterable, Iterator
 from repro.csp.instance import Constraint, CSPInstance
 from repro.relational.interning import bit_positions, encode_instance
 from repro.relational.relation import Relation
+from repro.telemetry.registry import counter_delta, snapshot
+from repro.telemetry.spans import span
 
 __all__ = [
     "PropagationStats",
@@ -418,6 +420,30 @@ class PropagationEngine:
         search variables).  On a wipeout the worklist is abandoned —
         the instance is already refuted.
         """
+        sp = span(
+            "propagation.fixpoint",
+            engine=type(self).__name__,
+            arcs=len(worklist),
+        )
+        if not sp:
+            return self._propagate(domains, worklist, stats, trail, skip)
+        # ``stats`` is a function argument, not the ContextVar-installed
+        # object, so the span cannot capture its delta automatically.
+        with sp:
+            before = snapshot(stats)
+            ok = self._propagate(domains, worklist, stats, trail, skip)
+            sp.add_counters("propagation", counter_delta(stats, before))
+            sp.note(consistent=ok)
+            return ok
+
+    def _propagate(
+        self,
+        domains: dict[Any, set[Any]],
+        worklist: Worklist,
+        stats: PropagationStats,
+        trail: list[tuple[Any, set[Any]]] | None = None,
+        skip: Container[Any] = (),
+    ) -> bool:
         while worklist:
             rc, variable = worklist.pop()
             removed = rc.revise(variable, domains, stats)

@@ -15,7 +15,9 @@ from repro.cq.query import Atom, ConjunctiveQuery, Var
 from repro.errors import VocabularyError
 from repro.relational.algebra import join_all, project, semijoin
 from repro.relational.relation import Relation
+from repro.relational.stats import current_stats
 from repro.relational.structure import Structure
+from repro.telemetry.spans import span
 
 __all__ = ["atom_relation", "evaluate", "evaluate_boolean", "satisfying_assignments"]
 
@@ -63,9 +65,11 @@ def _body_join(
     leapfrog triejoin — the regime where every pairwise plan is
     AGM-suboptimal — and the default plan covers the rest."""
     if strategy == "auto":
-        relations = [atom_relation(atom, database) for atom in query.body]
-        reduced = _yannakakis_reduce(relations)
-        if reduced is not None:
+        relations = _atom_relations(query, database)
+        route = _auto_route(query, relations)
+        if route == "yannakakis":
+            with span("yannakakis_reduce"):
+                reduced = _yannakakis_reduce(relations)
             return join_all(reduced)
         from repro.relational.wcoj import leapfrog_join
 
@@ -73,6 +77,45 @@ def _body_join(
     return join_all(
         (atom_relation(atom, database) for atom in query.body), strategy=strategy
     )
+
+
+def _atom_relations(query: ConjunctiveQuery, database: Structure) -> list[Relation]:
+    """Translate every body atom to its relation (one "atoms" span)."""
+    with span("atoms") as sp:
+        relations = [atom_relation(atom, database) for atom in query.body]
+        if sp:
+            sp.note(rows=sum(len(r) for r in relations))
+        return relations
+
+
+#: The structural width signal behind ``strategy="auto"``: GYO-style
+#: join-tree construction — α-acyclicity, i.e. generalized hypertree
+#: width 1 (Section 6 of the tutorial).
+_ROUTE_SIGNAL = "gyo-acyclicity"
+
+
+def _auto_route(query: ConjunctiveQuery, relations: list[Relation]) -> str:
+    """Decide where ``strategy="auto"`` sends the body — and record why.
+
+    Acyclic bodies (per :func:`repro.width.acyclic.is_acyclic`, the width
+    signal) route to Yannakakis' semijoin reducer; cyclic ones to the
+    worst-case optimal leapfrog triejoin.  The decision lands both in the
+    active :class:`~repro.relational.stats.EvalStats`
+    (``routing_decisions``) and on the ``"route"`` span's attributes.
+    """
+    from repro.width.acyclic import is_acyclic
+
+    with span("route") as sp:
+        acyclic = is_acyclic([frozenset(r.attributes) for r in relations])
+        route = "yannakakis" if acyclic else "wcoj"
+        stats = current_stats()
+        if stats is not None:
+            stats.record_routing(
+                query.head_name, route, acyclic=acyclic, signal=_ROUTE_SIGNAL
+            )
+        if sp:
+            sp.note(route=route, acyclic=acyclic, signal=_ROUTE_SIGNAL)
+        return route
 
 
 def _yannakakis_reduce(relations: list[Relation]) -> list[Relation] | None:
@@ -117,8 +160,14 @@ def evaluate(
     (Yannakakis) before the join, cyclic ones run the worst-case optimal
     leapfrog triejoin (:mod:`repro.relational.wcoj`).
     """
-    joined = _body_join(query, database, strategy)
-    return project(joined, tuple(v.name for v in query.distinguished))
+    with span(
+        "cq.evaluate", query=query.head_name, strategy=strategy or "default"
+    ) as sp:
+        joined = _body_join(query, database, strategy)
+        result = project(joined, tuple(v.name for v in query.distinguished))
+        if sp:
+            sp.note(rows=len(result))
+        return result
 
 
 def evaluate_boolean(
@@ -131,17 +180,22 @@ def evaluate_boolean(
     semijoin passes the join is nonempty iff every reduced relation is
     (global consistency of full-reduced acyclic joins).
     """
-    if strategy == "auto":
-        relations = [atom_relation(atom, database) for atom in query.body]
-        reduced = _yannakakis_reduce(relations)
-        if reduced is not None:
-            return all(reduced)
-        # Cyclic body: leapfrog with limit=1 — the first full binding
-        # decides the query, with nothing materialized at all.
-        from repro.relational.wcoj import leapfrog_join
+    with span(
+        "cq.evaluate_boolean", query=query.head_name, strategy=strategy or "default"
+    ):
+        if strategy == "auto":
+            relations = _atom_relations(query, database)
+            route = _auto_route(query, relations)
+            if route == "yannakakis":
+                with span("yannakakis_reduce"):
+                    reduced = _yannakakis_reduce(relations)
+                return all(reduced)
+            # Cyclic body: leapfrog with limit=1 — the first full binding
+            # decides the query, with nothing materialized at all.
+            from repro.relational.wcoj import leapfrog_join
 
-        return bool(leapfrog_join(relations, limit=1))
-    return bool(_body_join(query, database, strategy))
+            return bool(leapfrog_join(relations, limit=1))
+        return bool(_body_join(query, database, strategy))
 
 
 def satisfying_assignments(

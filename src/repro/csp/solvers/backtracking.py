@@ -51,6 +51,8 @@ from repro.consistency.propagation import (
     publish,
 )
 from repro.csp.instance import Constraint, CSPInstance
+from repro.telemetry.registry import counter_delta, snapshot
+from repro.telemetry.spans import span
 
 __all__ = ["Inference", "SearchStats", "solve", "is_solvable", "solve_with_stats"]
 
@@ -77,6 +79,46 @@ class SearchStats:
     prunings: int = 0
     propagation: PropagationStats = field(default_factory=PropagationStats)
     solution: dict[Any, Any] | None = field(default=None, repr=False)
+
+    # Not mergeable counters: the telemetry registry must skip them when
+    # snapshotting/diffing (the nested PropagationStats travels as its own
+    # "propagation" metricset; the solution is a result, not a counter).
+    _NON_COUNTER_FIELDS = ("propagation", "solution")
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Fold ``other``'s counters into this object (in place); return it.
+
+        Counters add and the nested propagation stats merge; the solution
+        is kept if present, else adopted from ``other`` — so merging the
+        stats of several runs reports total work plus *a* witness.
+        """
+        self.nodes += other.nodes
+        self.backtracks += other.backtracks
+        self.prunings += other.prunings
+        self.propagation.merge(other.propagation)
+        if self.solution is None:
+            self.solution = other.solution
+        return self
+
+    def reset(self) -> None:
+        """Zero every counter and drop the solution."""
+        self.nodes = 0
+        self.backtracks = 0
+        self.prunings = 0
+        self.propagation.reset()
+        self.solution = None
+
+    def as_dict(self) -> dict:
+        """A plain-dict snapshot (for ``--json`` output and the telemetry
+        registry); the nested propagation counters appear under
+        ``"propagation"``."""
+        return {
+            "nodes": self.nodes,
+            "backtracks": self.backtracks,
+            "prunings": self.prunings,
+            "solved": self.solution is not None,
+            "propagation": self.propagation.as_dict(),
+        }
 
 
 def _revise(
@@ -193,6 +235,12 @@ def _forward_check(
     return True
 
 
+#: Node-batch span granularity: under tracing, the search opens one
+#: ``"search.batch"`` span per this many visited nodes, so a long search
+#: profiles as a sequence of timed batches instead of one opaque span.
+NODE_BATCH_SIZE = 128
+
+
 def solve_with_stats(
     instance: CSPInstance,
     inference: Inference = Inference.MAC,
@@ -205,6 +253,22 @@ def solve_with_stats(
     it does not affect which solutions exist, only how inference is run.
     """
     check_propagation_strategy(strategy)
+    with span("search", inference=inference.value, strategy=strategy) as sp:
+        stats = _search_with_stats(instance, inference, strategy, sp)
+        if sp:
+            # SearchStats is never the ContextVar-installed object, so the
+            # span carries its counters explicitly.
+            sp.add_counters("search", counter_delta(stats, snapshot(SearchStats())))
+            sp.note(nodes=stats.nodes, solved=stats.solution is not None)
+        return stats
+
+
+def _search_with_stats(
+    instance: CSPInstance,
+    inference: Inference,
+    strategy: str,
+    search_span: Any,
+) -> SearchStats:
     instance = instance.normalize()
     stats = SearchStats()
     prop = stats.propagation
@@ -244,6 +308,34 @@ def solve_with_stats(
 
     def trailed_prunings(trail: list[tuple[Any, Any]]) -> int:
         return sum(engine.count(removed) for _, removed in trail)
+
+    # Under tracing, nodes are grouped into "search.batch" spans of
+    # NODE_BATCH_SIZE, rotated at node-increment time — when the trace
+    # stack's top is always the current batch span, so rotation never
+    # violates the LIFO close discipline.  Each batch carries the
+    # SearchStats delta charged inside it explicitly (the object is a
+    # local, not the ContextVar-installed stats).
+    traced = bool(search_span)
+    batch: list[Any] = [None, None]  # [open batch span, stats snapshot]
+
+    def open_batch() -> None:
+        batch[0] = span("search.batch", first_node=stats.nodes)
+        batch[1] = snapshot(stats)
+
+    def close_batch() -> None:
+        bsp = batch[0]
+        batch[0] = None
+        if not bsp:
+            return
+        bsp.add_counters("search", counter_delta(stats, batch[1]))
+        bsp.note(nodes=stats.nodes - bsp.attributes["first_node"])
+        bsp.close()
+
+    def tick_node() -> None:
+        stats.nodes += 1
+        if traced and stats.nodes % NODE_BATCH_SIZE == 0:
+            close_batch()
+            open_batch()
 
     # Unary constraints and empty relations are handled up front by a root
     # propagation pass (harmless for NONE since it only tightens domains).
@@ -298,7 +390,7 @@ def solve_with_stats(
                 return True
             variable = select_variable()
             for value in value_order(variable):
-                stats.nodes += 1
+                tick_node()
                 assignment[variable] = value
                 if consistent(variable):
                     if engine is not None:
@@ -337,6 +429,8 @@ def solve_with_stats(
                 stats.backtracks += 1
             return False
 
+        if traced:
+            open_batch()
         if search():
             stats.solution = (
                 engine.decode_assignment(assignment)
@@ -345,6 +439,7 @@ def solve_with_stats(
             )
         return stats
     finally:
+        close_batch()
         publish(prop)
 
 

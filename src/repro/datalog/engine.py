@@ -27,6 +27,7 @@ from repro.relational.algebra import (
 from repro.relational.planner import order_relations, parse_strategy
 from repro.relational.relation import Relation
 from repro.relational.structure import Structure
+from repro.telemetry.spans import span
 
 __all__ = ["evaluate_naive", "evaluate_seminaive", "evaluate", "goal_holds", "goal_relation"]
 
@@ -171,21 +172,30 @@ def evaluate_naive(
     strategy: str | None = None,
 ) -> Facts:
     """Naive bottom-up evaluation: recompute every rule until no IDB grows."""
-    values = _edb_facts(program, database)
-    for idb in program.idb_predicates():
-        values[idb] = frozenset()
-    static = frozenset(program.edb_predicates())
-    cache: _AtomCache = {}
-    changed = True
-    while changed:
-        changed = False
-        for rule in program.rules:
-            new = _apply_rule(rule, values, strategy=strategy, cache=cache, static=static)
-            merged = values[rule.head.predicate] | new
-            if merged != values[rule.head.predicate]:
-                values[rule.head.predicate] = frozenset(merged)
-                changed = True
-    return {p: values[p] for p in program.idb_predicates()}
+    with span("datalog.naive") as root:
+        values = _edb_facts(program, database)
+        for idb in program.idb_predicates():
+            values[idb] = frozenset()
+        static = frozenset(program.edb_predicates())
+        cache: _AtomCache = {}
+        changed = True
+        rounds = 0
+        while changed:
+            changed = False
+            with span("datalog.round", round=rounds):
+                for rule in program.rules:
+                    new = _apply_rule(
+                        rule, values, strategy=strategy, cache=cache, static=static
+                    )
+                    merged = values[rule.head.predicate] | new
+                    if merged != values[rule.head.predicate]:
+                        values[rule.head.predicate] = frozenset(merged)
+                        changed = True
+            rounds += 1
+        result = {p: values[p] for p in program.idb_predicates()}
+        if root:
+            root.note(rounds=rounds, rows=sum(len(v) for v in result.values()))
+        return result
 
 
 def evaluate_seminaive(
@@ -196,45 +206,59 @@ def evaluate_seminaive(
     """Semi-naive evaluation: per round, each rule is instantiated once per
     IDB body atom with that atom reading only the facts newly derived in the
     previous round."""
-    values = _edb_facts(program, database)
-    idbs = program.idb_predicates()
-    for idb in idbs:
-        values[idb] = frozenset()
-    static = frozenset(program.edb_predicates())
-    cache: _AtomCache = {}
-
-    # Round 0: rules evaluated on EDBs alone (IDB atoms are empty, so only
-    # rules whose bodies are EDB-only can fire).
-    delta: Facts = {idb: frozenset() for idb in idbs}
-    for rule in program.rules:
-        new = _apply_rule(rule, values, strategy=strategy, cache=cache, static=static)
-        delta[rule.head.predicate] = delta[rule.head.predicate] | frozenset(new)
-    for idb in idbs:
-        values[idb] = delta[idb]
-
-    while any(delta.values()):
-        next_delta: dict[str, set[tuple[Any, ...]]] = {idb: set() for idb in idbs}
-        for rule in program.rules:
-            idb_positions = [
-                i for i, atom in enumerate(rule.body) if atom.predicate in idbs
-            ]
-            for pos in idb_positions:
-                derived = _apply_rule(
-                    rule,
-                    values,
-                    delta_atom_index=pos,
-                    delta=delta,
-                    strategy=strategy,
-                    cache=cache,
-                    static=static,
-                )
-                next_delta[rule.head.predicate] |= derived
-        delta = {
-            idb: frozenset(next_delta[idb] - values[idb]) for idb in idbs
-        }
+    with span("datalog.seminaive") as root:
+        values = _edb_facts(program, database)
+        idbs = program.idb_predicates()
         for idb in idbs:
-            values[idb] = values[idb] | delta[idb]
-    return {p: values[p] for p in idbs}
+            values[idb] = frozenset()
+        static = frozenset(program.edb_predicates())
+        cache: _AtomCache = {}
+
+        # Round 0: rules evaluated on EDBs alone (IDB atoms are empty, so only
+        # rules whose bodies are EDB-only can fire).
+        delta: Facts = {idb: frozenset() for idb in idbs}
+        with span("datalog.round", round=0) as sp:
+            for rule in program.rules:
+                new = _apply_rule(
+                    rule, values, strategy=strategy, cache=cache, static=static
+                )
+                delta[rule.head.predicate] = delta[rule.head.predicate] | frozenset(new)
+            for idb in idbs:
+                values[idb] = delta[idb]
+            if sp:
+                sp.note(rows=sum(len(d) for d in delta.values()))
+
+        rounds = 1
+        while any(delta.values()):
+            with span("datalog.round", round=rounds) as sp:
+                next_delta: dict[str, set[tuple[Any, ...]]] = {idb: set() for idb in idbs}
+                for rule in program.rules:
+                    idb_positions = [
+                        i for i, atom in enumerate(rule.body) if atom.predicate in idbs
+                    ]
+                    for pos in idb_positions:
+                        derived = _apply_rule(
+                            rule,
+                            values,
+                            delta_atom_index=pos,
+                            delta=delta,
+                            strategy=strategy,
+                            cache=cache,
+                            static=static,
+                        )
+                        next_delta[rule.head.predicate] |= derived
+                delta = {
+                    idb: frozenset(next_delta[idb] - values[idb]) for idb in idbs
+                }
+                for idb in idbs:
+                    values[idb] = values[idb] | delta[idb]
+                if sp:
+                    sp.note(rows=sum(len(d) for d in delta.values()))
+            rounds += 1
+        result = {p: values[p] for p in idbs}
+        if root:
+            root.note(rounds=rounds, rows=sum(len(v) for v in result.values()))
+        return result
 
 
 def evaluate(

@@ -17,6 +17,7 @@ __all__ = [
     "DecompositionError",
     "UnsatisfiableError",
     "SolverError",
+    "TelemetryError",
 ]
 
 
@@ -56,3 +57,8 @@ class UnsatisfiableError(ReproError):
 
 class SolverError(ReproError):
     """A solver was invoked on an instance it cannot handle."""
+
+
+class TelemetryError(ReproError):
+    """The telemetry plane was misused: mis-nested spans, an unknown
+    metricset kind, or a malformed trace export."""

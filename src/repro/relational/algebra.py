@@ -38,6 +38,7 @@ from repro.errors import SchemaError, SolverError
 from repro.relational.planner import EXECUTIONS, choose_build_side, order_relations, parse_strategy
 from repro.relational.relation import Relation
 from repro.relational.stats import current_stats
+from repro.telemetry.spans import span
 
 __all__ = [
     "DEFAULT_STRATEGY",
@@ -80,19 +81,22 @@ def project(relation: Relation, attributes: Sequence[str]) -> Relation:
     >>> sorted(project(r, ("x",)).tuples)
     [(1,)]
     """
-    stats = current_stats()
-    start = perf_counter() if stats is not None else 0.0
-    attrs = tuple(attributes)
-    indices = [relation.index_of(a) for a in attrs]
-    result = Relation(attrs, (tuple(t[i] for i in indices) for t in relation))
-    if stats is not None:
-        stats.record(
-            "project",
-            scanned=len(relation),
-            emitted=len(result),
-            seconds=perf_counter() - start,
-        )
-    return result
+    with span("project") as sp:
+        stats = current_stats()
+        start = perf_counter() if stats is not None else 0.0
+        attrs = tuple(attributes)
+        indices = [relation.index_of(a) for a in attrs]
+        result = Relation(attrs, (tuple(t[i] for i in indices) for t in relation))
+        if stats is not None:
+            stats.record(
+                "project",
+                scanned=len(relation),
+                emitted=len(result),
+                seconds=perf_counter() - start,
+            )
+        if sp:
+            sp.note(rows=len(result))
+        return result
 
 
 class _RowView(Mapping[str, Any]):
@@ -231,6 +235,14 @@ def natural_join(
     when they are identical it degenerates to intersection.
     """
     execution = _resolve_execution(execution)
+    with span("natural_join", execution=execution) as sp:
+        result = _natural_join(left, right, execution)
+        if sp:
+            sp.note(rows=len(result))
+        return result
+
+
+def _natural_join(left: Relation, right: Relation, execution: str) -> Relation:
     if execution == "wcoj":
         from repro.relational.wcoj import leapfrog_natural_join
 
@@ -389,6 +401,16 @@ def join_all(
     )
     execution = execution or spec_execution
     pending = order_relations(relations, order)
+    with span(
+        "join_all", strategy=order, execution=execution, relations=len(pending)
+    ) as sp:
+        result = _join_all(pending, execution)
+        if sp:
+            sp.note(rows=len(result))
+        return result
+
+
+def _join_all(pending: Sequence[Relation], execution: str) -> Relation:
     if execution == "wcoj":
         # The worst-case optimal path is a single multi-way operator: the
         # planner's binary order is irrelevant (a global *variable* order
@@ -498,6 +520,14 @@ def semijoin(
     ``EvalStats.mask_ops``).
     """
     execution = _resolve_execution(execution)
+    with span("semijoin", execution=execution) as sp:
+        result = _semijoin(left, right, execution)
+        if sp:
+            sp.note(rows=len(result))
+        return result
+
+
+def _semijoin(left: Relation, right: Relation, execution: str) -> Relation:
     if execution == "wcoj":
         from repro.relational.wcoj import trie_semijoin
 

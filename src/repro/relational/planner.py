@@ -54,6 +54,7 @@ from typing import Iterable, Sequence
 
 from repro.errors import SolverError
 from repro.relational.relation import Relation
+from repro.telemetry.spans import span
 
 __all__ = [
     "STRATEGIES",
@@ -261,18 +262,22 @@ def plan_join(relations: Sequence[Relation], strategy: str = "greedy") -> JoinPl
         raise SolverError(
             f"unknown join strategy {strategy!r}; expected one of {STRATEGIES}"
         )
-    profiles = [profile(r) for r in relations]
-    if strategy == "greedy":
-        order, estimates = _greedy_order(profiles) if profiles else ((), ())
-    elif strategy == "smallest":
-        order = tuple(
-            sorted(range(len(profiles)), key=lambda i: (profiles[i].cardinality, i))
-        )
-        estimates = _linear_order(profiles, order)
-    else:  # textbook: the order the atoms were written in
-        order = tuple(range(len(profiles)))
-        estimates = _linear_order(profiles, order)
-    return JoinPlan(strategy, order, estimates)
+    with span("plan", strategy=strategy, relations=len(relations)) as sp:
+        profiles = [profile(r) for r in relations]
+        if strategy == "greedy":
+            order, estimates = _greedy_order(profiles) if profiles else ((), ())
+        elif strategy == "smallest":
+            order = tuple(
+                sorted(range(len(profiles)), key=lambda i: (profiles[i].cardinality, i))
+            )
+            estimates = _linear_order(profiles, order)
+        else:  # textbook: the order the atoms were written in
+            order = tuple(range(len(profiles)))
+            estimates = _linear_order(profiles, order)
+        plan = JoinPlan(strategy, order, estimates)
+        if sp:
+            sp.note(estimated_max_intermediate=plan.estimated_max_intermediate)
+        return plan
 
 
 def order_relations(

@@ -69,6 +69,7 @@ class EvalStats:
     intermediate_sizes: list[int] = field(default_factory=list)
     operator_counts: dict[str, int] = field(default_factory=dict)
     operator_seconds: dict[str, float] = field(default_factory=dict)
+    routing_decisions: list[dict] = field(default_factory=list)
 
     # -- recording ---------------------------------------------------------
 
@@ -111,6 +112,21 @@ class EvalStats:
         if intermediate is not None:
             self.intermediate_sizes.append(intermediate)
 
+    def record_routing(
+        self, query: str, route: str, *, acyclic: bool, signal: str
+    ) -> None:
+        """Record one ``strategy="auto"`` routing decision.
+
+        ``route`` is the execution path taken (``"yannakakis"`` or
+        ``"wcoj"``), ``acyclic`` the width signal's verdict, and ``signal``
+        names the structural test that drove the choice (the GYO-style
+        join-tree construction — acyclicity is exactly "generalized
+        hypertree width 1").
+        """
+        self.routing_decisions.append(
+            {"query": query, "route": route, "acyclic": acyclic, "signal": signal}
+        )
+
     def merge(self, other: "EvalStats") -> "EvalStats":
         """Fold ``other``'s counters into this object (in place) and return it.
 
@@ -130,6 +146,7 @@ class EvalStats:
         self.leapfrog_rounds += other.leapfrog_rounds
         self.trie_builds += other.trie_builds
         self.intermediate_sizes.extend(other.intermediate_sizes)
+        self.routing_decisions.extend(other.routing_decisions)
         for op, n in other.operator_counts.items():
             self.operator_counts[op] = self.operator_counts.get(op, 0) + n
         for op, s in other.operator_seconds.items():
@@ -153,6 +170,7 @@ class EvalStats:
         self.intermediate_sizes = []
         self.operator_counts = {}
         self.operator_seconds = {}
+        self.routing_decisions = []
 
     # -- derived views -----------------------------------------------------
 
@@ -197,6 +215,7 @@ class EvalStats:
             "intermediate_sizes": list(self.intermediate_sizes),
             "operator_counts": dict(self.operator_counts),
             "operator_seconds": dict(self.operator_seconds),
+            "routing_decisions": [dict(d) for d in self.routing_decisions],
             "wall_seconds": self.wall_seconds,
         }
 
@@ -224,6 +243,11 @@ class EvalStats:
             lines.append(
                 f"  {op:<17} ×{self.operator_counts[op]:<6}"
                 f" {self.operator_seconds.get(op, 0.0):.6f}s"
+            )
+        for d in self.routing_decisions:
+            lines.append(
+                f"  route {d['query']:<12} -> {d['route']}"
+                f" (acyclic={d['acyclic']}, signal={d['signal']})"
             )
         return "\n".join(lines)
 

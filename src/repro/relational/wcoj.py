@@ -50,6 +50,7 @@ from typing import Any, Iterable, Sequence
 from repro.errors import SchemaError, VocabularyError
 from repro.relational.relation import Relation
 from repro.relational.stats import current_stats
+from repro.telemetry.spans import span
 
 __all__ = [
     "ArrayCursor",
@@ -363,6 +364,19 @@ def leapfrog_join(
     ``trie_builds``/``seeks``/``leapfrog_rounds`` instead of per-binary-join
     intermediates.
     """
+    with span("leapfrog_join") as sp:
+        result = _leapfrog_join(relations, out_attributes, order, limit)
+        if sp:
+            sp.note(rows=len(result))
+        return result
+
+
+def _leapfrog_join(
+    relations: Iterable[Relation],
+    out_attributes: Sequence[str] | None,
+    order: Sequence[str] | None,
+    limit: int | None,
+) -> Relation:
     stats = current_stats()
     start = perf_counter() if stats is not None else 0.0
     rels = list(relations)
@@ -502,6 +516,14 @@ def trie_semijoin(left: Relation, right: Relation) -> Relation:
     immediately.  With an empty shared key the trie has one empty row iff
     ``right`` is nonempty — the degenerate semijoin semantics.
     """
+    with span("trie_semijoin") as sp:
+        result = _trie_semijoin(left, right)
+        if sp:
+            sp.note(rows=len(result))
+        return result
+
+
+def _trie_semijoin(left: Relation, right: Relation) -> Relation:
     stats = current_stats()
     start = perf_counter() if stats is not None else 0.0
     left_set = set(left.attributes)

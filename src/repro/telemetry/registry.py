@@ -1,0 +1,337 @@
+"""The metrics registry: one protocol over every stats dataclass.
+
+The library grew three observability accumulators — the join backend's
+:class:`~repro.relational.stats.EvalStats`, the propagation core's
+:class:`~repro.consistency.propagation.PropagationStats`, and the search
+layer's :class:`~repro.csp.solvers.backtracking.SearchStats` — each with its
+own ``as_dict()``/``merge()``.  This module registers them behind a single
+**metricset** protocol so the telemetry plane (spans, JSONL export, the
+CLI) can snapshot, diff, serialize, reconstruct, and merge any of them
+without knowing which one it holds:
+
+* every metricset has a *kind* (``"eval"``, ``"propagation"``,
+  ``"search"``) resolved by :func:`kind_of` / :func:`metricset_class`;
+* :func:`payload` is the canonical JSON shape — ``{"metricset": kind,
+  **stats.as_dict()}`` — emitted identically by ``repro stats --json`` and
+  the JSONL counter events, so the CLI and the telemetry plane cannot
+  drift;
+* :func:`snapshot` / :func:`counter_delta` turn a live metricset into the
+  exact counters charged between two points in time (spans use this);
+* :func:`from_counters` / :func:`merge_counters` invert the process:
+  counters parsed back from JSONL rebuild a metricset instance and fold
+  together with the dataclass's own ``merge()`` — so a reaggregated
+  export equals the in-process totals, derived properties included;
+* :func:`metric_names` / :func:`flatten` give every counter a namespaced
+  name (``eval.tuples_scanned``, ``propagation.support_checks``, …), the
+  stable vocabulary cross-process aggregators key on.
+
+:class:`TimingHistogram` adds the piece none of the flat counters carry:
+log-scale (power-of-two buckets) wall-clock distributions, mergeable
+across traces and worker processes like every other metricset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "METRICSET_KINDS",
+    "kind_of",
+    "metricset_class",
+    "payload",
+    "snapshot",
+    "counter_delta",
+    "from_counters",
+    "merge_counters",
+    "metric_names",
+    "flatten",
+    "TimingHistogram",
+]
+
+#: The registered metricset kinds, in registration order.
+METRICSET_KINDS = ("eval", "propagation", "search")
+
+# Resolved lazily: the stats classes live in modules that import the
+# relational substrate, and the span tracer must stay importable from the
+# bottom of the dependency graph.
+_CLASSES: dict[str, type] | None = None
+
+
+def _classes() -> dict[str, type]:
+    global _CLASSES
+    if _CLASSES is None:
+        from repro.consistency.propagation import PropagationStats
+        from repro.csp.solvers.backtracking import SearchStats
+        from repro.relational.stats import EvalStats
+
+        _CLASSES = {
+            "eval": EvalStats,
+            "propagation": PropagationStats,
+            "search": SearchStats,
+        }
+    return _CLASSES
+
+
+def metricset_class(kind: str) -> type:
+    """The stats dataclass registered under ``kind``.
+
+    >>> metricset_class("eval").__name__
+    'EvalStats'
+    """
+    classes = _classes()
+    if kind not in classes:
+        from repro.errors import TelemetryError
+
+        raise TelemetryError(
+            f"unknown metricset kind {kind!r}; expected one of {METRICSET_KINDS}"
+        )
+    return classes[kind]
+
+
+def kind_of(stats: Any) -> str:
+    """The registered kind of a live metricset instance."""
+    for kind, cls in _classes().items():
+        if isinstance(stats, cls):
+            return kind
+    from repro.errors import TelemetryError
+
+    raise TelemetryError(
+        f"{type(stats).__name__} is not a registered metricset "
+        f"(expected one of {METRICSET_KINDS})"
+    )
+
+
+def payload(stats: Any) -> dict[str, Any]:
+    """The canonical JSON payload of a metricset: its ``as_dict()`` counters
+    tagged with the registered kind.  ``repro stats --json`` and the JSONL
+    counter events both emit exactly this shape.
+    """
+    return {"metricset": kind_of(stats), **stats.as_dict()}
+
+
+def _counter_fields(stats: Any) -> Iterable[tuple[str, Any]]:
+    """The dataclass fields of ``stats`` that are counters: ints, floats,
+    numeric dicts, and append-only lists.  Non-counter fields (a solution
+    dict, a nested metricset) are skipped — a class opts fields out
+    explicitly via a ``_NON_COUNTER_FIELDS`` tuple.
+    """
+    excluded = getattr(type(stats), "_NON_COUNTER_FIELDS", ())
+    for f in dataclasses.fields(stats):
+        if f.name in excluded:
+            continue
+        v = getattr(stats, f.name)
+        if isinstance(v, bool):
+            continue
+        if isinstance(v, (int, float, list, dict)):
+            yield f.name, v
+
+
+def snapshot(stats: Any) -> dict[str, Any]:
+    """A cheap point-in-time snapshot for later :func:`counter_delta`.
+
+    Scalars are copied, numeric dicts shallow-copied, and lists recorded by
+    *length* only — the delta needs just the suffix appended after the
+    snapshot, so a span never pays O(history) to open.
+    """
+    snap: dict[str, Any] = {}
+    for name, v in _counter_fields(stats):
+        if isinstance(v, list):
+            snap[name] = len(v)
+        elif isinstance(v, dict):
+            snap[name] = dict(v)
+        else:
+            snap[name] = v
+    return snap
+
+
+def counter_delta(stats: Any, before: Mapping[str, Any]) -> dict[str, Any]:
+    """The counters charged to ``stats`` since ``before`` (a
+    :func:`snapshot`).  Zero deltas are omitted, so an idle metricset
+    yields ``{}`` — the signal a span uses to skip its counter event.
+    """
+    delta: dict[str, Any] = {}
+    for name, v in _counter_fields(stats):
+        prior = before.get(name)
+        if isinstance(v, list):
+            suffix = v[prior or 0:]
+            if suffix:
+                delta[name] = list(suffix)
+        elif isinstance(v, dict):
+            prior = prior or {}
+            changed = {
+                k: n - prior.get(k, 0)
+                for k, n in v.items()
+                if n != prior.get(k, 0)
+            }
+            if changed:
+                delta[name] = changed
+        else:
+            d = v - (prior or 0)
+            if d:
+                delta[name] = d
+    return delta
+
+
+def from_counters(kind: str, counters: Mapping[str, Any]) -> Any:
+    """Rebuild a metricset instance from a counters mapping (a
+    :func:`counter_delta`, or the counter block of a JSONL event).
+
+    Unknown keys — including the derived properties ``as_dict()`` adds,
+    like ``joins`` or ``hit_rate`` — are ignored: they recompute from the
+    real fields.
+    """
+    cls = metricset_class(kind)
+    stats = cls()
+    excluded = getattr(cls, "_NON_COUNTER_FIELDS", ())
+    for f in dataclasses.fields(cls):
+        if f.name not in counters or f.name in excluded:
+            continue
+        v = counters[f.name]
+        current = getattr(stats, f.name)
+        if isinstance(current, list):
+            setattr(stats, f.name, list(v))
+        elif isinstance(current, dict):
+            setattr(stats, f.name, dict(v))
+        elif isinstance(current, (int, float)) and not isinstance(current, bool):
+            setattr(stats, f.name, v)
+    return stats
+
+
+def merge_counters(kind: str, counter_blocks: Iterable[Mapping[str, Any]]) -> Any:
+    """Fold many counter blocks into one metricset via the dataclass's own
+    ``merge()`` — the reaggregation primitive for JSONL exports and
+    cross-process fan-out.
+    """
+    total = metricset_class(kind)()
+    for block in counter_blocks:
+        total.merge(from_counters(kind, block))
+    return total
+
+
+def metric_names(kind: str) -> tuple[str, ...]:
+    """The namespaced metric names of a kind (``eval.tuples_scanned``, …):
+    the keys of a fresh instance's ``as_dict()`` under the kind prefix.
+    This is the stable vocabulary the docs' migration table maps the old
+    bare counter names onto.
+    """
+    fresh = metricset_class(kind)()
+    return tuple(f"{kind}.{key}" for key in fresh.as_dict())
+
+
+def flatten(stats: Any) -> dict[str, Any]:
+    """One flat ``{namespaced_name: value}`` mapping of a metricset's
+    scalar counters — the cross-process aggregation form (nested dicts and
+    lists are dropped; they have per-kind structure of their own).
+    """
+    kind = kind_of(stats)
+    return {
+        f"{kind}.{key}": v
+        for key, v in stats.as_dict().items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+class TimingHistogram:
+    """A log-scale wall-clock histogram: power-of-two buckets of seconds.
+
+    An observation of ``s`` seconds lands in bucket ``e = floor(log2 s)``
+    (so bucket ``-10`` holds durations in ``[2^-10, 2^-9)`` ≈ 1–2 ms);
+    sub-microsecond observations clamp into the lowest bucket.  Histograms
+    carry exact ``count``/``total_seconds``/``min``/``max`` alongside the
+    buckets, merge counter-wise like every other metricset, and answer
+    quantile queries at bucket resolution — the shape the unified plane
+    needs to aggregate timings across spans, traces, and worker processes
+    without keeping every sample.
+
+    >>> h = TimingHistogram()
+    >>> for s in (0.001, 0.0015, 0.1):
+    ...     h.observe(s)
+    >>> h.count, round(h.total_seconds, 4)
+    (3, 0.1025)
+    >>> h.quantile(0.5) <= h.quantile(1.0)
+    True
+    """
+
+    #: Observations below 2**MIN_EXP seconds (≈ 1 µs) clamp into MIN_EXP.
+    MIN_EXP = -20
+
+    __slots__ = ("buckets", "count", "total_seconds", "min_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds = math.inf
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration."""
+        exp = (
+            max(math.frexp(seconds)[1] - 1, self.MIN_EXP)
+            if seconds > 0
+            else self.MIN_EXP
+        )
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def merge(self, other: "TimingHistogram") -> "TimingHistogram":
+        """Fold ``other`` into this histogram (in place) and return it."""
+        for exp, n in other.buckets.items():
+            self.buckets[exp] = self.buckets.get(exp, 0) + n
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        self.min_seconds = min(self.min_seconds, other.min_seconds)
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+        return self
+
+    def quantile(self, q: float) -> float:
+        """An upper bound on the ``q``-quantile (bucket resolution): the
+        top edge of the bucket where the cumulative count crosses
+        ``q * count``.  0.0 for an empty histogram."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for exp in sorted(self.buckets):
+            seen += self.buckets[exp]
+            if seen >= target:
+                return min(2.0 ** (exp + 1), self.max_seconds)
+        return self.max_seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        """Arithmetic mean of the observed durations (0.0 when empty)."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-able snapshot: exact aggregates plus the sparse buckets
+        (keys stringified for JSON)."""
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "min_seconds": self.min_seconds if self.count else 0.0,
+            "max_seconds": self.max_seconds,
+            "buckets": {str(exp): n for exp, n in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimingHistogram":
+        """Inverse of :meth:`as_dict` (for reaggregating exports)."""
+        hist = cls()
+        hist.count = int(data.get("count", 0))
+        hist.total_seconds = float(data.get("total_seconds", 0.0))
+        hist.min_seconds = (
+            float(data.get("min_seconds", 0.0)) if hist.count else math.inf
+        )
+        hist.max_seconds = float(data.get("max_seconds", 0.0))
+        hist.buckets = {
+            int(exp): int(n) for exp, n in dict(data.get("buckets", {})).items()
+        }
+        return hist

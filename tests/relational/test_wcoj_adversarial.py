@@ -107,9 +107,40 @@ def test_triangle_through_cq_layer_all_strategies():
     database = Structure({"E": 2}, range(9), db_relations)
     query = triangle_query()
     oracle = evaluate(query, database, strategy="textbook+scan")
-    for strategy in ("wcoj", "auto", "greedy+wcoj", "interned", "indexed"):
-        assert _canon(evaluate(query, database, strategy=strategy)) == _canon(oracle)
-    assert evaluate_boolean(query, database, strategy="auto") is True
+    with collect_stats() as stats:
+        for strategy in ("wcoj", "auto", "greedy+wcoj", "interned", "indexed"):
+            assert _canon(evaluate(query, database, strategy=strategy)) == _canon(oracle)
+        assert evaluate_boolean(query, database, strategy="auto") is True
+    # strategy="auto" ran twice (evaluate + evaluate_boolean); both times the
+    # cyclic triangle body routed to wcoj, and the decision was recorded.
+    assert [d["route"] for d in stats.routing_decisions] == ["wcoj", "wcoj"]
+    assert all(
+        d["query"] == "Q" and not d["acyclic"] and d["signal"] == "gyo-acyclicity"
+        for d in stats.routing_decisions
+    )
+
+
+def test_auto_routing_records_acyclic_decisions():
+    """Acyclic bodies under strategy="auto" route to Yannakakis — and the
+    decision (route, acyclicity, width signal) lands in EvalStats."""
+    from repro.generators.queries import chain_query
+    from repro.relational.structure import Structure
+
+    database = Structure({"E": 2}, range(9), {"E": star_edges(8)})
+    with collect_stats() as stats:
+        evaluate(chain_query(4), database, strategy="auto")
+        assert evaluate_boolean(chain_query(3), database, strategy="auto") is True
+    assert [d["route"] for d in stats.routing_decisions] == [
+        "yannakakis", "yannakakis",
+    ]
+    assert all(
+        d["acyclic"] and d["signal"] == "gyo-acyclicity"
+        for d in stats.routing_decisions
+    )
+    # The record round-trips through as_dict/merge like every other counter.
+    merged = type(stats)()
+    merged.merge(stats)
+    assert merged.as_dict()["routing_decisions"] == stats.as_dict()["routing_decisions"]
 
 
 @pytest.mark.parametrize("k", [3, 4, 5])
@@ -155,8 +186,14 @@ def test_self_join_repeated_predicates(seed):
     for query in queries:
         oracle = evaluate(query, database, strategy="textbook+scan")
         for strategy in ("wcoj", "auto", "smallest+wcoj"):
-            got = evaluate(query, database, strategy=strategy)
+            with collect_stats() as stats:
+                got = evaluate(query, database, strategy=strategy)
             assert _canon(got) == _canon(oracle), f"{query!r} under {strategy}"
+            if strategy == "auto":
+                (decision,) = stats.routing_decisions
+                assert decision["route"] == (
+                    "yannakakis" if decision["acyclic"] else "wcoj"
+                )
 
 
 def _lw_relations(n_vars, rows):

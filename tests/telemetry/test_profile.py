@@ -1,0 +1,87 @@
+"""The EXPLAIN-ANALYZE renderer and the acceptance criterion: on a traced
+triangle workload the child durations account for >90% of the root."""
+
+from repro.cq.evaluate import evaluate
+from repro.cq.parser import parse_query
+from repro.generators.graphs import random_digraph
+from repro.relational.stats import collect_stats
+from repro.telemetry import QueryProfile, format_seconds, tracing
+
+
+def _triangle_profile(seed=0):
+    query = parse_query("Q(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).")
+    db = random_digraph(25, 0.2, seed=seed)
+    with collect_stats():
+        with tracing("triangle") as trace:
+            evaluate(query, db, strategy="auto")
+    return QueryProfile(trace)
+
+
+def test_format_seconds_tiers():
+    assert format_seconds(2.5) == "2.50s"
+    assert format_seconds(0.0018) == "1.8ms"
+    assert format_seconds(4.5e-5) == "45us"
+    assert format_seconds(3e-8) == "30ns"
+    assert format_seconds(0.0) == "0us"
+
+
+def test_triangle_operator_durations_cover_the_root():
+    """Per-operator durations sum to within 10% of the root span's wall
+    clock — the profiler accounts for where the time went."""
+    profile = _triangle_profile()
+    assert profile.coverage() > 0.9
+    # And nothing is counted beyond the root.
+    assert profile.coverage() <= 1.0 + 1e-9
+
+
+def test_rows_walk_the_tree_in_preorder_with_percentages():
+    profile = _triangle_profile()
+    rows = profile.rows()
+    assert rows[0]["name"] == "triangle" and rows[0]["depth"] == 0
+    names = [r["name"] for r in rows]
+    assert names.index("cq.evaluate") < names.index("route")
+    assert names.index("route") < names.index("leapfrog_join")
+    root_pct = rows[0]["percent"]
+    assert abs(root_pct - 100.0) < 1e-6
+    assert all(0.0 <= r["percent"] <= root_pct + 1e-9 for r in rows)
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["route"]["attrs"]["route"] == "wcoj"
+    assert by_name["cq.evaluate"]["rows"] is not None
+
+
+def test_operator_table_is_sorted_by_total_time():
+    table = _triangle_profile().operator_table()
+    totals = [r["total_seconds"] for r in table]
+    assert totals == sorted(totals, reverse=True)
+    assert {r["operator"] for r in table} >= {"cq.evaluate", "leapfrog_join"}
+    assert all(r["calls"] >= 1 for r in table)
+
+
+def test_counter_totals_are_namespaced_and_nonzero():
+    totals = _triangle_profile().counter_totals()
+    assert totals["eval"]["eval.tuples_scanned"] > 0
+
+
+def test_render_contains_tree_table_and_counters():
+    text = _triangle_profile().render()
+    assert "trace: triangle" in text
+    assert "  cq.evaluate" in text  # indented child
+    assert "leapfrog_join" in text
+    assert "route=wcoj" in text
+    assert "per-operator totals" in text
+    assert "eval counters" in text
+    assert "eval.tuples_scanned" in text
+    assert "route=wcoj" in text
+    no_counters = _triangle_profile().render(counters=False)
+    assert "eval counters" not in no_counters
+
+
+def test_coverage_degenerate_cases():
+    from repro.telemetry import Trace
+
+    # No roots at all: vacuously covered.
+    assert QueryProfile(Trace("empty")).coverage() == 1.0
+    # A root with no children accounts for none of its own wall clock.
+    with tracing("leaf-only") as trace:
+        pass
+    assert QueryProfile(trace).coverage() == 0.0

@@ -1,0 +1,179 @@
+"""Span scoping: nesting, shadowing, thread isolation, explicit trace
+reuse, zero-cost-off, and counter attribution."""
+
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.relational.algebra import natural_join
+from repro.relational.relation import Relation
+from repro.relational.stats import collect_stats
+from repro.telemetry import (
+    Trace,
+    current_span,
+    current_trace,
+    span,
+    tracing,
+)
+from repro.telemetry.spans import _NULL_SPAN
+
+
+def _r(attrs, rows):
+    return Relation(attrs, rows)
+
+
+def test_span_is_a_shared_falsy_noop_when_tracing_is_off():
+    assert current_trace() is None
+    sp = span("anything", x=1)
+    assert sp is _NULL_SPAN
+    assert not sp
+    # All protocol methods are no-ops.
+    sp.note(rows=3)
+    sp.add_counters("eval", {"tuples_scanned": 1})
+    with sp:
+        pass
+    sp.close()
+
+
+def test_spans_nest_into_a_tree():
+    with tracing("root") as trace:
+        with span("a") as a:
+            with span("b") as b:
+                assert current_span() is b
+            with span("c") as c:
+                pass
+    root = trace.roots[0]
+    assert [s.name for s in trace.spans] == ["root", "a", "b", "c"]
+    assert a.parent_id == root.id
+    assert b.parent_id == a.parent_id + 1 == a.id
+    assert [child.name for child in a.children] == ["b", "c"]
+    assert (root.depth, a.depth, b.depth, c.depth) == (0, 1, 2, 2)
+    assert trace.duration == root.duration > 0
+    assert a.duration >= b.duration + c.duration
+
+
+def test_nested_tracing_shadows_the_outer_trace():
+    with tracing("outer") as outer:
+        with span("before"):
+            pass
+        with tracing("inner") as inner:
+            assert current_trace() is inner
+            with span("shadowed"):
+                pass
+        assert current_trace() is outer
+        with span("after"):
+            pass
+    assert [s.name for s in inner.spans] == ["inner", "shadowed"]
+    assert [s.name for s in outer.spans] == ["outer", "before", "after"]
+    assert outer.find("shadowed") == []
+
+
+def test_explicit_trace_reuse_accumulates_roots():
+    trace = Trace("accumulated")
+    with tracing("first", trace=trace):
+        with span("x"):
+            pass
+    with tracing("second", trace=trace):
+        with span("y"):
+            pass
+    assert [r.name for r in trace.roots] == ["first", "second"]
+    assert trace.duration == sum(r.duration for r in trace.roots)
+    assert len(trace.find("x")) == len(trace.find("y")) == 1
+
+
+def test_threads_never_share_a_trace():
+    results = {}
+
+    def worker(key):
+        assert current_trace() is None  # nothing leaks across threads
+        with tracing(key) as trace:
+            with span(f"{key}-child"):
+                pass
+            results[key] = trace
+
+    threads = [threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)]
+    with tracing("main") as main_trace:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        with span("main-child"):
+            pass
+    for key, trace in results.items():
+        assert [s.name for s in trace.spans] == [key, f"{key}-child"]
+    assert [s.name for s in main_trace.spans] == ["main", "main-child"]
+
+
+def test_out_of_order_close_raises():
+    with tracing() as trace:
+        a = span("a")
+        b = span("b")
+        with pytest.raises(TelemetryError, match="closed out of order"):
+            a.close()
+        # Recover so the tracing contextmanager can unwind cleanly.
+        b.close()
+        a.close()
+    assert trace.find("a")[0].t1 is not None
+
+
+def test_automatic_eval_counter_capture_is_inclusive():
+    left = _r(("x", "y"), {(i, i + 1) for i in range(20)})
+    right = _r(("y", "z"), {(i, i * 2) for i in range(20)})
+    with collect_stats() as stats:
+        with tracing("t") as trace:
+            with span("outer"):
+                natural_join(left, right)
+    joined = trace.find("natural_join")[0]
+    outer = trace.find("outer")[0]
+    assert joined.counters["eval"]["tuples_scanned"] > 0
+    # Inclusive capture: the parent charges everything its child did.
+    assert outer.counters["eval"]["tuples_scanned"] >= (
+        joined.counters["eval"]["tuples_scanned"]
+    )
+    # Topmost-span merge equals the in-process totals exactly.
+    assert trace.total_counters("eval").as_dict() == stats.as_dict()
+
+
+def test_explicit_counters_suppress_automatic_capture():
+    left = _r(("x", "y"), {(1, 2), (2, 3)})
+    right = _r(("y", "z"), {(2, 4)})
+    with collect_stats():
+        with tracing() as trace:
+            with span("phase") as sp:
+                natural_join(left, right)
+                sp.add_counters("eval", {"tuples_scanned": 1000})
+    phase = trace.find("phase")[0]
+    # The explicit block wins outright — no merge with the live delta.
+    assert phase.counters["eval"] == {"tuples_scanned": 1000}
+
+
+def test_add_counters_merges_repeated_blocks():
+    with tracing() as trace:
+        with span("batch") as sp:
+            sp.add_counters("search", {"nodes": 2, "sizes": [1], "by": {"a": 1}})
+            sp.add_counters("search", {"nodes": 3, "sizes": [2], "by": {"a": 1, "b": 4}})
+    assert trace.find("batch")[0].counters["search"] == {
+        "nodes": 5,
+        "sizes": [1, 2],
+        "by": {"a": 2, "b": 4},
+    }
+
+
+def test_histograms_aggregate_per_span_name():
+    with tracing() as trace:
+        for _ in range(5):
+            with span("op"):
+                pass
+    hist = trace.histograms["op"]
+    assert hist.count == 5
+    assert hist.total_seconds <= trace.find("op")[-1].t1
+
+
+def test_note_overwrites_and_extends_attributes():
+    with tracing() as trace:
+        with span("s", execution="indexed") as sp:
+            sp.note(rows=3)
+            sp.note(rows=4, extra="yes")
+    attrs = trace.find("s")[0].attributes
+    assert attrs == {"execution": "indexed", "rows": 4, "extra": "yes"}

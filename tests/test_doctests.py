@@ -12,6 +12,9 @@ MODULES_WITH_DOCTESTS = [
     "repro.relational.structure",
     "repro.cq.parser",
     "repro.datalog.parser",
+    "repro.telemetry.spans",
+    "repro.telemetry.registry",
+    "repro.telemetry.profile",
 ]
 
 

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.views",
     "repro.generators",
     "repro.io",
+    "repro.telemetry",
 ]
 
 SOLVER_MODULES = [
