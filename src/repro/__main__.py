@@ -251,7 +251,7 @@ def stats_command(args: argparse.Namespace) -> None:
     header = (
         "strategy", "joins", "scanned", "probes", "ix-built", "ix-hits",
         "misses", "max-inter", "total-inter", "itabs", "mask-ops",
-        "tries", "seeks", "lf-rounds", "seconds",
+        "tries", "seeks", "lf-rounds", "col-built", "b-probes", "seconds",
     )
     print(" | ".join(str(c).ljust(11) for c in header))
     for strategy, st in per_strategy.items():
@@ -261,6 +261,7 @@ def stats_command(args: argparse.Namespace) -> None:
             st.max_intermediate, st.total_intermediate,
             st.intern_tables, st.mask_ops,
             st.trie_builds, st.seeks, st.leapfrog_rounds,
+            st.column_builds, st.batch_probes,
             f"{st.wall_seconds:.4f}",
         )
         print(" | ".join(str(c).ljust(11) for c in row))

@@ -24,6 +24,11 @@ the join backend's ``indexed``/``scan`` executions):
   (:class:`~repro.consistency.propagation.InternedEngine`).  Domains in
   results are decoded back to plain value sets, so callers see identical
   output.
+* ``"columnar"`` — the interned code space with vectorized revisions:
+  each revise sweeps the constraint's whole column as a few numpy array
+  operations (:class:`~repro.consistency.propagation.ColumnarEngine`),
+  falling back to the interned bit loop when numpy is absent.  Same
+  fixpoint, same decoded domains.
 
 Both strategies are instrumented with
 :class:`~repro.consistency.propagation.PropagationStats`; results carry
@@ -38,11 +43,11 @@ from typing import Any
 from repro.csp.instance import Constraint, CSPInstance
 from repro.relational.interning import decode_instance, encode_instance
 from repro.consistency.propagation import (
-    InternedEngine,
     PropagationEngine,
     PropagationStats,
     Worklist,
     check_propagation_strategy,
+    make_engine,
     publish,
 )
 
@@ -113,11 +118,7 @@ def ac3(instance: CSPInstance, strategy: str = "residual") -> ArcResult:
     if strategy == "naive":
         domains, consistent, stats = _ac3_naive(instance)
     else:
-        engine: PropagationEngine = (
-            InternedEngine(instance)
-            if strategy == "interned"
-            else PropagationEngine(instance)
-        )
+        engine: PropagationEngine = make_engine(instance, strategy)
         stats = PropagationStats()
         engine.charge_build(stats)
         raw = engine.fresh_domains()
@@ -221,9 +222,7 @@ def singleton_arc_consistency(
     instance = instance.normalize()
     if strategy == "naive":
         return _sac_naive(instance)
-    if strategy == "interned":
-        return _sac_engine(InternedEngine(instance))
-    return _sac_engine(PropagationEngine(instance))
+    return _sac_engine(make_engine(instance, strategy))
 
 
 def _sac_naive(instance: CSPInstance) -> ArcResult:
@@ -359,13 +358,15 @@ def path_consistency(
     O(1) before scanning the domain.  ``strategy="naive"`` is the full
     triple-sweep fixpoint.  ``strategy="interned"`` interns the instance to
     dense int codes and runs the residual engine in code space (small-int
-    pair hashing), decoding the tightened instance at the boundary.  All
-    three compute the same (unique) strong-PC closure.
+    pair hashing), decoding the tightened instance at the boundary;
+    ``"columnar"`` takes the same code-space path (PC works on pair *sets*,
+    not domain bitmasks, so there is no column to sweep — the strategies
+    alias).  All compute the same (unique) strong-PC closure.
     """
     check_propagation_strategy(strategy)
     stats = PropagationStats()
     try:
-        if strategy == "interned":
+        if strategy in ("interned", "columnar"):
             return _path_consistency_interned(instance, stats)
         return _path_consistency(instance, strategy, stats)
     finally:

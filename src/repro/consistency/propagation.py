@@ -52,6 +52,8 @@ __all__ = [
     "Worklist",
     "PropagationEngine",
     "InternedEngine",
+    "ColumnarEngine",
+    "make_engine",
     "PROPAGATION_STRATEGIES",
     "check_propagation_strategy",
 ]
@@ -59,10 +61,13 @@ __all__ = [
 #: The propagation strategies every §4/§5 fixpoint engine accepts:
 #: ``"residual"`` (the support-indexed default), ``"naive"`` (the
 #: rescan-everything baseline, kept as the differential-testing oracle —
-#: the same role ``execution="scan"`` plays in the join backend), and
+#: the same role ``execution="scan"`` plays in the join backend),
 #: ``"interned"`` (bitset domains over dense-int value codes; see
-#: :class:`InternedEngine`).
-PROPAGATION_STRATEGIES: tuple[str, ...] = ("residual", "naive", "interned")
+#: :class:`InternedEngine`), and ``"columnar"`` (the same bitset domains,
+#: but with each revision sweeping the constraint's whole code-space
+#: column as one vectorized operation when numpy is available; see
+#: :class:`ColumnarEngine`).
+PROPAGATION_STRATEGIES: tuple[str, ...] = ("residual", "naive", "interned", "columnar")
 
 
 def check_propagation_strategy(strategy: str) -> str:
@@ -720,3 +725,188 @@ class InternedEngine(PropagationEngine):
 
     def decode_assignment(self, assignment: dict[Any, int]) -> dict[Any, Any]:
         return {v: self.codec.decode(code) for v, code in assignment.items()}
+
+
+def _mask_to_bools(mask: int, nbits: int, np):
+    """An int bitmask as a numpy bool array of length ``nbits``."""
+    raw = np.frombuffer(mask.to_bytes((nbits + 7) // 8, "little"), dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="little")[:nbits].astype(bool)
+
+
+def _bools_to_mask(bools, np) -> int:
+    """A numpy bool array back into an int bitmask (little-endian bits)."""
+    return int.from_bytes(np.packbits(bools, bitorder="little").tobytes(), "little")
+
+
+class _ColumnarConstraint:
+    """One code-space constraint prepared for whole-column vectorized revision.
+
+    Where :class:`_BitsetConstraint` walks the candidate values of a
+    revision one bit at a time, this constraint sweeps the entire column at
+    once with numpy:
+
+    * arity 1 — unchanged: one AND with the precomputed allowed mask;
+    * arity 2 — the relation is a dense ``n×n`` support matrix per
+      position, bit-packed along the support axis (``np.packbits``, one
+      byte per 8 codes); a revision ANDs the packed matrix against the
+      other domain's mask *bytes* (taken straight from the Python int, no
+      unpacking) and reduces with ``any`` — one packed sweep answers all
+      candidate values together, touching an eighth of the memory a bool
+      matrix would;
+    * arity ≥ 3 — the rows live in one ``m×arity`` int64 matrix; a revision
+      gathers every non-revised column's domain membership in one fancy-
+      index pass, ANDs the row-validity vector, and scatters the surviving
+      rows' revised-position codes into the supported set.
+
+    ``PropagationStats.mask_ops`` counts the same logical membership work
+    the bitset engine counts (candidate values for arity ≤ 2, candidate
+    row-cells for arity ≥ 3), so the two engines stay comparable even
+    though the columnar one executes it as a handful of array operations.
+    """
+
+    __slots__ = (
+        "scope",
+        "arity",
+        "position",
+        "n_codes",
+        "n_bytes",
+        "allowed_mask",
+        "pair_bits",
+        "rows_matrix",
+        "_np",
+    )
+
+    def __init__(self, constraint: Constraint, n_codes: int, np):
+        self.scope = constraint.scope
+        self.arity = constraint.arity
+        # Normalized scopes have distinct variables, so positions are unique.
+        self.position = {v: i for i, v in enumerate(self.scope)}
+        self.n_codes = n_codes
+        self.n_bytes = (n_codes + 7) // 8
+        self._np = np
+        self.allowed_mask = 0
+        self.pair_bits = None
+        self.rows_matrix = None
+        rows = constraint.relation
+        if self.arity == 1:
+            mask = 0
+            for row in rows:
+                mask |= 1 << row[0]
+            self.allowed_mask = mask
+        elif self.arity == 2:
+            first = np.zeros(n_codes * n_codes, dtype=bool)
+            if rows:
+                first[
+                    np.fromiter(
+                        (a * n_codes + b for a, b in rows),
+                        dtype=np.int64,
+                        count=len(rows),
+                    )
+                ] = True
+            first = first.reshape(n_codes, n_codes)
+            # position 0 asks "value a supported by some b in the other
+            # domain"; position 1 is the transpose question.  Packing the
+            # support axis (little-endian bits, matching the int masks)
+            # makes the revision sweep a byte-AND instead of a bool-AND.
+            self.pair_bits = (
+                np.packbits(first, axis=1, bitorder="little"),
+                np.packbits(first.T, axis=1, bitorder="little"),
+            )
+        else:
+            self.rows_matrix = np.array(sorted(rows), dtype=np.int64).reshape(
+                len(rows), self.arity
+            )
+
+    def revise(
+        self,
+        variable: Any,
+        domains: dict[Any, int],
+        stats: PropagationStats,
+    ) -> int:
+        """Remove and return (as a bitmask) the unsupported values of
+        ``variable`` — same contract as :meth:`_BitsetConstraint.revise`."""
+        position = self.position[variable]
+        current = domains[variable]
+        if not current:
+            return 0
+        stats.revisions += 1
+        np = self._np
+        if self.arity == 1:
+            stats.mask_ops += 1
+            new = current & self.allowed_mask
+        elif self.arity == 2:
+            other_bytes = np.frombuffer(
+                domains[self.scope[1 - position]].to_bytes(self.n_bytes, "little"),
+                dtype=np.uint8,
+            )
+            supported = (self.pair_bits[position] & other_bytes).any(axis=1)
+            new = current & _bools_to_mask(supported, np)
+            stats.mask_ops += current.bit_count()
+        else:
+            rows = self.rows_matrix
+            if len(rows):
+                valid = np.ones(len(rows), dtype=bool)
+                for i in range(self.arity):
+                    if i == position:
+                        continue
+                    dom_bools = _mask_to_bools(
+                        domains[self.scope[i]], self.n_codes, np
+                    )
+                    valid &= dom_bools[rows[:, i]]
+                supported = np.zeros(self.n_codes, dtype=bool)
+                supported[rows[valid][:, position]] = True
+                new = current & _bools_to_mask(supported, np)
+                stats.mask_ops += len(rows) * (self.arity - 1)
+            else:
+                new = 0
+        removed = current & ~new
+        if removed:
+            domains[variable] = new
+        return removed
+
+
+class ColumnarEngine(InternedEngine):
+    """The interned bitset engine with vectorized whole-column revisions.
+
+    Everything about the code space is inherited from
+    :class:`InternedEngine` — the codec, the bitmask domains, the trail
+    protocol, the worklist discipline, and the generic domain protocol —
+    so the engine computes the *identical* fixpoint, including identical
+    partial domains on a wipeout and identical MAC search trees.  Only the
+    per-constraint :meth:`revise` changes: with numpy available the
+    constraints become :class:`_ColumnarConstraint` and each revision
+    sweeps the whole column in a few array operations instead of a
+    per-value bit loop.  Without numpy the engine *is* the interned engine
+    (the bitset constraints are kept), so ``strategy="columnar"`` degrades
+    transparently on numpy-free installs.
+    """
+
+    def __init__(self, instance: CSPInstance):
+        super().__init__(instance)
+        from repro.relational.columnar import numpy_backend
+
+        np = numpy_backend()
+        n = len(self.codec)
+        if np is not None and n:
+            self.constraints = [
+                _ColumnarConstraint(c, n, np) for c in self.encoded.constraints
+            ]
+            self.constraints_on = {v: [] for v in self.instance.variables}
+            for cc in self.constraints:
+                for v in cc.scope:
+                    self.constraints_on[v].append(cc)
+
+
+def make_engine(instance: CSPInstance, strategy: str) -> PropagationEngine:
+    """The propagation engine for a (validated) strategy name.
+
+    ``"interned"`` → :class:`InternedEngine`, ``"columnar"`` →
+    :class:`ColumnarEngine`, anything else (``"residual"``) → the plain
+    :class:`PropagationEngine`.  ``"naive"`` has no engine — callers route
+    it to their rescan-everything baseline before getting here.
+    """
+    if strategy == "columnar":
+        return ColumnarEngine(instance)
+    if strategy == "interned":
+        return InternedEngine(instance)
+    return PropagationEngine(instance)

@@ -23,6 +23,10 @@ copy; ``"naive"`` is the seed AC-3, kept as the differential oracle;
 bitmasks, a node's pin is one mask swap, propagation is word operations,
 and the trail holds ``(variable, removed_mask)`` pairs.  The search holds
 codes in its assignment and decodes the solution at the boundary.
+``"columnar"`` rides the same code space through one shared
+:class:`~repro.consistency.propagation.ColumnarEngine`, whose revisions
+sweep whole constraint columns as vectorized array operations when numpy
+is available (and degrade to the interned bit loop when it is not).
 Assigned variables carry singleton domains, so the engine's domains-only
 revisions coincide with the assignment-aware ones.
 
@@ -48,6 +52,7 @@ from repro.consistency.propagation import (
     PropagationEngine,
     PropagationStats,
     check_propagation_strategy,
+    make_engine,
     publish,
 )
 from repro.csp.instance import Constraint, CSPInstance
@@ -283,11 +288,7 @@ def _search_with_stats(
 
     engine: PropagationEngine | None = None
     if inference is Inference.MAC and strategy != "naive":
-        engine = (
-            InternedEngine(instance)
-            if strategy == "interned"
-            else PropagationEngine(instance)
-        )
+        engine = make_engine(instance, strategy)
         engine.charge_build(prop)
 
     if engine is not None:

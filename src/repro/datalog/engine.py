@@ -97,8 +97,9 @@ def _warm_static_indexes(
     relations: list[Relation],
     static_positions: list[int],
     order: str,
+    execution: str = "indexed",
 ) -> None:
-    """Pre-build the hash indexes the coming rule-body join will probe on
+    """Pre-build the structures the coming rule-body join will probe on
     the *static* relations (those that persist across fixpoint rounds).
 
     ``join_all`` folds the planner's order left to right, so the join key
@@ -106,15 +107,23 @@ def _warm_static_indexes(
     before it.  Warming a static relation's index makes
     ``choose_build_side`` pick it as build side even when the fresh delta
     relation is smaller — the build then amortizes across every remaining
-    round instead of being repaid per round.  The build is charged to
-    EvalStats by :func:`warm_index`, so the accounting stays honest.
+    round instead of being repaid per round.  Under ``"columnar"``
+    execution the warmed structures are the column store plus the
+    radix-packed code index (:func:`warm_columns`); under ``"indexed"``,
+    the tuple-keyed hash index.  Either build is charged to EvalStats by
+    its warmer, so the accounting stays honest.
     """
     static_ids = {id(relations[i]) for i in static_positions}
     seen: set[str] = set()
     for rel in order_relations(relations, order):
         key = set(rel.attributes) & seen
         if key and id(rel) in static_ids:
-            warm_index(rel, key)
+            if execution == "columnar":
+                from repro.relational.columnar import warm_columns
+
+                warm_columns(rel, key)
+            else:
+                warm_index(rel, key)
         seen.update(rel.attributes)
 
 
@@ -151,8 +160,12 @@ def _apply_rule(
     order, execution = parse_strategy(
         strategy, default_order=DEFAULT_STRATEGY, default_execution=DEFAULT_EXECUTION
     )
-    if static_positions and execution == "indexed" and len(relations) > 1:
-        _warm_static_indexes(relations, static_positions, order)
+    if (
+        static_positions
+        and execution in ("indexed", "columnar")
+        and len(relations) > 1
+    ):
+        _warm_static_indexes(relations, static_positions, order, execution)
     joined = join_all(relations, strategy=strategy) if relations else Relation.unit()
     derived: set[tuple[Any, ...]] = set()
     head = rule.head

@@ -345,11 +345,14 @@ def largest_winning_strategy(
 
     stats = PropagationStats()
     try:
-        if strategy == "interned":
+        if strategy in ("interned", "columnar"):
             # Run the whole game in code space: enumeration, pruning, and
             # the delete cascade all manipulate frozensets of small-int
             # pairs.  The greatest fixpoint is unique, so decoding the
             # survivors yields exactly the residual strategy's family.
+            # ("columnar" aliases this path: the game state is a family of
+            # partial maps, not per-variable domains, so there is no column
+            # to sweep.)
             enc_a, codec_a = encode_structure(a)
             enc_b, codec_b = encode_structure(b)
             stats.intern_tables += 2

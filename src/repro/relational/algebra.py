@@ -247,6 +247,10 @@ def _natural_join(left: Relation, right: Relation, execution: str) -> Relation:
         from repro.relational.wcoj import leapfrog_natural_join
 
         return leapfrog_natural_join(left, right)
+    if execution == "columnar":
+        from repro.relational.columnar import batched_natural_join
+
+        return batched_natural_join(left, right)
     stats = current_stats()
     start = perf_counter() if stats is not None else 0.0
     shared, right_private = _shared_and_private(left, right)
@@ -420,6 +424,22 @@ def _join_all(pending: Sequence[Relation], execution: str) -> Relation:
         return leapfrog_join(pending)
     if execution == "interned":
         return _join_all_interned(pending)
+    if execution == "columnar":
+        from repro.relational.columnar import (
+            ColumnarFallback,
+            join_all_columnar,
+            numpy_backend,
+        )
+
+        if numpy_backend() is not None:
+            try:
+                return join_all_columnar(pending)
+            except ColumnarFallback:
+                # The packed key space outgrew the 64-bit lane; the binary
+                # columnar fold below probes with unbounded Python ints.
+                pass
+        # numpy absent (or fallen back): fold with the batched binary
+        # operators — same result, per-join probing.
     result = Relation.unit()
     for rel in pending:
         result = natural_join(result, rel, execution=execution)
@@ -532,6 +552,10 @@ def _semijoin(left: Relation, right: Relation, execution: str) -> Relation:
         from repro.relational.wcoj import trie_semijoin
 
         return trie_semijoin(left, right)
+    if execution == "columnar":
+        from repro.relational.columnar import batched_semijoin
+
+        return batched_semijoin(left, right)
     stats = current_stats()
     start = perf_counter() if stats is not None else 0.0
     shared, _ = _shared_and_private(left, right)

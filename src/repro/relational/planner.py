@@ -36,7 +36,13 @@ probes its operands:
   :mod:`repro.relational.wcoj`, which joins variable-at-a-time over
   per-attribute sorted tries and never materializes an intermediate
   relation — the strategy of choice on cyclic bodies, where every
-  pairwise order is AGM-suboptimal.
+  pairwise order is AGM-suboptimal;
+* ``"columnar"`` — the struct-of-arrays path of
+  :mod:`repro.relational.columnar`: relations lazily grow memoized
+  ``array('q')`` code columns, probes run as batched column sweeps
+  against the radix-packed code indexes, and ``join_all`` (with numpy
+  available) keeps the whole fold in int64 column matrices, decoding
+  tuples once at the boundary.
 
 :func:`parse_strategy` accepts either kind of name, or a compound
 ``"order+execution"`` spec such as ``"smallest+scan"``.  All combinations
@@ -77,8 +83,12 @@ STRATEGIES = ("greedy", "smallest", "textbook")
 #: it replaces the binary fold entirely with the worst-case optimal
 #: leapfrog triejoin of :mod:`repro.relational.wcoj` (variable-at-a-time,
 #: no intermediate relations), while a binary join/semijoin under it runs
-#: the two-relation leapfrog / trie-probe special case.
-EXECUTIONS = ("indexed", "scan", "interned", "wcoj")
+#: the two-relation leapfrog / trie-probe special case.  ``"columnar"``
+#: keeps the binary build/probe shape of ``"interned"`` but sweeps whole
+#: probe columns per batch (and, in ``join_all`` with numpy present,
+#: replaces the fold with the end-to-end column-matrix pipeline of
+#: :func:`repro.relational.columnar.join_all_columnar`).
+EXECUTIONS = ("indexed", "scan", "interned", "wcoj", "columnar")
 
 
 def parse_strategy(

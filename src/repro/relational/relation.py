@@ -126,7 +126,14 @@ class Relation:
     True
     """
 
-    __slots__ = ("_attributes", "_tuples", "_hash", "_indexes", "_code_indexes")
+    __slots__ = (
+        "_attributes",
+        "_tuples",
+        "_hash",
+        "_indexes",
+        "_code_indexes",
+        "_column_store",
+    )
 
     def __init__(self, attributes: Sequence[str], tuples: Iterable[Sequence[Any]] = ()):
         self._attributes = _check_scheme(attributes)
@@ -144,6 +151,7 @@ class Relation:
         self._hash: int | None = None
         self._indexes: dict[tuple[str, ...], dict[tuple[Any, ...], list[tuple[Any, ...]]]] = {}
         self._code_indexes: dict[tuple[str, ...], CodeIndex] = {}
+        self._column_store: Any = None
 
     # -- basic protocol ---------------------------------------------------
 
@@ -305,3 +313,10 @@ class Relation:
         """Whether :meth:`code_index_on` has already been memoized for
         exactly this key-column tuple."""
         return tuple(attributes) in self._code_indexes
+
+    def has_column_store(self) -> bool:
+        """Whether :func:`repro.relational.columnar.column_store` has
+        already built (and memoized) this relation's struct-of-arrays
+        column store.  The store itself lives on the instance like the
+        hash and code indexes do — built lazily, valid forever."""
+        return self._column_store is not None

@@ -18,6 +18,10 @@ the quantity that governs join cost; this module makes it observable.  An
 * ``seeks`` / ``leapfrog_rounds`` / ``trie_builds`` — worst-case-optimal
   join work: trie-cursor seek/next bisections, leapfrog-chase iterations,
   and sorted tries constructed (see :mod:`repro.relational.wcoj`),
+* ``column_builds`` / ``batch_probes`` — columnar-execution work: lazy
+  struct-of-arrays column stores actually built (a memoized hit builds
+  nothing), and probe keys swept in batched column lookups (see
+  :mod:`repro.relational.columnar`),
 * ``intermediate_sizes`` — the cardinality of every join result, in order,
 * per-operator invocation counts and wall-clock seconds.
 
@@ -66,6 +70,8 @@ class EvalStats:
     seeks: int = 0
     leapfrog_rounds: int = 0
     trie_builds: int = 0
+    column_builds: int = 0
+    batch_probes: int = 0
     intermediate_sizes: list[int] = field(default_factory=list)
     operator_counts: dict[str, int] = field(default_factory=dict)
     operator_seconds: dict[str, float] = field(default_factory=dict)
@@ -89,6 +95,8 @@ class EvalStats:
         seeks: int = 0,
         leapfrog_rounds: int = 0,
         trie_builds: int = 0,
+        column_builds: int = 0,
+        batch_probes: int = 0,
         seconds: float = 0.0,
         intermediate: int | None = None,
     ) -> None:
@@ -105,6 +113,8 @@ class EvalStats:
         self.seeks += seeks
         self.leapfrog_rounds += leapfrog_rounds
         self.trie_builds += trie_builds
+        self.column_builds += column_builds
+        self.batch_probes += batch_probes
         self.operator_counts[operator] = self.operator_counts.get(operator, 0) + 1
         self.operator_seconds[operator] = (
             self.operator_seconds.get(operator, 0.0) + seconds
@@ -145,6 +155,8 @@ class EvalStats:
         self.seeks += other.seeks
         self.leapfrog_rounds += other.leapfrog_rounds
         self.trie_builds += other.trie_builds
+        self.column_builds += other.column_builds
+        self.batch_probes += other.batch_probes
         self.intermediate_sizes.extend(other.intermediate_sizes)
         self.routing_decisions.extend(other.routing_decisions)
         for op, n in other.operator_counts.items():
@@ -167,6 +179,8 @@ class EvalStats:
         self.seeks = 0
         self.leapfrog_rounds = 0
         self.trie_builds = 0
+        self.column_builds = 0
+        self.batch_probes = 0
         self.intermediate_sizes = []
         self.operator_counts = {}
         self.operator_seconds = {}
@@ -209,6 +223,8 @@ class EvalStats:
             "seeks": self.seeks,
             "leapfrog_rounds": self.leapfrog_rounds,
             "trie_builds": self.trie_builds,
+            "column_builds": self.column_builds,
+            "batch_probes": self.batch_probes,
             "joins": self.joins,
             "max_intermediate": self.max_intermediate,
             "total_intermediate": self.total_intermediate,
@@ -234,6 +250,8 @@ class EvalStats:
             f"seeks               {self.seeks}",
             f"leapfrog rounds     {self.leapfrog_rounds}",
             f"trie builds         {self.trie_builds}",
+            f"column builds       {self.column_builds}",
+            f"batch probes        {self.batch_probes}",
             f"joins               {self.joins}",
             f"max intermediate    {self.max_intermediate}",
             f"total intermediate  {self.total_intermediate}",

@@ -29,7 +29,7 @@ def chain_instance():
 
 class TestStrategyKnob:
     def test_known_strategies(self):
-        assert PROPAGATION_STRATEGIES == ("residual", "naive", "interned")
+        assert PROPAGATION_STRATEGIES == ("residual", "naive", "interned", "columnar")
         for s in PROPAGATION_STRATEGIES:
             assert check_propagation_strategy(s) == s
 

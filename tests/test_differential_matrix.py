@@ -56,6 +56,8 @@ DECIDERS = [
         i, Inference.MAC, strategy="naive")),
     ("backtracking-mac-interned", lambda i: backtracking.is_solvable(
         i, Inference.MAC, strategy="interned")),
+    ("backtracking-mac-columnar", lambda i: backtracking.is_solvable(
+        i, Inference.MAC, strategy="columnar")),
     ("backjumping", backjumping.is_solvable),
     ("join", join.is_solvable),
     ("join-indexed", lambda i: join.is_solvable(i, strategy="indexed")),
@@ -67,11 +69,16 @@ DECIDERS = [
     ("join-wcoj", lambda i: join.is_solvable(i, strategy="wcoj")),
     ("join-textbook-wcoj", lambda i: join.is_solvable(
         i, strategy="textbook+wcoj")),
+    ("join-columnar", lambda i: join.is_solvable(i, strategy="columnar")),
+    ("join-smallest-columnar", lambda i: join.is_solvable(
+        i, strategy="smallest+columnar")),
     ("decomposition", decomposition.is_solvable),
     ("consistency-k2", lambda i: consistency.is_solvable(i, 2)),
     ("consistency-k2-naive", lambda i: consistency.is_solvable(i, 2, strategy="naive")),
     ("consistency-k2-interned", lambda i: consistency.is_solvable(
         i, 2, strategy="interned")),
+    ("consistency-k2-columnar", lambda i: consistency.is_solvable(
+        i, 2, strategy="columnar")),
     ("portfolio", portfolio.is_solvable),
     ("hom-search", lambda i: homomorphism_exists(*csp_to_homomorphism(i))),
 ]
@@ -170,39 +177,56 @@ def test_propagation_strategies_identical(seed):
     ac_naive = ac3(inst, strategy="naive")
     ac_res = ac3(inst, strategy="residual")
     ac_int = ac3(inst, strategy="interned")
-    assert ac_naive.consistent == ac_res.consistent == ac_int.consistent, (
-        f"ac3 verdict, seed {seed}"
-    )
+    ac_col = ac3(inst, strategy="columnar")
+    assert (
+        ac_naive.consistent
+        == ac_res.consistent
+        == ac_int.consistent
+        == ac_col.consistent
+    ), f"ac3 verdict, seed {seed}"
     if ac_naive.consistent:
         assert ac_naive.domains == ac_res.domains, f"ac3 domains, seed {seed}"
     assert ac_res.domains == ac_int.domains, f"ac3 interned domains, seed {seed}"
+    # The columnar engine inherits the interned worklist discipline, so its
+    # domains match even on partial wipeouts.
+    assert ac_int.domains == ac_col.domains, f"ac3 columnar domains, seed {seed}"
 
     sac_naive = singleton_arc_consistency(inst, strategy="naive")
     sac_res = singleton_arc_consistency(inst, strategy="residual")
     sac_int = singleton_arc_consistency(inst, strategy="interned")
-    assert sac_naive.consistent == sac_res.consistent == sac_int.consistent, (
-        f"sac verdict, seed {seed}"
-    )
+    sac_col = singleton_arc_consistency(inst, strategy="columnar")
+    assert (
+        sac_naive.consistent
+        == sac_res.consistent
+        == sac_int.consistent
+        == sac_col.consistent
+    ), f"sac verdict, seed {seed}"
     if sac_naive.consistent:
         assert sac_naive.domains == sac_res.domains, f"sac domains, seed {seed}"
     assert sac_res.domains == sac_int.domains, f"sac interned domains, seed {seed}"
+    assert sac_int.domains == sac_col.domains, f"sac columnar domains, seed {seed}"
 
     from repro.consistency.arc import path_consistency
 
     pc_naive = path_consistency(inst, strategy="naive")
     pc_res = path_consistency(inst, strategy="residual")
     pc_int = path_consistency(inst, strategy="interned")
-    assert (pc_naive is None) == (pc_res is None) == (pc_int is None), (
-        f"pc verdict, seed {seed}"
-    )
+    pc_col = path_consistency(inst, strategy="columnar")
+    assert (pc_naive is None) == (pc_res is None) == (pc_int is None) == (
+        pc_col is None
+    ), f"pc verdict, seed {seed}"
     assert _canonical_pc(pc_naive) == _canonical_pc(pc_res), f"pc output, seed {seed}"
     if pc_res is not None:
         # The interned engine decodes back to the *identical* instance, not
-        # just a canonically-equal one.
+        # just a canonically-equal one — and "columnar" (which aliases the
+        # code-space PC path) matches it constraint for constraint.
         assert pc_int.variables == pc_res.variables, f"pc vars, seed {seed}"
         assert pc_int.domain == pc_res.domain, f"pc domain, seed {seed}"
         assert set(pc_int.constraints) == set(pc_res.constraints), (
             f"pc constraints, seed {seed}"
+        )
+        assert set(pc_col.constraints) == set(pc_int.constraints), (
+            f"pc columnar constraints, seed {seed}"
         )
 
 
@@ -218,8 +242,10 @@ def test_pebble_strategies_identical(seed):
         naive = largest_winning_strategy(a, b, k, strategy="naive")
         residual = largest_winning_strategy(a, b, k, strategy="residual")
         interned = largest_winning_strategy(a, b, k, strategy="interned")
+        columnar = largest_winning_strategy(a, b, k, strategy="columnar")
         assert naive == residual, f"pebble k={k}, seed {seed}"
         assert residual == interned, f"pebble interned k={k}, seed {seed}"
+        assert interned == columnar, f"pebble columnar k={k}, seed {seed}"
 
 
 @pytest.mark.parametrize("seed", range(20))
@@ -232,14 +258,17 @@ def test_mac_strategies_agree_and_solutions_valid(seed):
     inst = random_instance(seed + 8000)
     norm = inst.normalize()
     solutions = {}
-    for strategy in ("naive", "residual", "interned"):
+    for strategy in ("naive", "residual", "interned", "columnar"):
         stats = backtracking.solve_with_stats(inst, Inference.MAC, strategy=strategy)
         solutions[strategy] = stats.solution
         if stats.solution is not None:
             assert norm.is_solution(stats.solution), f"{strategy}, seed {seed}"
-    assert solutions["naive"] == solutions["residual"] == solutions["interned"], (
-        f"seed {seed}"
-    )
+    assert (
+        solutions["naive"]
+        == solutions["residual"]
+        == solutions["interned"]
+        == solutions["columnar"]
+    ), f"seed {seed}"
 
 
 @pytest.mark.parametrize("seed", range(15))
