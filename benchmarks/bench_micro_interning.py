@@ -28,6 +28,7 @@ from repro.consistency.arc import singleton_arc_consistency
 from repro.consistency.propagation import collect_propagation
 from repro.csp.solvers import join
 from repro.generators.csp_random import random_binary_csp
+from repro.relational.interning import reset_fold_codecs
 from repro.relational.stats import collect_stats
 
 # Dense domains + moderate tightness: SAC pins invalidate stored supports
@@ -116,6 +117,9 @@ def test_micro_interned_join_beats_indexed_on_e1():
     smooths scheduler noise; verdict equality keeps the comparison honest."""
     runs = {}
     for execution in ("indexed", "interned"):
+        # The memoized fold codecs may be warm from earlier benchmarks over
+        # the same instances; the counted run must build its own.
+        reset_fold_codecs()
         with collect_stats() as stats:
             verdicts = [
                 join.is_solvable(inst, strategy=execution)

@@ -1,0 +1,143 @@
+"""Micro-benchmarks guarding the shard-parallel execution plane.
+
+Two families, mirroring the two halves of the parallel subsystem:
+
+* **E1-shaped chain join** — the Proposition 2.1 join-evaluation shape at
+  database scale, run serial (``interned``/``columnar``) versus
+  ``execution="parallel"`` (hash-partitioned shards fanned across the
+  worker-process pool).  Parity is asserted unconditionally; the **≥2×
+  wall-clock speedup at 4 workers** guard only makes sense with at least
+  four actual cores, so it is gated on ``os.sched_getaffinity`` and skips
+  honestly on smaller boxes (see EXPERIMENTS.md for the measured scaling
+  curve, including the 1-core numbers where IPC overhead makes the
+  parallel path *slower* — exactly what the fallback threshold exists
+  for).
+
+* **work-stealing parallel search** — MAC backtracking partitioned by
+  top-level branching.  Parity (identical solution to serial) is the
+  load-bearing claim; the speedup gate is shared with the join guard.
+
+Shipping costs are part of what these benchmarks measure, so the pickled
+payload-size regression test in ``tests/parallel/test_pickling.py`` is the
+other half of this guard: shards must never drag memoized indexes across
+the process boundary.
+"""
+
+import os
+import random
+import time
+from functools import lru_cache
+
+import pytest
+
+from repro.csp.solvers.backtracking import Inference, solve_with_stats
+from repro.generators.csp_random import random_binary_csp
+from repro.parallel import parallel_config, shutdown_pool
+from repro.relational.algebra import join_all
+from repro.relational.relation import Relation
+
+JOIN_N = 20_000
+JOIN_DOM = 40_000
+
+#: The speedup guard needs real cores to mean anything.
+CORES = len(os.sched_getaffinity(0))
+SPEEDUP_WORKERS = 4
+SPEEDUP_FLOOR = 2.0
+
+
+@lru_cache(maxsize=1)
+def _join_workload() -> list[Relation]:
+    rng = random.Random(0)
+
+    def rel(attrs):
+        return Relation(
+            attrs,
+            {
+                (rng.randrange(JOIN_DOM), rng.randrange(JOIN_DOM))
+                for _ in range(JOIN_N)
+            },
+        )
+
+    return [rel(("a", "b")), rel(("b", "c")), rel(("c", "d"))]
+
+
+@lru_cache(maxsize=1)
+def _search_instance():
+    return random_binary_csp(
+        n_variables=14, domain_size=4, n_constraints=24, tightness=0.4, seed=11
+    )
+
+
+def _best_of(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- parity (always runs, any core count) -------------------------------------
+
+
+def test_parallel_join_matches_serial_at_scale():
+    """The honesty floor under the speedup guard: the sharded fold returns
+    the identical relation on the full-size workload."""
+    rels = _join_workload()
+    serial = join_all(rels)
+    with parallel_config(workers=2, threshold=0):
+        par = join_all(rels, execution="parallel")
+    assert par == serial
+
+
+def test_parallel_search_matches_serial_at_scale():
+    inst = _search_instance()
+    serial = solve_with_stats(inst, Inference.MAC, "residual")
+    par = solve_with_stats(inst, Inference.MAC, "residual", workers=2)
+    assert par.solution == serial.solution
+
+
+# -- timing comparison (pytest-benchmark; honest on any box) ------------------
+
+
+@pytest.mark.benchmark(group="micro parallel: E1 chain join")
+@pytest.mark.parametrize("mode", ["serial", "parallel"])
+def test_micro_parallel_chain_join(benchmark, mode):
+    rels = _join_workload()
+    if mode == "serial":
+        result = benchmark(lambda: join_all(rels))
+    else:
+        with parallel_config(workers=min(SPEEDUP_WORKERS, CORES) or 1, threshold=0):
+            join_all(rels, execution="parallel")  # warm the pool
+            result = benchmark(
+                lambda: join_all(rels, execution="parallel")
+            )
+    assert len(result) > 0
+
+
+# -- the speedup guard (needs >= 4 cores to be meaningful) --------------------
+
+
+def test_micro_parallel_join_speedup_at_four_workers():
+    """ISSUE 9 acceptance: >= 2x wall-clock at 4 workers on the E1-shaped
+    chain join.  Requires four actual cores: on fewer, the workers time-
+    share one CPU and the "speedup" would only measure IPC overhead, so
+    the guard skips with the honest reason."""
+    if CORES < SPEEDUP_WORKERS:
+        pytest.skip(
+            f"speedup guard needs >= {SPEEDUP_WORKERS} cores, "
+            f"os.sched_getaffinity reports {CORES}"
+        )
+    rels = _join_workload()
+    serial = _best_of(lambda: join_all(rels, execution="columnar"))
+    with parallel_config(workers=SPEEDUP_WORKERS, threshold=0):
+        join_all(rels, execution="parallel")  # warm the pool
+        parallel = _best_of(lambda: join_all(rels, execution="parallel"))
+    assert serial / parallel >= SPEEDUP_FLOOR, (
+        f"parallel join speedup {serial / parallel:.2f}x at "
+        f"{SPEEDUP_WORKERS} workers, expected >= {SPEEDUP_FLOOR}x"
+    )
+
+
+def teardown_module(module):
+    shutdown_pool()

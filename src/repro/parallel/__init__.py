@@ -1,0 +1,89 @@
+"""Shard-parallel execution: partitioned joins, work-stealing search, batching.
+
+Proposition 2.1's join evaluation and the MAC search tree both decompose
+along value space: a natural join splits by hash of its key (equal keys
+collide into equal shards), and a search tree splits by its top-level
+branches.  This package exploits both decompositions across a persistent
+worker-process pool:
+
+* :mod:`repro.parallel.pool` — the pool itself, the ContextVar-scoped
+  :func:`~repro.parallel.pool.parallel_config` knobs (worker count,
+  serial-fallback threshold, inner execution), and the per-worker
+  breakdown plumbing behind the CLI's ``--workers`` tables;
+* :mod:`repro.parallel.partition` — hash partitioning on canonical join
+  keys: interned codes radix-pack so the shard of a key is one modulo
+  under a codec shared by all operands;
+* :mod:`repro.parallel.joins` — the ``execution="parallel"`` bodies of
+  ``natural_join`` / ``semijoin`` / ``join_all``: partition, fan the
+  shards out, union the (provably disjoint) shard outputs;
+* :mod:`repro.parallel.search` — work-stealing parallel MAC backtracking
+  with first-solution cancellation, returning exactly the serial solution;
+* :mod:`repro.parallel.coordinator` — batch routing of many
+  queries/instances across the pool (round-robin / least-loaded / hash).
+
+Everything reports exactly: per-worker ``EvalStats`` /
+``PropagationStats`` / ``SearchStats`` ship back with each result and
+merge into the parent's collectors inside the open operator span, so
+``repro stats`` totals and JSONL trace reaggregation are identical to a
+serial run (see ``tests/parallel/test_stats_exactness.py``).
+"""
+
+from __future__ import annotations
+
+from repro.parallel.coordinator import POLICIES, Coordinator, Job, JobResult
+from repro.parallel.joins import (
+    parallel_fold,
+    parallel_join_all,
+    parallel_natural_join,
+    parallel_semijoin,
+)
+from repro.parallel.partition import (
+    choose_partition_attribute,
+    hash_partition,
+    partition_codec,
+)
+from repro.parallel.pool import (
+    DEFAULT_WORKERS,
+    PARALLEL_THRESHOLD,
+    ParallelConfig,
+    WorkerRecord,
+    effective_config,
+    get_manager,
+    get_pool,
+    parallel_config,
+    record_worker,
+    run_binary_task,
+    run_fold_task,
+    shutdown_pool,
+    worker_reports,
+)
+from repro.parallel.search import MAX_SPLIT_DEPTH, solve_parallel
+
+__all__ = [
+    "DEFAULT_WORKERS",
+    "PARALLEL_THRESHOLD",
+    "MAX_SPLIT_DEPTH",
+    "POLICIES",
+    "ParallelConfig",
+    "parallel_config",
+    "effective_config",
+    "get_pool",
+    "get_manager",
+    "shutdown_pool",
+    "WorkerRecord",
+    "worker_reports",
+    "record_worker",
+    "run_fold_task",
+    "run_binary_task",
+    "partition_codec",
+    "hash_partition",
+    "choose_partition_attribute",
+    "parallel_natural_join",
+    "parallel_semijoin",
+    "parallel_fold",
+    "parallel_join_all",
+    "solve_parallel",
+    "Coordinator",
+    "Job",
+    "JobResult",
+]

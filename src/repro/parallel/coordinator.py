@@ -1,0 +1,268 @@
+"""Batch coordination: route many queries/instances across the worker pool.
+
+The shard-parallel operators in :mod:`repro.parallel.joins` parallelize
+*one* evaluation; the :class:`Coordinator` parallelizes *many* — a batch
+of conjunctive-query evaluations and CSP solves fans out over the same
+persistent pool, one job per task, under one of three routing policies:
+
+* ``"round-robin"`` — job *i* goes to worker ``i mod W`` (the baseline:
+  oblivious, perfectly fair on uniform batches);
+* ``"least-loaded"`` — self-scheduling: each worker gets one job up
+  front, and every completion immediately pulls the next job to the
+  worker that just freed (the right policy for skewed batches);
+* ``"hash"`` — jobs route by a stable hash of their ``key`` (affinity:
+  jobs sharing a key — e.g. the same database — land on the same worker,
+  whose memoized indexes and codecs then amortize across the batch).
+
+Every job runs under fresh stats collectors in its worker and ships its
+counters home; :meth:`Coordinator.run` merges them into the ambient
+collectors (and :func:`~repro.parallel.pool.record_worker`) so batch
+totals equal the sum of serial runs, and keeps per-worker subtotals in
+:attr:`Coordinator.worker_totals` for the breakdown table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import queue as _queue
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.consistency.propagation import PropagationStats, publish
+from repro.errors import SolverError
+from repro.parallel.pool import (
+    effective_config,
+    get_manager,
+    get_pool,
+    record_worker,
+)
+from repro.relational.stats import EvalStats, current_stats
+
+__all__ = ["Job", "JobResult", "Coordinator", "POLICIES"]
+
+#: The routing policies :class:`Coordinator` accepts.
+POLICIES = ("round-robin", "least-loaded", "hash")
+
+#: Master-side guard against a wedged pool (seconds per result wait).
+RESULT_TIMEOUT = 120.0
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of batch work.
+
+    ``kind`` selects the entry point: ``"evaluate"`` (payload
+    ``(query, database, strategy)`` →
+    :func:`repro.cq.evaluate.evaluate`), ``"is_solvable"`` (payload
+    ``(instance, strategy)`` → :func:`repro.csp.solvers.join.is_solvable`)
+    or ``"solve"`` (payload ``(instance, strategy)`` → MAC backtracking,
+    returning the solution dict).  ``key`` is the affinity token the
+    ``"hash"`` policy routes on (defaults to the job's batch index).
+    """
+
+    kind: str
+    payload: tuple
+    key: Any = None
+
+
+@dataclass
+class JobResult:
+    """One job's outcome plus the counters its worker shipped back."""
+
+    index: int
+    worker: int
+    pid: int
+    value: Any
+    seconds: float
+    eval_stats: EvalStats = field(repr=False, default_factory=EvalStats)
+    propagation: PropagationStats = field(
+        repr=False, default_factory=PropagationStats
+    )
+    search: Any = field(repr=False, default=None)
+
+
+def _run_job(job: Job) -> Any:
+    """Worker-side dispatch of one job (under installed collectors)."""
+    if job.kind == "evaluate":
+        from repro.cq.evaluate import evaluate
+
+        query, database, strategy = job.payload
+        return evaluate(query, database, strategy)
+    if job.kind == "is_solvable":
+        from repro.csp.solvers.join import is_solvable
+
+        instance, strategy = job.payload
+        return is_solvable(instance, strategy)
+    if job.kind == "solve":
+        instance, strategy = job.payload
+        return None, instance, strategy  # handled by caller (needs stats)
+    raise SolverError(f"unknown coordinator job kind {job.kind!r}")
+
+
+def _coordinator_worker_loop(worker_id: int, task_q, result_q) -> int:
+    """Pool task: drain this worker's queue until the ``None`` sentinel.
+
+    Each job runs under fresh stats collectors; the result message is
+    ``(index, worker_id, pid, value, eval_stats, prop_stats, search_stats,
+    seconds)``.
+    """
+    from repro.consistency.propagation import collect_propagation
+    from repro.csp.solvers.backtracking import Inference, solve_with_stats
+    from repro.relational.stats import collect_stats
+
+    pid = os.getpid()
+    handled = 0
+    while True:
+        item = task_q.get()
+        if item is None:
+            return handled
+        index, job = item
+        handled += 1
+        start = time.perf_counter()
+        search_stats = None
+        with collect_stats() as estats, collect_propagation() as pstats:
+            if job.kind == "solve":
+                instance, strategy = job.payload
+                search_stats = solve_with_stats(instance, Inference.MAC, strategy)
+                value = search_stats.solution
+            else:
+                value = _run_job(job)
+        result_q.put(
+            (
+                index,
+                worker_id,
+                pid,
+                value,
+                estats,
+                pstats,
+                search_stats,
+                time.perf_counter() - start,
+            )
+        )
+
+
+def _next_result(result_q, loops):
+    """One message off ``result_q``, polling the worker-loop handles so a
+    crashed worker re-raises its exception immediately instead of letting
+    the batch idle out the full :data:`RESULT_TIMEOUT`."""
+    deadline = time.monotonic() + RESULT_TIMEOUT
+    while True:
+        try:
+            return result_q.get(timeout=1.0)
+        except _queue.Empty:
+            for loop in loops:
+                if loop.ready():
+                    loop.get()  # re-raises the worker's exception
+            if time.monotonic() >= deadline:
+                raise SolverError(
+                    "coordinator stalled: no worker reported within "
+                    f"{RESULT_TIMEOUT:.0f}s"
+                ) from None
+
+
+def _stable_hash(key: Any) -> int:
+    """A process-stable hash (``hash()`` is salted per interpreter)."""
+    return int.from_bytes(
+        hashlib.md5(repr(key).encode()).digest()[:8], "big"
+    )
+
+
+class Coordinator:
+    """Route a batch of :class:`Job` objects across the worker pool."""
+
+    def __init__(self, workers: int | None = None, policy: str = "round-robin"):
+        if policy not in POLICIES:
+            raise SolverError(
+                f"unknown routing policy {policy!r}; expected one of {POLICIES}"
+            )
+        self.workers = workers or effective_config().workers
+        self.policy = policy
+        #: Per-worker subtotals of the last :meth:`run`:
+        #: ``{worker_id: {"jobs", "pid", "seconds", "eval", "propagation"}}``.
+        self.worker_totals: dict[int, dict] = {}
+
+    def _route(self, index: int, job: Job) -> int:
+        if self.policy == "hash":
+            return _stable_hash(job.key if job.key is not None else index) % self.workers
+        return index % self.workers  # round-robin (least-loaded routes lazily)
+
+    def run(self, jobs: Sequence[Job]) -> list[JobResult]:
+        """Execute ``jobs``; results come back in batch order.
+
+        Merges every job's shipped counters into the ambient stats
+        collectors (so a surrounding ``collect_stats`` block sees batch
+        totals identical to running the jobs serially) and rebuilds
+        :attr:`worker_totals`.
+        """
+        jobs = list(jobs)
+        self.worker_totals = {}
+        if not jobs:
+            return []
+        manager = get_manager()
+        workers = min(self.workers, max(1, len(jobs)))
+        task_queues = [manager.Queue() for _ in range(workers)]
+        result_q = manager.Queue()
+        pool = get_pool(workers)
+        loops = [
+            pool.apply_async(_coordinator_worker_loop, (w, task_queues[w], result_q))
+            for w in range(workers)
+        ]
+        remaining = list(enumerate(jobs))
+        if self.policy == "least-loaded":
+            # Prime one job per worker; completions pull the rest.
+            for w in range(min(workers, len(remaining))):
+                index, job = remaining.pop(0)
+                task_queues[w].put((index, job))
+        else:
+            for index, job in remaining:
+                task_queues[self._route(index, job) % workers].put((index, job))
+            remaining = []
+        results: list[JobResult | None] = [None] * len(jobs)
+        collected = 0
+        try:
+            while collected < len(jobs):
+                index, worker_id, pid, value, estats, pstats, sstats, seconds = (
+                    _next_result(result_q, loops)
+                )
+                collected += 1
+                results[index] = JobResult(
+                    index, worker_id, pid, value, seconds, estats, pstats, sstats
+                )
+                self._account(worker_id, pid, seconds, estats, pstats)
+                record_worker(pid, "batch", f"job[{index}]:{jobs[index].kind}", estats)
+                if remaining:
+                    next_index, next_job = remaining.pop(0)
+                    task_queues[worker_id].put((next_index, next_job))
+        finally:
+            # Always deliver the sentinels: a failed batch must not leave
+            # worker loops blocked on their task queues.
+            for q in task_queues:
+                q.put(None)
+        for loop in loops:
+            loop.get(timeout=RESULT_TIMEOUT)
+        # Merge batch totals into the ambient collectors, in batch order so
+        # the merged stats are deterministic regardless of completion order.
+        ambient = current_stats()
+        for result in results:
+            if ambient is not None:
+                ambient.merge(result.eval_stats)
+            publish(result.propagation)
+        return results  # type: ignore[return-value]
+
+    def _account(self, worker_id, pid, seconds, estats, pstats) -> None:
+        totals = self.worker_totals.setdefault(
+            worker_id,
+            {
+                "pid": pid,
+                "jobs": 0,
+                "seconds": 0.0,
+                "eval": EvalStats(),
+                "propagation": PropagationStats(),
+            },
+        )
+        totals["jobs"] += 1
+        totals["seconds"] += seconds
+        totals["eval"].merge(estats)
+        totals["propagation"].merge(pstats)

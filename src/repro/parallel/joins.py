@@ -1,0 +1,237 @@
+"""Shard-parallel join operators: partition, fan out, merge back.
+
+Each operator here is the ``execution="parallel"`` body of its serial
+counterpart in :mod:`repro.relational.algebra` (which opens the telemetry
+span *before* dispatching, so everything charged here — including merged
+worker counters — lands inside the operator's span and the JSONL trace
+reaggregates exactly):
+
+* :func:`parallel_natural_join` / :func:`parallel_semijoin` hash-partition
+  both operands on the full shared key and run one binary task per
+  nonempty shard pair;
+* :func:`parallel_fold` co-partitions a planner-ordered multi-way fold on
+  its most-shared attribute — relations containing the attribute shard,
+  the rest broadcast whole — and runs one fold task per viable shard.
+
+Exactness: every output row fixes its partition-key value, so it is
+produced by exactly one shard; the shard outputs are disjoint and their
+union is the serial result.  Each shard folds in the parent's planner
+order, so all shard schemes agree with the serial scheme.
+
+Every operator falls back to the serial inner execution when the
+configured worker count is below two, the operands are smaller than the
+configured threshold, or there is no attribute to partition on (a pure
+Cartesian product).  Worker tasks ship ``(result, EvalStats, pid)`` back;
+the parent merges the stats into its own installed collector (counter
+monotonicity makes the totals exact) and feeds the per-worker breakdown
+via :func:`~repro.parallel.pool.record_worker`.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import chain
+from typing import Iterable, Sequence
+
+from repro.parallel.partition import (
+    choose_partition_attribute,
+    hash_partition,
+    partition_codec,
+)
+from repro.parallel.pool import (
+    effective_config,
+    get_pool,
+    inner_execution,
+    record_worker,
+    run_binary_task,
+    run_fold_task,
+)
+from repro.relational.relation import Relation
+from repro.relational.stats import current_stats
+
+__all__ = [
+    "parallel_natural_join",
+    "parallel_semijoin",
+    "parallel_fold",
+    "parallel_join_all",
+]
+
+
+def _fold_scheme(pending: Sequence[Relation]) -> tuple[str, ...]:
+    """The scheme a left-to-right fold of ``pending`` produces (each join
+    appends the right operand's private attributes in scheme order)."""
+    attrs: list[str] = []
+    for rel in pending:
+        for a in rel.attributes:
+            if a not in attrs:
+                attrs.append(a)
+    return tuple(attrs)
+
+
+def _aligned_rows(relation: Relation, attrs: tuple[str, ...]) -> Iterable[tuple]:
+    """``relation``'s rows reordered to ``attrs`` (identity when the
+    schemes already agree, which is the expected case)."""
+    if relation.attributes == attrs:
+        return iter(relation)
+    positions = [relation.index_of(a) for a in attrs]
+    return (tuple(row[p] for p in positions) for row in relation)
+
+
+def _merge_worker_stats(outs: Sequence[tuple], kind: str, label: str) -> None:
+    """Fold every task's shipped counters into the parent's collector (in
+    submission order, so merged stats are deterministic) and feed the
+    per-worker breakdown."""
+    stats = current_stats()
+    for index, (_, wstats, pid) in enumerate(outs):
+        if stats is not None:
+            stats.merge(wstats)
+        record_worker(pid, kind, f"{label}[{index}]", wstats)
+
+
+def _gather(
+    shard_results: Sequence[Relation],
+    attrs: tuple[str, ...],
+    tasks: int,
+    start: float,
+) -> Relation:
+    """Union the (disjoint) shard outputs and charge the gather."""
+    result = Relation(
+        attrs, chain.from_iterable(_aligned_rows(r, attrs) for r in shard_results)
+    )
+    stats = current_stats()
+    if stats is not None:
+        stats.record(
+            "parallel_gather",
+            emitted=len(result),
+            parallel_tasks=tasks,
+            seconds=time.perf_counter() - start,
+        )
+    return result
+
+
+def parallel_natural_join(left: Relation, right: Relation) -> Relation:
+    """``left ⋈ right`` by co-partitioning both operands on the shared key."""
+    from repro.relational.algebra import _natural_join, _shared_and_private
+
+    cfg = effective_config()
+    inner = inner_execution(cfg)
+    shared, right_private = _shared_and_private(left, right)
+    if (
+        cfg.workers < 2
+        or not shared
+        or len(left) + len(right) < cfg.threshold
+    ):
+        return _natural_join(left, right, inner)
+    start = time.perf_counter()
+    key = tuple(shared)
+    codec = partition_codec((left, right), key)
+    _charge_codec()
+    shards = cfg.workers
+    left_parts = hash_partition(left, key, shards, codec)
+    right_parts = hash_partition(right, key, shards, codec)
+    pool = get_pool(shards)
+    pairs = [
+        (left_parts[i], right_parts[i])
+        for i in range(shards)
+        if left_parts[i] and right_parts[i]
+    ]
+    handles = [
+        pool.apply_async(run_binary_task, (("join", lp, rp, inner),))
+        for lp, rp in pairs
+    ]
+    outs = [h.get() for h in handles]
+    _merge_worker_stats(outs, "join", "natural_join")
+    out_attrs = left.attributes + tuple(right_private)
+    return _gather([r for r, _, _ in outs], out_attrs, len(pairs), start)
+
+
+def parallel_semijoin(left: Relation, right: Relation) -> Relation:
+    """``left ⋉ right`` by co-partitioning both operands on the shared key."""
+    from repro.relational.algebra import _semijoin, _shared_and_private
+
+    cfg = effective_config()
+    inner = inner_execution(cfg)
+    shared, _ = _shared_and_private(left, right)
+    if (
+        cfg.workers < 2
+        or not shared
+        or len(left) + len(right) < cfg.threshold
+    ):
+        return _semijoin(left, right, inner)
+    start = time.perf_counter()
+    key = tuple(shared)
+    codec = partition_codec((left, right), key)
+    _charge_codec()
+    shards = cfg.workers
+    left_parts = hash_partition(left, key, shards, codec)
+    right_parts = hash_partition(right, key, shards, codec)
+    pool = get_pool(shards)
+    pairs = [
+        (left_parts[i], right_parts[i])
+        for i in range(shards)
+        if left_parts[i] and right_parts[i]
+    ]
+    handles = [
+        pool.apply_async(run_binary_task, (("semijoin", lp, rp, inner),))
+        for lp, rp in pairs
+    ]
+    outs = [h.get() for h in handles]
+    _merge_worker_stats(outs, "semijoin", "semijoin")
+    return _gather([r for r, _, _ in outs], left.attributes, len(pairs), start)
+
+
+def parallel_fold(pending: Sequence[Relation]) -> Relation:
+    """A planner-ordered multi-way fold, co-partitioned on one attribute.
+
+    ``pending`` arrives already ordered by the planner; each shard task
+    folds its co-partitioned copy in exactly that order (so shard schemes
+    and the serial scheme coincide).  Relations that do not contain the
+    partition attribute are broadcast to every shard.
+    """
+    from repro.relational.algebra import _join_all
+
+    pending = list(pending)
+    cfg = effective_config()
+    inner = inner_execution(cfg)
+    total = sum(len(r) for r in pending)
+    if cfg.workers < 2 or len(pending) < 2 or total < cfg.threshold:
+        return _join_all(pending, inner)
+    attr = choose_partition_attribute(pending)
+    if attr is None:
+        # Pure Cartesian product: no key to shard on.
+        return _join_all(pending, inner)
+    start = time.perf_counter()
+    holders = [r for r in pending if attr in r.attributes]
+    codec = partition_codec(holders, (attr,))
+    _charge_codec()
+    shards = cfg.workers
+    parts = {id(r): hash_partition(r, (attr,), shards, codec) for r in holders}
+    shard_inputs = []
+    for i in range(shards):
+        rels = tuple(
+            parts[id(r)][i] if attr in r.attributes else r for r in pending
+        )
+        # An empty holder shard makes this shard's whole fold empty — skip.
+        if all(len(r) for r in rels if attr in r.attributes):
+            shard_inputs.append(rels)
+    pool = get_pool(shards)
+    handles = [
+        pool.apply_async(run_fold_task, ((rels, inner),))
+        for rels in shard_inputs
+    ]
+    outs = [h.get() for h in handles]
+    _merge_worker_stats(outs, "join", "fold")
+    return _gather(
+        [r for r, _, _ in outs], _fold_scheme(pending), len(shard_inputs), start
+    )
+
+
+#: Alias matching the public ``join_all`` entry point's vocabulary.
+parallel_join_all = parallel_fold
+
+
+def _charge_codec() -> None:
+    """Charge the shared partition codec build to the ambient stats."""
+    stats = current_stats()
+    if stats is not None:
+        stats.record("partition_codec", intern_tables=1)

@@ -1,0 +1,106 @@
+"""Hash partitioning of relations on canonical join keys.
+
+The shard function is deliberately boring: the partition columns are
+interned through one shared :class:`~repro.relational.interning.Codec`
+(built over the *union* of the operands' partition-column values, so equal
+values get equal codes on every operand), the per-row codes radix-pack
+into a single machine int, and the shard index is one modulo.  Equal join
+keys therefore land in equal shards on both sides of a join — the property
+that makes the sharded join exact: every output row fixes its key, so it
+is produced by exactly one shard and the shard outputs union disjointly.
+
+For multi-way folds the same machinery co-partitions every relation that
+*contains* the chosen partition attribute; relations without it are
+broadcast whole (see :mod:`repro.parallel.joins`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.relational.interning import Codec
+from repro.relational.relation import Relation
+from repro.relational.stats import current_stats
+
+__all__ = [
+    "partition_codec",
+    "hash_partition",
+    "choose_partition_attribute",
+]
+
+
+def partition_codec(
+    relations: Sequence[Relation], attributes: Sequence[str]
+) -> Codec:
+    """A codec over the union of ``attributes`` values across ``relations``.
+
+    Sharing one codec across the operands is what aligns the shards: the
+    shard of a key depends only on its packed code, and equal values code
+    equally under a shared codec.
+    """
+    values = []
+    for rel in relations:
+        positions = [
+            rel.attributes.index(a) for a in attributes if a in rel.attributes
+        ]
+        for row in rel:
+            for p in positions:
+                values.append(row[p])
+    return Codec(values)
+
+
+def hash_partition(
+    relation: Relation,
+    attributes: Sequence[str],
+    shards: int,
+    codec: Codec,
+) -> list[Relation]:
+    """Split ``relation`` into ``shards`` relations by hashed key.
+
+    The key of a row is its ``attributes`` projection radix-packed under
+    ``codec`` (base ``len(codec)``); the shard index is ``key % shards``.
+    Every row lands in exactly one shard, so the shards partition the
+    relation.  Charges a ``"partition"`` operator to the ambient stats
+    (one full scan; ``partitions`` counts shards materialized).
+    """
+    start = time.perf_counter()
+    positions = [relation.attributes.index(a) for a in attributes]
+    base = max(1, len(codec))
+    encode = codec.code_map
+    buckets: list[list[tuple]] = [[] for _ in range(shards)]
+    for row in relation:
+        packed = 0
+        for p in positions:
+            packed = packed * base + encode[row[p]]
+        buckets[packed % shards].append(row)
+    parts = [Relation(relation.attributes, rows) for rows in buckets]
+    stats = current_stats()
+    if stats is not None:
+        stats.record(
+            "partition",
+            scanned=len(relation),
+            partitions=shards,
+            seconds=time.perf_counter() - start,
+        )
+    return parts
+
+
+def choose_partition_attribute(relations: Sequence[Relation]) -> str | None:
+    """The attribute to co-partition a multi-way fold on.
+
+    Picks the attribute shared by the most relations (ties broken
+    alphabetically, so plans are deterministic); returns ``None`` when no
+    attribute occurs in at least two relations — a pure Cartesian product,
+    which the caller leaves to the serial path.
+    """
+    counts: dict[str, int] = {}
+    for rel in relations:
+        for a in rel.attributes:
+            counts[a] = counts.get(a, 0) + 1
+    best: str | None = None
+    best_count = 1
+    for a in sorted(counts):
+        if counts[a] > best_count:
+            best, best_count = a, counts[a]
+    return best

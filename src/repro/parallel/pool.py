@@ -1,0 +1,285 @@
+"""The persistent worker-process pool and its configuration plane.
+
+One :class:`multiprocessing.Pool` (plus one ``SyncManager`` for the shared
+search structures) serves every parallel operator in the process: pools are
+expensive to fork, shards are cheap to ship (the interned/columnar planes
+made relations pickle-light — see ``Relation.__getstate__``), so the pool
+is created lazily on first use, grown when a caller asks for more workers,
+and torn down at interpreter exit.
+
+Configuration is ContextVar-scoped like the stats collectors:
+:func:`parallel_config` overrides the worker count, the serial-fallback
+threshold, and the inner (per-shard) execution for the duration of a
+``with`` block, so tests can force cross-process execution on tiny inputs
+and services can pin worker budgets per request without touching globals.
+
+Worker-side discipline: every task runs under fresh
+:func:`~repro.relational.stats.collect_stats` /
+:func:`~repro.consistency.propagation.collect_propagation` blocks and ships
+its counters back with the result; the parent merges them into its own
+installed stats objects *inside* the operator span, so span deltas — and
+therefore the JSONL trace reaggregation — stay exact across the fan-out.
+:func:`worker_reports` additionally collects the per-worker breakdown the
+CLI renders under ``--workers``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+__all__ = [
+    "DEFAULT_WORKERS",
+    "PARALLEL_THRESHOLD",
+    "ParallelConfig",
+    "parallel_config",
+    "effective_config",
+    "get_pool",
+    "get_manager",
+    "shutdown_pool",
+    "WorkerRecord",
+    "worker_reports",
+    "record_worker",
+    "run_fold_task",
+    "run_binary_task",
+]
+
+#: Workers used when neither :func:`parallel_config` nor an explicit
+#: argument names a count: one per core, capped at 8 (the scaling curve in
+#: EXPERIMENTS.md flattens past the memory bus on this workload family).
+DEFAULT_WORKERS = max(1, min(8, os.cpu_count() or 1))
+
+#: Serial-fallback floor: a parallel operator whose total input rows fall
+#: below this runs the serial inner execution instead — shipping shards to
+#: workers costs more than joining a few hundred rows in place.
+PARALLEL_THRESHOLD = 2048
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """One scope's parallel-execution knobs.
+
+    ``workers``: processes to fan out across; ``threshold``: minimum total
+    input rows before sharding pays (0 forces cross-process execution —
+    the differential tests do this); ``inner``: the per-shard serial
+    execution, ``None`` meaning "best available" (``"columnar"`` with
+    numpy, else ``"interned"``).
+    """
+
+    workers: int = DEFAULT_WORKERS
+    threshold: int = PARALLEL_THRESHOLD
+    inner: str | None = None
+
+
+_CONFIG: ContextVar[ParallelConfig | None] = ContextVar(
+    "repro_parallel_config", default=None
+)
+
+
+def effective_config() -> ParallelConfig:
+    """The innermost :func:`parallel_config`, or the defaults."""
+    return _CONFIG.get() or ParallelConfig()
+
+
+@contextmanager
+def parallel_config(
+    workers: int | None = None,
+    threshold: int | None = None,
+    inner: str | None = None,
+) -> Iterator[ParallelConfig]:
+    """Scope the parallel-execution knobs for a ``with`` block.
+
+    Omitted arguments inherit from the enclosing scope (or the defaults),
+    so nested blocks compose::
+
+        with parallel_config(workers=2, threshold=0):
+            join_all(relations, execution="parallel")  # always fans out
+    """
+    base = effective_config()
+    cfg = ParallelConfig(
+        workers=base.workers if workers is None else max(1, int(workers)),
+        threshold=base.threshold if threshold is None else max(0, int(threshold)),
+        inner=base.inner if inner is None else inner,
+    )
+    token = _CONFIG.set(cfg)
+    try:
+        yield cfg
+    finally:
+        _CONFIG.reset(token)
+
+
+def inner_execution(cfg: ParallelConfig | None = None) -> str:
+    """The serial execution a shard runs under: the config's explicit
+    choice, else ``"columnar"`` when numpy is importable, else
+    ``"interned"``."""
+    cfg = cfg or effective_config()
+    if cfg.inner is not None:
+        return cfg.inner
+    from repro.relational.columnar import numpy_backend
+
+    return "columnar" if numpy_backend() is not None else "interned"
+
+
+# -- the pool ----------------------------------------------------------------
+
+_pool = None
+_pool_size = 0
+_manager = None
+
+
+def _mp_context():
+    import multiprocessing as mp
+
+    # Fork is an order of magnitude cheaper to start and inherits the
+    # parent's interned caches copy-on-write; spawn remains the portable
+    # fallback (worker entry points are module-level and payloads pickle).
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: detach state forked from the parent.
+
+    A forked child inherits the parent's ContextVars — including an open
+    telemetry trace and installed stats objects.  Workers must not append
+    spans to a copied trace or charge a copied stats object (the parent
+    merges shipped counters instead), so the inherited vars are cleared
+    once per worker process.
+    """
+    from repro.consistency import propagation as _prop
+    from repro.relational import stats as _stats
+    from repro.telemetry import spans as _spans
+
+    _spans._TRACE.set(None)
+    _stats._ACTIVE.set(None)
+    _prop._ACTIVE.set(None)
+    _CONFIG.set(None)
+
+
+def get_pool(workers: int):
+    """The persistent pool, grown to at least ``workers`` processes.
+
+    Growing tears the old pool down and forks a larger one; shrinking never
+    happens (idle workers cost almost nothing).  The pool is shared by all
+    parallel operators and the coordinator.
+    """
+    global _pool, _pool_size
+    workers = max(1, int(workers))
+    if _pool is None or _pool_size < workers:
+        if _pool is not None:
+            _pool.terminate()
+            _pool.join()
+        ctx = _mp_context()
+        _pool = ctx.Pool(processes=workers, initializer=_worker_init)
+        _pool_size = workers
+    return _pool
+
+
+def get_manager():
+    """The persistent ``SyncManager`` backing the shared search structures
+    (work-stealing deque, result queue, best-path cell)."""
+    global _manager
+    if _manager is None:
+        _manager = _mp_context().Manager()
+    return _manager
+
+
+def shutdown_pool() -> None:
+    """Tear down the pool and manager (atexit hook; also a test hook)."""
+    global _pool, _pool_size, _manager
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+        _pool = None
+        _pool_size = 0
+    if _manager is not None:
+        _manager.shutdown()
+        _manager = None
+
+
+atexit.register(shutdown_pool)
+
+
+# -- per-worker breakdown ----------------------------------------------------
+
+
+@dataclass
+class WorkerRecord:
+    """One worker's shipped counters for one task: the unit of the
+    ``--workers`` breakdown table."""
+
+    pid: int
+    kind: str
+    label: str
+    stats: Any
+
+
+_REPORTS: ContextVar[list | None] = ContextVar(
+    "repro_parallel_reports", default=None
+)
+
+
+@contextmanager
+def worker_reports() -> Iterator[list]:
+    """Collect :class:`WorkerRecord` entries from every parallel operation
+    in the block (the CLI's per-worker breakdown source)."""
+    records: list[WorkerRecord] = []
+    token = _REPORTS.set(records)
+    try:
+        yield records
+    finally:
+        _REPORTS.reset(token)
+
+
+def record_worker(pid: int, kind: str, label: str, stats: Any) -> None:
+    """Append one worker's shipped stats to the active report collector."""
+    records = _REPORTS.get()
+    if records is not None:
+        records.append(WorkerRecord(pid, kind, label, stats))
+
+
+# -- worker-side task entry points ------------------------------------------
+#
+# Module-level so the pool can import them under any start method.  Every
+# task collects its own EvalStats/PropagationStats and ships them back;
+# the parent merges (the composition law makes the totals exact).
+
+
+def run_fold_task(payload: tuple) -> tuple:
+    """Pool task: one shard's ``join_all`` fold.
+
+    ``payload`` is ``(relations, execution)`` with the planner's order
+    already fixed — the shard must fold in the same order as every other
+    shard so all result schemes align.
+    """
+    relations, execution = payload
+    from repro.consistency.propagation import collect_propagation
+    from repro.relational.algebra import _join_all
+    from repro.relational.stats import collect_stats
+
+    with collect_stats() as stats, collect_propagation():
+        result = _join_all(list(relations), execution)
+    return result, stats, os.getpid()
+
+
+def run_binary_task(payload: tuple) -> tuple:
+    """Pool task: one shard's binary join or semijoin.
+
+    ``payload`` is ``(kind, left, right, execution)`` with ``kind`` one of
+    ``"join"`` / ``"semijoin"``.
+    """
+    kind, left, right, execution = payload
+    from repro.consistency.propagation import collect_propagation
+    from repro.relational.algebra import natural_join, semijoin
+    from repro.relational.stats import collect_stats
+
+    with collect_stats() as stats, collect_propagation():
+        if kind == "join":
+            result = natural_join(left, right, execution=execution)
+        else:
+            result = semijoin(left, right, execution=execution)
+    return result, stats, os.getpid()

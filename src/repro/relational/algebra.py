@@ -228,6 +228,11 @@ def natural_join(
       :mod:`repro.relational.wcoj`: both operands are sorted into
       per-attribute tries over a shared dense-int codec and intersected
       variable-at-a-time (seek-based, no hash tables).
+    * ``"parallel"`` — the shard-parallel path of :mod:`repro.parallel`:
+      both operands are hash-partitioned on the canonical join key (one
+      shared codec, radix-packed codes modulo the worker count) and the
+      per-shard joins fan out across a persistent worker-process pool,
+      falling back to serial execution below a size threshold.
 
     All produce the same relation with the same column order
     (``left``'s scheme followed by ``right``'s private attributes).  When
@@ -251,6 +256,10 @@ def _natural_join(left: Relation, right: Relation, execution: str) -> Relation:
         from repro.relational.columnar import batched_natural_join
 
         return batched_natural_join(left, right)
+    if execution == "parallel":
+        from repro.parallel.joins import parallel_natural_join
+
+        return parallel_natural_join(left, right)
     stats = current_stats()
     start = perf_counter() if stats is not None else 0.0
     shared, right_private = _shared_and_private(left, right)
@@ -393,7 +402,10 @@ def join_all(
     optimal leapfrog triejoin: the binary fold is replaced by one
     variable-at-a-time multi-way join over per-attribute sorted tries,
     materializing nothing but the output — see
-    :mod:`repro.relational.wcoj`); compound specs like
+    :mod:`repro.relational.wcoj`), and ``"parallel"`` (the fold is
+    hash-partitioned on its most-shared attribute and the per-shard
+    folds run across the :mod:`repro.parallel` worker pool, with a
+    serial fallback below a size threshold); compound specs like
     ``"textbook+scan"`` fix both.  An explicit ``execution`` keyword
     overrides the spec.
 
@@ -424,6 +436,13 @@ def _join_all(pending: Sequence[Relation], execution: str) -> Relation:
         return leapfrog_join(pending)
     if execution == "interned":
         return _join_all_interned(pending)
+    if execution == "parallel":
+        # Hash-partition the fold on its most-shared attribute and fan the
+        # per-shard folds across the worker pool (serial fallback below the
+        # size threshold); the planner's order is preserved per shard.
+        from repro.parallel.joins import parallel_fold
+
+        return parallel_fold(pending)
     if execution == "columnar":
         from repro.relational.columnar import (
             ColumnarFallback,
@@ -464,11 +483,15 @@ def _join_all_interned(pending: Sequence[Relation]) -> Relation:
     the order, which — like the result — is identical to the plain paths'
     because the encoding is a bijection.
     """
-    from repro.relational.interning import Codec
+    from repro.relational.interning import fold_codec
 
     stats = current_stats()
     start = perf_counter() if stats is not None else 0.0
-    codec = Codec(v for rel in pending for t in rel for v in t)
+    # The shared codec is memoized per fold (keyed on the relation set):
+    # re-folding the same relations — Datalog rounds, repeated solvability
+    # checks, per-shard fans — skips the repr-sort of the union universe,
+    # and only an actual build charges ``intern_tables``.
+    codec, codec_built = fold_codec(pending)
     # Codes are assigned in repr order, so a value universe that is already
     # the dense ints 0..n-1 (in repr order) interns to itself.  Both
     # value↔code boundary passes are then the identity and can be skipped —
@@ -488,7 +511,7 @@ def _join_all_interned(pending: Sequence[Relation]) -> Relation:
         stats.record(
             "intern_encode",
             scanned=0 if identity else sum(len(r) for r in pending),
-            intern_tables=1,
+            intern_tables=1 if codec_built else 0,
             seconds=perf_counter() - start,
         )
 
@@ -556,6 +579,10 @@ def _semijoin(left: Relation, right: Relation, execution: str) -> Relation:
         from repro.relational.columnar import batched_semijoin
 
         return batched_semijoin(left, right)
+    if execution == "parallel":
+        from repro.parallel.joins import parallel_semijoin
+
+        return parallel_semijoin(left, right)
     stats = current_stats()
     start = perf_counter() if stats is not None else 0.0
     shared, _ = _shared_and_private(left, right)

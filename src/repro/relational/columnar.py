@@ -44,7 +44,7 @@ from array import array
 from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.relational.interning import Codec
+from repro.relational.interning import Codec, fold_codec
 from repro.relational.planner import choose_build_side
 from repro.relational.relation import CodeIndex, Relation
 from repro.relational.stats import current_stats
@@ -166,6 +166,16 @@ class ColumnStore:
                 for col in self.columns
             )
         return self._np_columns
+
+    def __getstate__(self) -> tuple:
+        # The numpy views are zero-copy aliases of ``columns`` — derived
+        # state that must not drag a second copy of every column across a
+        # pickle boundary.  They rebuild lazily on the other side.
+        return (self.attributes, self.codec, self.rows, self.nrows, self.columns)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.attributes, self.codec, self.rows, self.nrows, self.columns = state
+        self._np_columns = None
 
     def to_relation(self) -> Relation:
         """Decode the columns back to a relation (the round-trip law:
@@ -561,13 +571,14 @@ def join_all_columnar(pending: Sequence[Relation]) -> Relation:
     start = perf_counter() if stats is not None else 0.0
     if not pending:
         return Relation.unit()
-    # The shared codec interns the union of the operands' *distinct* values,
-    # read off the memoized per-store codecs — not a rescan of every row
-    # value.  Same codec either way (a store's codec covers exactly its
-    # relation's active domain), but warm runs skip the O(rows × arity)
-    # sweep entirely.
+    # The shared codec interns the union of the operands' active domains,
+    # memoized per fold (:func:`repro.relational.interning.fold_codec`): a
+    # warm re-fold of the same relations — Datalog rounds, repeated
+    # solvability checks, per-shard fans — skips the repr-sort entirely,
+    # and the interned pipeline folding the same relations shares the
+    # identical codec object.
     stores = [column_store(rel) for rel in pending]
-    codec = Codec(v for store in stores for v in store.codec.values)
+    codec, codec_built = fold_codec(pending)
     # The identity-codec fast path of the interned pipeline: a universe
     # that is already the dense ints 0..n-1 (in repr order) interns to
     # itself, so the decode boundary can emit the codes directly.
@@ -576,7 +587,9 @@ def join_all_columnar(pending: Sequence[Relation]) -> Relation:
     code_map = codec.code_map
     if stats is not None:
         stats.record(
-            "columnar_encode", intern_tables=1, seconds=perf_counter() - start
+            "columnar_encode",
+            intern_tables=1 if codec_built else 0,
+            seconds=perf_counter() - start,
         )
 
     def operand(store: ColumnStore) -> tuple[list[str], list, int]:

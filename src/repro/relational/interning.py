@@ -22,6 +22,8 @@ from repro.relational.structure import Structure
 __all__ = [
     "Codec",
     "bit_positions",
+    "fold_codec",
+    "reset_fold_codecs",
     "encode_structure",
     "decode_structure",
     "encode_instance",
@@ -117,6 +119,57 @@ class Codec:
         """Decode a bitmask back to the value set it represents."""
         values = self._values
         return {values[c] for c in bit_positions(mask)}
+
+    # Only the value tuple crosses a pickle boundary; the code dict is
+    # derived state, rebuilt on arrival — halving the wire size of every
+    # codec a sharded worker receives.
+
+    def __getstate__(self) -> Tuple[Any, ...]:
+        return self._values
+
+    def __setstate__(self, values: Tuple[Any, ...]) -> None:
+        self._values = values
+        self._codes = {v: i for i, v in enumerate(values)}
+
+
+# The memoized fold codecs of :func:`fold_codec`, keyed on the (frozenset
+# of) relations of one ``join_all`` fold.  Bounded FIFO: profiles show the
+# repr-sort of the shared universe dominating the *warm* interned/columnar
+# join path, and workloads re-fold the same base relations (Datalog rounds,
+# repeated solvability checks, per-shard fans), so a small cache removes
+# the sort from every repeat.
+_FOLD_CODECS: dict = {}
+
+#: Entries kept in the fold-codec cache before the oldest is evicted.
+FOLD_CODEC_CACHE_CAP = 256
+
+
+def fold_codec(relations: Iterable[Any]) -> Tuple[Codec, bool]:
+    """The shared :class:`Codec` over the active domains of ``relations``,
+    memoized on the relation set.
+
+    Returns ``(codec, built)`` where ``built`` says whether the codec was
+    constructed by this call (``False`` on a cache hit) — the honest-charge
+    signal callers use for ``EvalStats.intern_tables``.  The key is the
+    *set* of relations, so the planner's different orderings of one fold
+    share a single codec; determinism is untouched because the codec sorts
+    its universe by ``repr`` regardless of iteration order.
+    """
+    key = frozenset(relations)
+    codec = _FOLD_CODECS.get(key)
+    if codec is not None:
+        return codec, False
+    codec = Codec(v for rel in key for t in rel for v in t)
+    if len(_FOLD_CODECS) >= FOLD_CODEC_CACHE_CAP:
+        _FOLD_CODECS.pop(next(iter(_FOLD_CODECS)))
+    _FOLD_CODECS[key] = codec
+    return codec, True
+
+
+def reset_fold_codecs() -> None:
+    """Drop every memoized fold codec (bench/test hook: a cold-cache run
+    charges one ``intern_tables`` per fold again)."""
+    _FOLD_CODECS.clear()
 
 
 def encode_structure(

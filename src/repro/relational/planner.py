@@ -42,7 +42,11 @@ probes its operands:
   ``array('q')`` code columns, probes run as batched column sweeps
   against the radix-packed code indexes, and ``join_all`` (with numpy
   available) keeps the whole fold in int64 column matrices, decoding
-  tuples once at the boundary.
+  tuples once at the boundary;
+* ``"parallel"`` — the shard-parallel path of :mod:`repro.parallel`:
+  operands hash-partition on the canonical join key (interned codes,
+  a single modulo) and the per-shard joins fan out across a persistent
+  worker-process pool, per-worker stats merging back into the parent.
 
 :func:`parse_strategy` accepts either kind of name, or a compound
 ``"order+execution"`` spec such as ``"smallest+scan"``.  All combinations
@@ -87,8 +91,11 @@ STRATEGIES = ("greedy", "smallest", "textbook")
 #: keeps the binary build/probe shape of ``"interned"`` but sweeps whole
 #: probe columns per batch (and, in ``join_all`` with numpy present,
 #: replaces the fold with the end-to-end column-matrix pipeline of
-#: :func:`repro.relational.columnar.join_all_columnar`).
-EXECUTIONS = ("indexed", "scan", "interned", "wcoj", "columnar")
+#: :func:`repro.relational.columnar.join_all_columnar`).  ``"parallel"``
+#: shards the operands by hash-partitioning on the canonical join key and
+#: fans the per-shard joins across the :mod:`repro.parallel` worker pool
+#: (serial fallback below a size threshold; per-worker stats merge back).
+EXECUTIONS = ("indexed", "scan", "interned", "wcoj", "columnar", "parallel")
 
 
 def parse_strategy(

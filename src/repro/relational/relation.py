@@ -198,6 +198,26 @@ class Relation:
         body = ", ".join(repr(t) for t in shown)
         return f"Relation({self._attributes!r}, {{{body}{more}}})"
 
+    # -- pickling ----------------------------------------------------------
+    #
+    # Only the scheme and the rows travel: the memoized hash indexes, code
+    # indexes, and column store are derived state, rebuilt lazily on the
+    # other side of the wire — a sharded worker re-derives exactly what it
+    # probes, and a pickled relation costs no more than its rows
+    # (tests/parallel/test_pickling.py pins the size regression).
+
+    def __getstate__(self) -> tuple[tuple[str, ...], frozenset[tuple[Any, ...]]]:
+        return (self._attributes, self._tuples)
+
+    def __setstate__(
+        self, state: tuple[tuple[str, ...], frozenset[tuple[Any, ...]]]
+    ) -> None:
+        self._attributes, self._tuples = state
+        self._hash = None
+        self._indexes = {}
+        self._code_indexes = {}
+        self._column_store = None
+
     # -- construction helpers ---------------------------------------------
 
     @classmethod

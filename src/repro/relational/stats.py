@@ -22,6 +22,9 @@ the quantity that governs join cost; this module makes it observable.  An
   struct-of-arrays column stores actually built (a memoized hit builds
   nothing), and probe keys swept in batched column lookups (see
   :mod:`repro.relational.columnar`),
+* ``partitions`` / ``parallel_tasks`` — shard-parallel work: hash shards
+  materialized by :mod:`repro.parallel` partitioning, and tasks dispatched
+  to the worker-process pool,
 * ``intermediate_sizes`` — the cardinality of every join result, in order,
 * per-operator invocation counts and wall-clock seconds.
 
@@ -72,6 +75,8 @@ class EvalStats:
     trie_builds: int = 0
     column_builds: int = 0
     batch_probes: int = 0
+    partitions: int = 0
+    parallel_tasks: int = 0
     intermediate_sizes: list[int] = field(default_factory=list)
     operator_counts: dict[str, int] = field(default_factory=dict)
     operator_seconds: dict[str, float] = field(default_factory=dict)
@@ -97,6 +102,8 @@ class EvalStats:
         trie_builds: int = 0,
         column_builds: int = 0,
         batch_probes: int = 0,
+        partitions: int = 0,
+        parallel_tasks: int = 0,
         seconds: float = 0.0,
         intermediate: int | None = None,
     ) -> None:
@@ -115,6 +122,8 @@ class EvalStats:
         self.trie_builds += trie_builds
         self.column_builds += column_builds
         self.batch_probes += batch_probes
+        self.partitions += partitions
+        self.parallel_tasks += parallel_tasks
         self.operator_counts[operator] = self.operator_counts.get(operator, 0) + 1
         self.operator_seconds[operator] = (
             self.operator_seconds.get(operator, 0.0) + seconds
@@ -157,6 +166,8 @@ class EvalStats:
         self.trie_builds += other.trie_builds
         self.column_builds += other.column_builds
         self.batch_probes += other.batch_probes
+        self.partitions += other.partitions
+        self.parallel_tasks += other.parallel_tasks
         self.intermediate_sizes.extend(other.intermediate_sizes)
         self.routing_decisions.extend(other.routing_decisions)
         for op, n in other.operator_counts.items():
@@ -181,6 +192,8 @@ class EvalStats:
         self.trie_builds = 0
         self.column_builds = 0
         self.batch_probes = 0
+        self.partitions = 0
+        self.parallel_tasks = 0
         self.intermediate_sizes = []
         self.operator_counts = {}
         self.operator_seconds = {}
@@ -225,6 +238,8 @@ class EvalStats:
             "trie_builds": self.trie_builds,
             "column_builds": self.column_builds,
             "batch_probes": self.batch_probes,
+            "partitions": self.partitions,
+            "parallel_tasks": self.parallel_tasks,
             "joins": self.joins,
             "max_intermediate": self.max_intermediate,
             "total_intermediate": self.total_intermediate,
@@ -252,6 +267,8 @@ class EvalStats:
             f"trie builds         {self.trie_builds}",
             f"column builds       {self.column_builds}",
             f"batch probes        {self.batch_probes}",
+            f"partitions          {self.partitions}",
+            f"parallel tasks      {self.parallel_tasks}",
             f"joins               {self.joins}",
             f"max intermediate    {self.max_intermediate}",
             f"total intermediate  {self.total_intermediate}",

@@ -1,0 +1,86 @@
+"""Batch coordination: every routing policy returns serial-identical
+results in batch order, with per-worker accounting."""
+
+import pytest
+
+from repro.cq.evaluate import evaluate
+from repro.cq.parser import parse_query
+from repro.csp.solvers import join as join_solver
+from repro.csp.solvers.backtracking import Inference, solve_with_stats
+from repro.errors import SolverError
+from repro.generators.csp_random import random_binary_csp
+from repro.generators.graphs import random_digraph
+from repro.parallel import Coordinator, Job, worker_reports
+from repro.relational.stats import collect_stats
+
+INSTANCES = [random_binary_csp(6, 3, 8, 0.35, seed=s) for s in range(6)]
+
+
+@pytest.mark.parametrize("policy", ["round-robin", "least-loaded", "hash"])
+def test_policies_agree_with_serial(policy):
+    serial = [join_solver.is_solvable(i, strategy="greedy") for i in INSTANCES]
+    coord = Coordinator(workers=2, policy=policy)
+    jobs = [Job("is_solvable", (i, "greedy")) for i in INSTANCES]
+    results = coord.run(jobs)
+    assert [r.value for r in results] == serial
+    assert [r.index for r in results] == list(range(len(jobs)))
+    assert sum(t["jobs"] for t in coord.worker_totals.values()) == len(jobs)
+
+
+def test_solve_jobs_return_serial_solutions_with_search_stats():
+    serial = [
+        solve_with_stats(i, Inference.MAC, "residual").solution for i in INSTANCES
+    ]
+    coord = Coordinator(workers=2)
+    results = coord.run([Job("solve", (i, "residual")) for i in INSTANCES])
+    assert [r.value for r in results] == serial
+    assert all(r.search is not None and r.search.nodes >= 0 for r in results)
+
+
+def test_evaluate_jobs_match_direct_evaluation():
+    query = parse_query("Q(X,Z) :- E(X,Y), E(Y,Z).")
+    dbs = [random_digraph(12, 0.25, seed=s) for s in range(4)]
+    serial = [evaluate(query, db, "greedy") for db in dbs]
+    coord = Coordinator(workers=2)
+    results = coord.run([Job("evaluate", (query, db, "greedy")) for db in dbs])
+    assert [r.value for r in results] == serial
+
+
+def test_hash_policy_gives_key_affinity():
+    coord = Coordinator(workers=2, policy="hash")
+    jobs = [
+        Job("is_solvable", (INSTANCES[i % 3], "greedy"), key=f"db{i % 3}")
+        for i in range(9)
+    ]
+    results = coord.run(jobs)
+    by_key = {}
+    for i, r in enumerate(results):
+        by_key.setdefault(jobs[i].key, set()).add(r.worker)
+    assert all(len(workers) == 1 for workers in by_key.values())
+
+
+def test_batch_totals_merge_into_ambient_stats():
+    with collect_stats() as serial_stats:
+        for i in INSTANCES:
+            join_solver.is_solvable(i, strategy="greedy")
+    coord = Coordinator(workers=2)
+    with collect_stats() as batch_stats, worker_reports() as reports:
+        coord.run([Job("is_solvable", (i, "greedy")) for i in INSTANCES])
+    assert len(reports) == len(INSTANCES)
+    assert batch_stats.tuples_emitted == serial_stats.tuples_emitted
+    assert batch_stats.tuples_scanned == serial_stats.tuples_scanned
+    assert batch_stats.operator_counts == serial_stats.operator_counts
+
+
+def test_rejects_unknown_policy_and_kind():
+    with pytest.raises(SolverError):
+        Coordinator(policy="random")
+    coord = Coordinator(workers=2)
+    with pytest.raises(Exception):
+        coord.run([Job("transmogrify", ())])
+
+
+def test_empty_batch_is_a_no_op():
+    coord = Coordinator(workers=2)
+    assert coord.run([]) == []
+    assert coord.worker_totals == {}

@@ -1,0 +1,131 @@
+"""The ``execution="parallel"`` operators agree exactly with serial
+execution, fall back honestly below the threshold, and account their
+fan-out in the parent's stats."""
+
+import random
+
+import pytest
+
+from repro.parallel import parallel_config, worker_reports
+from repro.relational.algebra import join_all, natural_join, semijoin
+from repro.relational.relation import Relation
+from repro.relational.stats import collect_stats
+
+
+def _rel(attrs, n, width, seed):
+    rng = random.Random(seed)
+    return Relation(
+        attrs, {tuple(rng.randrange(width) for _ in attrs) for _ in range(n)}
+    )
+
+
+def _forced():
+    return parallel_config(workers=2, threshold=0)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_parallel_natural_join_matches_serial(seed):
+    left = _rel(("x", "y"), 150, 12, seed)
+    right = _rel(("y", "z"), 150, 12, seed + 100)
+    serial = natural_join(left, right)
+    with _forced():
+        par = natural_join(left, right, execution="parallel")
+    assert par == serial
+    assert par.attributes == serial.attributes
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_parallel_semijoin_matches_serial(seed):
+    left = _rel(("x", "y"), 150, 10, seed)
+    right = _rel(("y", "z"), 150, 10, seed + 100)
+    serial = semijoin(left, right)
+    with _forced():
+        par = semijoin(left, right, execution="parallel")
+    assert par == serial
+    assert par.attributes == left.attributes
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_parallel_fold_matches_serial(seed):
+    rels = [
+        _rel(("x", "y"), 80, 8, seed),
+        _rel(("y", "z"), 80, 8, seed + 100),
+        _rel(("z", "w"), 80, 8, seed + 200),
+    ]
+    serial = join_all(rels)
+    with _forced():
+        par = join_all(rels, execution="parallel")
+    assert par == serial
+    assert par.attributes == serial.attributes
+
+
+def test_parallel_fold_with_broadcast_relation():
+    """A relation without the partition attribute is broadcast whole."""
+    rng = random.Random(5)
+    a = _rel(("x", "y"), 90, 6, 1)
+    b = _rel(("y", "z"), 90, 6, 2)
+    # "w"/"v" never join with the partition attribute "y".
+    c = Relation(("w",), {(rng.randrange(3),) for _ in range(3)})
+    serial = join_all([a, b, c])
+    with _forced():
+        par = join_all([a, b, c], execution="parallel")
+    assert par == serial
+
+
+def test_disjoint_schemes_fall_back_to_serial():
+    """A pure Cartesian product has no partition key: serial fallback."""
+    a = Relation(("x",), [(0,), (1,)])
+    b = Relation(("y",), [(2,), (3,)])
+    with _forced(), collect_stats() as stats:
+        par = join_all([a, b], execution="parallel")
+    assert par == join_all([a, b])
+    assert stats.parallel_tasks == 0
+
+
+def test_small_inputs_fall_back_below_threshold():
+    left = _rel(("x", "y"), 30, 5, 0)
+    right = _rel(("y", "z"), 30, 5, 1)
+    with parallel_config(workers=2, threshold=10_000), collect_stats() as stats:
+        par = natural_join(left, right, execution="parallel")
+    assert par == natural_join(left, right)
+    assert stats.parallel_tasks == 0
+    assert stats.partitions == 0
+
+
+def test_single_worker_falls_back():
+    left = _rel(("x", "y"), 200, 8, 0)
+    right = _rel(("y", "z"), 200, 8, 1)
+    with parallel_config(workers=1, threshold=0), collect_stats() as stats:
+        par = natural_join(left, right, execution="parallel")
+    assert par == natural_join(left, right)
+    assert stats.parallel_tasks == 0
+
+
+def test_empty_operand_yields_empty_result():
+    left = Relation.empty(("x", "y"))
+    right = _rel(("y", "z"), 100, 6, 2)
+    with _forced():
+        par = natural_join(left, right, execution="parallel")
+    assert len(par) == 0
+    assert par.attributes == ("x", "y", "z")
+
+
+def test_fan_out_is_accounted_in_parent_stats():
+    left = _rel(("x", "y"), 200, 10, 3)
+    right = _rel(("y", "z"), 200, 10, 4)
+    with _forced(), collect_stats() as stats, worker_reports() as reports:
+        result = natural_join(left, right, execution="parallel")
+    assert stats.parallel_tasks == len(reports) > 0
+    assert stats.partitions > 0
+    assert stats.operator_counts.get("parallel_gather") == 1
+    # Workers emit the shard results; the gather emits the final union.
+    shard_emitted = sum(r.stats.tuples_emitted for r in reports)
+    assert shard_emitted >= len(result)
+    assert stats.tuples_emitted == shard_emitted + len(result)
+
+
+def test_parse_strategy_accepts_parallel():
+    from repro.relational.planner import parse_strategy
+
+    assert parse_strategy("parallel") == ("greedy", "parallel")
+    assert parse_strategy("textbook+parallel") == ("textbook", "parallel")

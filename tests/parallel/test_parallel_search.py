@@ -1,0 +1,107 @@
+"""Work-stealing parallel MAC search: identical solutions to serial
+search, honest task/steal accounting, and working cancellation."""
+
+import pytest
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.solvers.backtracking import (
+    Inference,
+    SearchStats,
+    is_solvable,
+    solve_with_stats,
+)
+from repro.generators.csp_random import coloring_instance, random_binary_csp
+from repro.generators.graphs import cycle_graph
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_parallel_solution_identical_to_serial(seed):
+    inst = random_binary_csp(8, 3, 10, 0.4, seed=seed)
+    serial = solve_with_stats(inst, Inference.MAC, "residual")
+    par = solve_with_stats(inst, Inference.MAC, "residual", workers=2)
+    assert par.solution == serial.solution
+
+
+@pytest.mark.parametrize("strategy", ["residual", "interned", "columnar"])
+def test_parallel_solution_identical_across_strategies(strategy):
+    inst = coloring_instance(cycle_graph(9), 3)
+    serial = solve_with_stats(inst, Inference.MAC, strategy)
+    par = solve_with_stats(inst, Inference.MAC, strategy, workers=2)
+    assert par.solution == serial.solution
+    assert par.solution is not None
+
+
+def test_unsolvable_instance_refuted_by_all_workers():
+    inst = coloring_instance(cycle_graph(9), 2)  # odd cycle, 2 colors
+    par = solve_with_stats(inst, Inference.MAC, "residual", workers=2)
+    assert par.solution is None
+    assert not is_solvable(inst, Inference.MAC, workers=2)
+
+
+def test_parallel_counters_account_for_the_fan_out():
+    inst = random_binary_csp(9, 3, 12, 0.35, seed=42)
+    par = solve_with_stats(inst, Inference.MAC, "residual", workers=2)
+    assert par.tasks > 0
+    assert par.steals >= par.tasks
+    assert par.propagation.revisions > 0
+
+
+def test_single_worker_requests_run_serial():
+    inst = coloring_instance(cycle_graph(7), 3)
+    serial = solve_with_stats(inst, Inference.MAC, "residual")
+    one = solve_with_stats(inst, Inference.MAC, "residual", workers=1)
+    assert one.solution == serial.solution
+    assert one.tasks == 0 and one.steals == 0
+
+
+def test_root_fixpoint_refutation_needs_no_workers():
+    # x != y over a single shared value: refuted at the root AC pass.
+    inst = CSPInstance(
+        ("x", "y"), (0,), [Constraint(("x", "y"), [])]
+    )
+    par = solve_with_stats(inst, Inference.MAC, "residual", workers=4)
+    assert par.solution is None
+    assert par.tasks == 0
+
+
+def test_root_fixpoint_singletons_are_the_solution():
+    # Unary pins force every variable: the root fixpoint solves it.
+    inst = CSPInstance(
+        ("x", "y"),
+        (0, 1),
+        [Constraint(("x",), [(0,)]), Constraint(("y",), [(1,)])],
+    )
+    par = solve_with_stats(inst, Inference.MAC, "residual", workers=4)
+    assert par.solution == {"x": 0, "y": 1}
+
+
+def test_should_stop_cancels_serial_search():
+    """The cancellation hook the parallel plane relies on: a firing
+    ``should_stop`` abandons the search with partial counters."""
+    inst = random_binary_csp(12, 3, 18, 0.45, seed=7)
+    full = solve_with_stats(inst, Inference.MAC, "residual")
+    if full.nodes < 128:
+        pytest.skip("instance too easy to observe cancellation")
+    calls = []
+
+    def stop():
+        calls.append(True)
+        return True
+
+    cancelled = solve_with_stats(
+        inst, Inference.MAC, "residual", should_stop=stop
+    )
+    assert calls, "should_stop was never polled"
+    assert cancelled.solution is None
+    assert 0 < cancelled.nodes < full.nodes
+
+
+def test_search_stats_merge_tracks_tasks_and_steals():
+    a = SearchStats(nodes=3, tasks=2, steals=5)
+    b = SearchStats(nodes=4, tasks=1, steals=2)
+    a.merge(b)
+    assert (a.nodes, a.tasks, a.steals) == (7, 3, 7)
+    d = a.as_dict()
+    assert d["tasks"] == 3 and d["steals"] == 7
+    a.reset()
+    assert a.tasks == 0 and a.steals == 0

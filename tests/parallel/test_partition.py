@@ -1,0 +1,86 @@
+"""Hash partitioning: shards partition the relation, equal keys co-locate
+across operands under a shared codec, and the fold attribute choice is
+deterministic."""
+
+import random
+
+import pytest
+
+from repro.parallel.partition import (
+    choose_partition_attribute,
+    hash_partition,
+    partition_codec,
+)
+from repro.relational.relation import Relation
+from repro.relational.stats import collect_stats
+
+
+def _random_relation(attrs, n, width, seed):
+    rng = random.Random(seed)
+    return Relation(
+        attrs, {tuple(rng.randrange(width) for _ in attrs) for _ in range(n)}
+    )
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_shards_partition_the_relation(seed):
+    rel = _random_relation(("x", "y"), 120, 15, seed)
+    codec = partition_codec((rel,), ("y",))
+    parts = hash_partition(rel, ("y",), 4, codec)
+    assert len(parts) == 4
+    assert all(p.attributes == rel.attributes for p in parts)
+    assert sum(len(p) for p in parts) == len(rel)
+    rows = set()
+    for p in parts:
+        assert rows.isdisjoint(p.tuples)
+        rows |= p.tuples
+    assert rows == rel.tuples
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_equal_keys_land_in_equal_shards_across_operands(seed):
+    left = _random_relation(("x", "y"), 100, 12, seed)
+    right = _random_relation(("y", "z"), 100, 12, seed + 500)
+    codec = partition_codec((left, right), ("y",))
+    shards = 3
+    left_parts = hash_partition(left, ("y",), shards, codec)
+    right_parts = hash_partition(right, ("y",), shards, codec)
+
+    def shard_of(parts, key_position, value):
+        return {
+            i for i, p in enumerate(parts) for row in p if row[key_position] == value
+        }
+
+    for value in left.column("y") & right.column("y"):
+        left_shards = shard_of(left_parts, 1, value)
+        right_shards = shard_of(right_parts, 0, value)
+        assert len(left_shards) == 1 and left_shards == right_shards
+
+
+def test_partition_charges_stats():
+    rel = _random_relation(("x",), 50, 9, 3)
+    codec = partition_codec((rel,), ("x",))
+    with collect_stats() as stats:
+        hash_partition(rel, ("x",), 2, codec)
+    assert stats.tuples_scanned == len(rel)
+    assert stats.partitions == 2
+    assert stats.operator_counts.get("partition") == 1
+
+
+def test_choose_partition_attribute_prefers_most_shared():
+    r = Relation(("a", "b"), [(1, 2)])
+    s = Relation(("b", "c"), [(2, 3)])
+    t = Relation(("b", "d"), [(2, 4)])
+    assert choose_partition_attribute((r, s, t)) == "b"
+
+
+def test_choose_partition_attribute_breaks_ties_alphabetically():
+    r = Relation(("a", "b"), [(1, 2)])
+    s = Relation(("a", "b"), [(1, 2)])
+    assert choose_partition_attribute((r, s)) == "a"
+
+
+def test_choose_partition_attribute_none_on_disjoint_schemes():
+    r = Relation(("a",), [(1,)])
+    s = Relation(("b",), [(2,)])
+    assert choose_partition_attribute((r, s)) is None

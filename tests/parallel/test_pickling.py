@@ -1,0 +1,99 @@
+"""Pickling discipline: relations, codecs, and column stores round-trip
+by value and never drag their memoized derived structures across the
+process boundary (the property that keeps shard shipping cheap)."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.relational.columnar import ColumnStore, column_store, numpy_backend
+from repro.relational.interning import Codec
+from repro.relational.relation import Relation
+
+
+def _rel(n=200, width=20, seed=0):
+    rng = random.Random(seed)
+    return Relation(
+        ("x", "y"), {(rng.randrange(width), rng.randrange(width)) for _ in range(n)}
+    )
+
+
+def test_relation_round_trips_by_value():
+    rel = _rel()
+    restored = pickle.loads(pickle.dumps(rel))
+    assert restored == rel
+    assert restored.attributes == rel.attributes
+    assert restored.tuples == rel.tuples
+    assert hash(restored) == hash(rel)
+
+
+def test_relation_pickle_drops_memoized_indexes():
+    fresh = _rel(seed=1)
+    cold = len(pickle.dumps(fresh))
+    # Warm every derived structure: hash index, code index, column store.
+    fresh.index_on(("y",))
+    fresh.code_index_on(("y",))
+    column_store(fresh)
+    warm = len(pickle.dumps(fresh))
+    assert warm == cold, "memoized indexes leaked into the pickle"
+    restored = pickle.loads(pickle.dumps(fresh))
+    assert not restored.has_index(("y",))
+    assert not restored.has_code_index(("y",))
+    assert not restored.has_column_store()
+
+
+def test_relation_pickle_size_regression():
+    """Shipping a shard must cost O(tuples): the payload stays within a
+    small constant of the raw tuple data."""
+    rel = _rel(n=500, width=50, seed=2)
+    rel.index_on(("x",))
+    rel.code_index_on(("x",))
+    column_store(rel)
+    payload = len(pickle.dumps(rel))
+    raw = len(pickle.dumps((rel.attributes, rel.tuples)))
+    assert payload <= raw + 128
+
+
+def test_restored_relation_rebuilds_indexes_on_demand():
+    rel = pickle.loads(pickle.dumps(_rel(seed=3)))
+    index = rel.index_on(("y",))
+    assert rel.has_index(("y",))
+    some_row = next(iter(rel))
+    assert some_row in index[(some_row[1],)]
+
+
+def test_codec_round_trips_bijectively():
+    codec = Codec(["b", "a", "c", 7, (1, 2)])
+    restored = pickle.loads(pickle.dumps(codec))
+    assert restored.values == codec.values
+    for value in codec.values:
+        assert restored.encode(value) == codec.encode(value)
+        assert restored.decode(codec.encode(value)) == value
+
+
+def test_column_store_round_trips_without_numpy_views():
+    rel = _rel(n=100, seed=4)
+    store = column_store(rel)
+    restored = pickle.loads(pickle.dumps(store))
+    assert isinstance(restored, ColumnStore)
+    assert restored.attributes == store.attributes
+    assert restored.rows == store.rows
+    assert restored.nrows == store.nrows
+    assert restored.to_relation() == rel
+    if numpy_backend() is not None:
+        # The lazy numpy matrices must not ship; they rebuild on demand.
+        store.np_columns()
+        reshipped = pickle.loads(pickle.dumps(store))
+        assert reshipped._np_columns is None
+        assert reshipped.np_columns() is not None
+
+
+def test_csp_instance_round_trips():
+    from repro.generators.csp_random import random_binary_csp
+
+    inst = random_binary_csp(6, 3, 8, 0.4, seed=5)
+    restored = pickle.loads(pickle.dumps(inst))
+    assert restored.variables == inst.variables
+    assert restored.domain == inst.domain
+    assert restored.constraints == inst.constraints

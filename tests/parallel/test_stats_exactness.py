@@ -1,0 +1,137 @@
+"""Stats-plane exactness across the process boundary.
+
+Three invariants keep the observability story honest under fan-out:
+
+* **composition** — the parent's collected totals are the merge of every
+  worker's shipped counters plus the parent's own partition/gather
+  records, and merging is order-insensitive on totals (hypothesis-checked
+  over shuffles);
+* **trace exactness** — a traced parallel run's JSONL stream reaggregates
+  to exactly the in-process totals, same as serial (worker counters merge
+  into the parent's installed stats *inside* the open operator span);
+* **result exactness** — all of the above while the answers stay
+  bit-identical to serial execution on the differential-matrix family.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.propagation import collect_propagation
+from repro.csp.solvers.backtracking import Inference, solve_with_stats
+from repro.generators.csp_random import random_binary_csp
+from repro.parallel import parallel_config, worker_reports
+from repro.relational.algebra import join_all, natural_join
+from repro.relational.relation import Relation
+from repro.relational.stats import EvalStats, collect_stats
+from repro.telemetry import dumps, parse_jsonl, reaggregate, tracing
+
+
+def _rel(attrs, n, width, seed):
+    rng = random.Random(seed)
+    return Relation(
+        attrs, {tuple(rng.randrange(width) for _ in attrs) for _ in range(n)}
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_parent_totals_compose_from_worker_stats(seed):
+    left = _rel(("x", "y"), 150, 12, seed)
+    right = _rel(("y", "z"), 150, 12, seed + 1)
+    with parallel_config(workers=2, threshold=0):
+        with collect_stats() as stats, worker_reports() as reports:
+            result = natural_join(left, right, execution="parallel")
+    assert reports, "no fan-out happened"
+    merged = EvalStats()
+    for record in reports:
+        merged.merge(record.stats)
+    # Every worker-side counter is contained in the parent's total; what
+    # remains is exactly the parent's partition + codec + gather work.
+    for key, value in merged.as_dict().items():
+        if isinstance(value, int):
+            assert stats.as_dict()[key] >= value
+    assert stats.tuples_emitted == merged.tuples_emitted + len(result)
+    assert stats.parallel_tasks == len(reports)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), order=st.randoms())
+def test_merge_totals_are_order_insensitive(seed, order):
+    blocks = []
+    for i in range(4):
+        with collect_stats() as stats:
+            natural_join(
+                _rel(("x", "y"), 60, 9, seed + i), _rel(("y", "z"), 60, 9, seed - i)
+            )
+        blocks.append(stats)
+    forward = EvalStats()
+    for b in blocks:
+        forward.merge(b)
+    shuffled = list(blocks)
+    order.shuffle(shuffled)
+    backward = EvalStats()
+    for b in shuffled:
+        backward.merge(b)
+    fdict, bdict = forward.as_dict(), backward.as_dict()
+    # intermediate_sizes is a sequence (order-sensitive by design): compare
+    # as multisets; every scalar total must match exactly.
+    assert sorted(fdict.pop("intermediate_sizes")) == sorted(
+        bdict.pop("intermediate_sizes")
+    )
+    assert fdict == bdict
+
+
+def test_traced_parallel_join_reaggregates_exactly():
+    rels = [
+        _rel(("x", "y"), 120, 10, 1),
+        _rel(("y", "z"), 120, 10, 2),
+        _rel(("z", "w"), 120, 10, 3),
+    ]
+    with parallel_config(workers=2, threshold=0):
+        with collect_stats() as stats, tracing("parallel-fold") as trace:
+            join_all(rels, execution="parallel")
+    assert stats.parallel_tasks > 0
+    agg = reaggregate(parse_jsonl(dumps(trace).splitlines()))
+    rebuilt, collected = agg["eval"].as_dict(), stats.as_dict()
+    # Wall-clock accumulates in a different float-summation order through
+    # the span deltas, and zero-second entries (operators charged with no
+    # timing) are omitted from counter deltas by design; every discrete
+    # counter must match exactly.
+    rebuilt_seconds = {k: v for k, v in rebuilt.pop("operator_seconds").items() if v}
+    collected_seconds = {
+        k: v for k, v in collected.pop("operator_seconds").items() if v
+    }
+    assert rebuilt_seconds == pytest.approx(collected_seconds)
+    assert rebuilt == collected
+
+
+def test_traced_parallel_search_reaggregates_exactly():
+    # This instance is known to fan out (root split survives the fixpoint);
+    # an instance resolved at the root emits an all-zero counter delta and
+    # hence no "search" counter event at all.
+    inst = random_binary_csp(9, 3, 12, 0.35, seed=2)
+    with collect_propagation() as pstats:
+        with tracing("parallel-search") as trace:
+            stats = solve_with_stats(inst, Inference.MAC, "residual", workers=2)
+    assert stats.tasks > 0, "instance no longer fans out"
+    agg = reaggregate(parse_jsonl(dumps(trace).splitlines()))
+    rebuilt = agg["search"]
+    assert (rebuilt.nodes, rebuilt.backtracks, rebuilt.prunings) == (
+        stats.nodes, stats.backtracks, stats.prunings,
+    )
+    assert (rebuilt.tasks, rebuilt.steals) == (stats.tasks, stats.steals)
+    # The merged per-worker propagation published into the ambient collector.
+    assert pstats.as_dict() == stats.propagation.as_dict()
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_parallel_results_stay_serial_identical_under_collection(seed):
+    inst = random_binary_csp(7, 3, 9, 0.4, seed=seed)
+    serial = solve_with_stats(inst, Inference.MAC, "residual")
+    with collect_stats(), collect_propagation():
+        par = solve_with_stats(inst, Inference.MAC, "residual", workers=2)
+    assert par.solution == serial.solution

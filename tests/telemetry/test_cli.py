@@ -64,6 +64,33 @@ def test_stats_json_carries_the_metricset_tag(capsys):
     assert payload["greedy"]["joins"] > 0
 
 
+def test_stats_workers_appends_per_worker_breakdown(capsys):
+    cli.main(
+        ["stats", "--workload", "e1", "--strategies", "parallel",
+         "--workers", "2"]
+    )
+    out = capsys.readouterr().out
+    assert "per-worker breakdown (2 workers" in out
+    # One row per pid with a positive task count.
+    rows = [l for l in out.splitlines() if l.split("|")[0].strip().isdigit()]
+    assert rows and all(int(r.split("|")[1]) > 0 for r in rows)
+
+
+def test_profile_search_workers_shows_steal_accounting(capsys):
+    cli.main(["profile", "--workload", "search", "--workers", "2"])
+    out = capsys.readouterr().out
+    assert "work-stealing parallel MAC search" in out
+    assert "search.steals" in out
+    assert "per-worker breakdown (2 workers" in out
+
+
+def test_profile_join_workers_routes_to_parallel_execution(capsys):
+    cli.main(["profile", "--workload", "join", "--workers", "2"])
+    out = capsys.readouterr().out
+    assert "hash-sharded joins across 2 workers" in out
+    assert "per-worker breakdown" in out
+
+
 def test_propagation_stats_json_carries_the_metricset_tag(capsys):
     cli.main(
         ["stats", "--workload", "propagation", "--strategies", "residual", "--json"]

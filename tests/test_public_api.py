@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.generators",
     "repro.io",
     "repro.telemetry",
+    "repro.parallel",
 ]
 
 SOLVER_MODULES = [
