@@ -1,0 +1,150 @@
+"""E12 — the view-maintenance service: incremental fixpoint upkeep plus
+containment-keyed result caching, against recompute-from-scratch.
+
+Two in-run claims back the service design (see docs/observability.md):
+
+* **Maintenance plane** — on the hierarchy workload (a random recursive
+  forest under reparenting updates, the classical view-maintenance steady
+  state) delete-and-rederive with the persistent index pools keeps the
+  transitive closure current at least **5x** faster per update batch than
+  re-running the semi-naive fixpoint from scratch.
+* **Cache plane** — on the multi-tenant equivalent-query stream (every
+  tenant scrambles each template: fresh variable names, shuffled bodies,
+  redundant implied atoms) the containment-keyed cache answers at least
+  **60%** of queries without touching the data.
+
+Both claims are asserted *inside* the benchmarks, so a regression fails
+the suite rather than silently degrading a table.
+"""
+
+import time
+
+import pytest
+
+from repro.datalog.engine import evaluate_seminaive
+from repro.datalog.incremental import IncrementalEvaluation
+from repro.service.core import QueryService
+from repro.service.stream import QueryEvent, UpdateEvent, service_stream
+
+
+def hierarchy_workload(nodes, n_events=120, update_every=2, seed=0):
+    """An update-heavy hierarchy stream: every other event reparents."""
+    return service_stream(
+        n_events,
+        update_every=update_every,
+        nodes=nodes,
+        graph="hierarchy",
+        seed=seed,
+    )
+
+
+@pytest.mark.benchmark(group="E12 service: incremental vs from-scratch")
+@pytest.mark.parametrize("nodes", [1000, 2000])
+def test_e12_incremental_beats_refixpoint(benchmark, nodes):
+    """Steady-state update latency: DRed maintenance vs full refixpoint.
+
+    The benchmark times the incremental replay of the update stream; the
+    from-scratch cost is measured once over the identical stream and the
+    5x floor is asserted on the means.  Both sides are checked for
+    agreement on the final closure, so the speedup cannot come from
+    skipped work.
+    """
+    workload = hierarchy_workload(nodes)
+    updates = [e for e in workload.events if isinstance(e, UpdateEvent)]
+    assert len(updates) >= 30
+
+    # From-scratch baseline: re-run the semi-naive fixpoint per batch.
+    edb = set(workload.database["E"])
+    scratch_started = time.perf_counter()
+    for event in updates:
+        edb.difference_update(event.deletes["E"])
+        edb.update(event.inserts["E"])
+        scratch_values = evaluate_seminaive(workload.program, {"E": edb})
+    scratch_seconds = time.perf_counter() - scratch_started
+
+    state = {}
+
+    def replay_incremental():
+        engine = IncrementalEvaluation(workload.program, workload.database)
+        started = time.perf_counter()
+        for event in updates:
+            engine.apply(inserts=event.inserts, deletes=event.deletes)
+        state["seconds"] = time.perf_counter() - started
+        state["engine"] = engine
+        return engine
+
+    benchmark(replay_incremental)
+    incremental_seconds = state["seconds"]
+    assert state["engine"].value("T") == scratch_values["T"]
+
+    speedup = scratch_seconds / incremental_seconds
+    print(
+        f"\n  nodes={nodes}: incremental "
+        f"{incremental_seconds / len(updates) * 1e3:.2f} ms/update, "
+        f"from-scratch {scratch_seconds / len(updates) * 1e3:.2f} ms/update "
+        f"-> {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"incremental maintenance must be >=5x faster than refixpoint "
+        f"on the hierarchy stream, got {speedup:.2f}x"
+    )
+
+
+@pytest.mark.benchmark(group="E12 service: containment cache")
+def test_e12_cache_hit_rate(benchmark):
+    """The multi-tenant equivalent-query stream through the full service:
+    the containment-keyed cache must absorb >=60% of query events."""
+    workload = service_stream(400, templates=4, tenants=8, update_every=20)
+
+    def replay():
+        service = QueryService(workload.program, workload.database)
+        for event in workload.events:
+            if isinstance(event, QueryEvent):
+                service.ask(event.query)
+            else:
+                service.update(event.inserts, event.deletes)
+        return service
+
+    service = benchmark(replay)
+    stats = service.cache.stats
+    print(
+        f"\n  {stats.hits}/{stats.lookups} cache hits "
+        f"({stats.hit_rate:.0%}): exact {stats.exact_hits}, "
+        f"equivalence {stats.equivalence_hits}, "
+        f"projection {stats.projection_hits}; "
+        f"{stats.invalidations} invalidations"
+    )
+    assert stats.lookups >= 300
+    assert stats.hit_rate >= 0.60, (
+        f"containment cache must absorb >=60% of the equivalent-query "
+        f"stream, got {stats.hit_rate:.0%}"
+    )
+
+
+@pytest.mark.benchmark(group="E12 service: end-to-end")
+def test_e12_service_vs_uncached_baseline(benchmark):
+    """Whole-stream wall clock: the service (incremental + cached) against
+    the recompute-from-scratch, uncached baseline of ``repro
+    bench-service`` — the headline number of EXPERIMENTS.md E12."""
+    from argparse import Namespace
+
+    from repro.service.cli import bench_service_report
+
+    args = Namespace(
+        events=300,
+        seed=0,
+        templates=4,
+        tenants=8,
+        update_every=15,
+        graph="hierarchy",
+        nodes=120,
+        no_baseline=False,
+    )
+    report = benchmark(bench_service_report, args)
+    assert report["service"]["cache"]["hit_rate"] >= 0.60
+    assert report["update_speedup"] >= 1.0
+    print(
+        f"\n  whole-run speedup {report['throughput_speedup']:.1f}x, "
+        f"update-latency speedup {report['update_speedup']:.1f}x, "
+        f"hit rate {report['service']['cache']['hit_rate']:.0%}"
+    )

@@ -24,6 +24,13 @@
   tuples scanned/emitted, search nodes, steals per pid) is appended.
 * ``python -m repro trace --jsonl`` — same trace, always as JSONL (the
   machine-readable form ``tools/validate_trace.py`` checks).
+* ``python -m repro serve`` — a resident
+  :class:`~repro.service.core.QueryService` speaking line-oriented JSON on
+  stdin/stdout: incremental view maintenance plus the containment-keyed
+  result cache.
+* ``python -m repro bench-service`` — replay the multi-tenant workload
+  through the service and a recompute-from-scratch baseline; report cache
+  hit rate, P50/P99 latencies, and the update-latency speedup.
 
 See ``docs/observability.md``.
 """
@@ -533,6 +540,18 @@ def main(argv: list[str] | None = None) -> None:
         "--jsonl", action="store_true",
         help="accepted for symmetry; trace always emits JSONL",
     )
+    from repro.service import cli as service_cli
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the incremental query service on stdin/stdout (JSON lines)",
+    )
+    service_cli.add_serve_arguments(serve)
+    bench = sub.add_parser(
+        "bench-service",
+        help="replay the multi-tenant workload; report hit rate and latencies",
+    )
+    service_cli.add_bench_service_arguments(bench)
     args = parser.parse_args(argv)
 
     if args.command == "stats" and args.workload == "propagation":
@@ -543,6 +562,10 @@ def main(argv: list[str] | None = None) -> None:
         profile_command(args)
     elif args.command == "trace":
         trace_command(args)
+    elif args.command == "serve":
+        service_cli.run_serve(args)
+    elif args.command == "bench-service":
+        service_cli.run_bench_service(args)
     else:
         tour()
 

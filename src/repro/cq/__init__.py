@@ -13,7 +13,9 @@ from repro.cq.bounded import (
     free_variables,
 )
 from repro.cq.canonical import (
+    CANONICAL_KEY_PERMUTATION_CAP,
     canonical_database,
+    canonical_key,
     canonical_query,
     structure_from_query_body,
 )
@@ -40,6 +42,8 @@ __all__ = [
     "satisfying_assignments",
     "canonical_database",
     "canonical_query",
+    "canonical_key",
+    "CANONICAL_KEY_PERMUTATION_CAP",
     "structure_from_query_body",
     "is_contained_in",
     "is_contained_in_via_homomorphism",

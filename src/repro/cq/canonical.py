@@ -15,6 +15,7 @@ These two constructions mediate the classical equivalences::
 
 from __future__ import annotations
 
+from itertools import permutations
 from typing import Any
 
 from repro.cq.query import Atom, ConjunctiveQuery, Var
@@ -23,6 +24,8 @@ from repro.relational.structure import Structure, Vocabulary
 __all__ = [
     "canonical_database",
     "canonical_query",
+    "canonical_key",
+    "CANONICAL_KEY_PERMUTATION_CAP",
     "structure_from_query_body",
     "distinguished_marker",
     "constant_marker",
@@ -97,6 +100,123 @@ def canonical_database(
         facts[marker] = [(c,)]
 
     return Structure(Vocabulary(arities), domain, facts)
+
+
+#: Bound on the existential-variable orderings :func:`canonical_key`
+#: enumerates (8!).  A query whose color-refinement classes admit more
+#: orderings gets no key (``None``) — equality-keyed caches must then fall
+#: back to an explicit containment probe.
+CANONICAL_KEY_PERMUTATION_CAP = 40320
+
+
+def canonical_key(query: ConjunctiveQuery) -> str | None:
+    """A canonical string key: equal keys ⟺ isomorphic queries.
+
+    Two queries get the same key exactly when one maps onto the other by a
+    variable bijection that preserves body atoms, constants, and the
+    distinguished tuple positionally (the head predicate *name* is
+    ignored — it does not affect the answers).  Since the core of a query
+    is unique up to isomorphism, ``canonical_key(minimize(q))`` is a sound
+    and complete equality key for conjunctive-query *equivalence* —
+    exactly what a containment-keyed result cache needs.
+
+    Distinguished variables are pinned positionally (``D0``, ``D1``, …,
+    repeating for repeated head variables) and constants by their ``repr``,
+    so only the existential variables need canonical names: a color
+    refinement over the atom-incidence structure splits them into orbits,
+    and the lexicographically least encoding over the per-orbit orderings
+    is chosen.  When the orbit structure admits more than
+    :data:`CANONICAL_KEY_PERMUTATION_CAP` orderings the search is not
+    attempted and ``None`` is returned (no key — never a wrong key).
+    """
+    first_position: dict[Var, int] = {}
+    for i, v in enumerate(query.distinguished):
+        first_position.setdefault(v, i)
+
+    def fixed_token(term: Any) -> str | None:
+        """The canonical token of a term that needs no search, else None."""
+        if isinstance(term, Var):
+            if term in first_position:
+                return f"D{first_position[term]}"
+            return None
+        return f"c{term!r}"
+
+    existential = [
+        v for v in query.variables() if isinstance(v, Var) and v not in first_position
+    ]
+
+    # Color refinement over the existential variables: a variable's
+    # signature lists, per atom occurrence, the predicate, the canonical
+    # or color token of every term, and the positions it occupies.  Colors
+    # are re-ranked by sorted signature each round, so they stay canonical
+    # (isomorphism-invariant) by induction.
+    color: dict[Var, int] = {v: 0 for v in existential}
+    while True:
+        signatures: dict[Var, tuple] = {}
+        for v in existential:
+            occurrences = []
+            for atom in query.body:
+                if v not in atom.terms:
+                    continue
+                tags = tuple(
+                    fixed_token(t) or f"e{color[t]}" for t in atom.terms
+                )
+                positions = tuple(
+                    i for i, t in enumerate(atom.terms) if t == v
+                )
+                occurrences.append((atom.predicate, tags, positions))
+            signatures[v] = (color[v], tuple(sorted(occurrences)))
+        ranked = {sig: rank for rank, sig in enumerate(sorted(set(signatures.values())))}
+        new_color = {v: ranked[signatures[v]] for v in existential}
+        if new_color == color:
+            break
+        color = new_color
+
+    classes: dict[int, list[Var]] = {}
+    for v in existential:
+        classes.setdefault(color[v], []).append(v)
+    ordered_classes = [classes[c] for c in sorted(classes)]
+
+    orderings = 1
+    for cls in ordered_classes:
+        for k in range(2, len(cls) + 1):
+            orderings *= k
+        if orderings > CANONICAL_KEY_PERMUTATION_CAP:
+            return None
+
+    head_tokens = tuple(f"D{first_position[v]}" for v in query.distinguished)
+    best: tuple | None = None
+    for class_orders in _class_orderings(ordered_classes):
+        rank_of: dict[Var, int] = {}
+        for cls in class_orders:
+            for v in cls:
+                rank_of[v] = len(rank_of)
+        encoded = tuple(
+            sorted(
+                (
+                    atom.predicate,
+                    tuple(
+                        fixed_token(t) or f"E{rank_of[t]}" for t in atom.terms
+                    ),
+                )
+                for atom in query.body
+            )
+        )
+        if best is None or encoded < best:
+            best = encoded
+    return repr((head_tokens, best))
+
+
+def _class_orderings(ordered_classes: list[list[Var]]):
+    """All orderings that permute variables within their refinement class
+    only (the classes themselves are canonically ordered already)."""
+    if not ordered_classes:
+        yield []
+        return
+    head, tail = ordered_classes[0], ordered_classes[1:]
+    for perm in permutations(head):
+        for rest in _class_orderings(tail):
+            yield [list(perm)] + rest
 
 
 def canonical_query(structure: Structure, name: str = "Phi") -> ConjunctiveQuery:

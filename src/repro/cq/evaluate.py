@@ -26,11 +26,24 @@ def atom_relation(atom: Atom, database: Structure) -> Relation:
     """The relation of assignments to the atom's variables that match the
     database: rows of ``database.relation(atom.predicate)`` filtered on
     constants and repeated variables, projected to one column per variable.
+
+    The result is memoized on the (immutable) database via
+    :meth:`~repro.relational.structure.Structure.derived`: every query over
+    the same structure gets back the *same* :class:`Relation` object per
+    atom, so hash indexes built by one query's joins are probed for free by
+    the next — the cross-job reuse the :class:`~repro.parallel.coordinator.Coordinator`'s
+    ``"hash"`` routing policy and the :mod:`repro.service` cache lean on.
     """
     if atom.predicate not in database.vocabulary:
         raise VocabularyError(
             f"predicate {atom.predicate!r} not in the database vocabulary"
         )
+    return database.derived(
+        ("atom_relation", atom), lambda: _build_atom_relation(atom, database)
+    )
+
+
+def _build_atom_relation(atom: Atom, database: Structure) -> Relation:
     rows = database.relation(atom.predicate)
     variables = atom.variables()
     first_position = {v: atom.terms.index(v) for v in variables}

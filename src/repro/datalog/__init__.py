@@ -12,6 +12,12 @@ from repro.datalog.engine import (
     evaluate_seminaive,
     goal_holds,
     goal_relation,
+    seminaive_closure,
+)
+from repro.datalog.incremental import (
+    DELETION_MODES,
+    IncrementalEvaluation,
+    UpdateReport,
 )
 from repro.datalog.library import (
     non_two_colorability_program,
@@ -28,8 +34,12 @@ __all__ = [
     "evaluate",
     "evaluate_naive",
     "evaluate_seminaive",
+    "seminaive_closure",
     "goal_holds",
     "goal_relation",
+    "IncrementalEvaluation",
+    "UpdateReport",
+    "DELETION_MODES",
     "canonical_program",
     "CanonicalProgram",
     "spoiler_wins_via_datalog",

@@ -29,7 +29,14 @@ from repro.relational.relation import Relation
 from repro.relational.structure import Structure
 from repro.telemetry.spans import span
 
-__all__ = ["evaluate_naive", "evaluate_seminaive", "evaluate", "goal_holds", "goal_relation"]
+__all__ = [
+    "evaluate_naive",
+    "evaluate_seminaive",
+    "evaluate",
+    "goal_holds",
+    "goal_relation",
+    "seminaive_closure",
+]
 
 Facts = dict[str, frozenset[tuple[Any, ...]]]
 
@@ -73,21 +80,30 @@ def _atom_to_relation(
         if cached is not None:
             return cached
     variables = atom.variables()
-    first = {v: atom.terms.index(v) for v in variables}
+    if len(variables) == len(atom.terms):
+        # Every term is a distinct variable (no constants to filter on, no
+        # repeats to equate), so the predicate's rows pass through
+        # unchanged and in order: share the frozenset instead of
+        # re-filtering and re-tupling every row.
+        relation = Relation.from_trusted_rows(
+            tuple(v.name for v in variables), value
+        )
+    else:
+        first = {v: atom.terms.index(v) for v in variables}
 
-    def matches(row: tuple) -> bool:
-        for i, term in enumerate(atom.terms):
-            if isinstance(term, Var):
-                if row[i] != row[first[term]]:
+        def matches(row: tuple) -> bool:
+            for i, term in enumerate(atom.terms):
+                if isinstance(term, Var):
+                    if row[i] != row[first[term]]:
+                        return False
+                elif row[i] != term:
                     return False
-            elif row[i] != term:
-                return False
-        return True
+            return True
 
-    relation = Relation(
-        tuple(v.name for v in variables),
-        (tuple(row[first[v]] for v in variables) for row in value if matches(row)),
-    )
+        relation = Relation(
+            tuple(v.name for v in variables),
+            (tuple(row[first[v]] for v in variables) for row in value if matches(row)),
+        )
     if cache is not None:
         cache[(atom, value)] = relation
     return relation
@@ -151,11 +167,20 @@ def _apply_rule(
     static_positions = []
     for i, atom in enumerate(rule.body):
         if delta_atom_index is not None and i == delta_atom_index:
+            # Delta values are fresh every round and never read again, so
+            # caching their relations would only evict the persistent
+            # snapshots (the bounded per-atom cache is FIFO).
             value = (delta or {}).get(atom.predicate, frozenset())
-        else:
-            value = values.get(atom.predicate, frozenset())
-            if atom.predicate in static:
-                static_positions.append(i)
+            relations.append(_atom_to_relation(atom, value, None))
+            continue
+        value = values.get(atom.predicate, frozenset())
+        # In a semi-naive round every non-delta relation is stable: it
+        # reads a snapshot that persists across rounds (and, under
+        # incremental maintenance, across update batches) through the
+        # atom cache, so a warmed index amortizes.  The delta relation
+        # is fresh every round and must stay the probe side.
+        if atom.predicate in static or delta_atom_index is not None:
+            static_positions.append(i)
         relations.append(_atom_to_relation(atom, value, cache))
     order, execution = parse_strategy(
         strategy, default_order=DEFAULT_STRATEGY, default_execution=DEFAULT_EXECUTION
@@ -177,6 +202,60 @@ def _apply_rule(
             )
         )
     return derived
+
+
+def seminaive_closure(
+    program: Program,
+    values: Facts,
+    delta: Facts,
+    strategy: str | None = None,
+    cache: Any = None,
+    static: frozenset[str] = frozenset(),
+    first_round: int = 1,
+) -> int:
+    """Run semi-naive delta rounds until no rule derives a new fact.
+
+    ``values`` maps every predicate (EDB and IDB) to its current value and
+    is updated **in place**; ``delta`` maps predicates to the facts that are
+    *new* relative to the previous state — in a from-scratch evaluation
+    these are the round-0 IDB derivations, in incremental maintenance
+    (:mod:`repro.datalog.incremental`) they are freshly inserted EDB facts
+    and rederivation seeds.  Per round, each rule is instantiated once per
+    body atom whose predicate has a delta, with that atom reading the delta
+    value only — the classical "at least one new fact per derivation"
+    argument, which is what lets an update batch touch only the affected
+    part of the fixpoint.  Returns the number of delta rounds run.
+    """
+    idbs = program.idb_predicates()
+    rounds = 0
+    delta = {p: frozenset(v) for p, v in delta.items()}
+    while any(delta.values()):
+        with span("datalog.round", round=first_round + rounds) as sp:
+            next_delta: dict[str, set[tuple[Any, ...]]] = {idb: set() for idb in idbs}
+            for rule in program.rules:
+                delta_positions = [
+                    i for i, atom in enumerate(rule.body) if atom.predicate in delta
+                ]
+                for pos in delta_positions:
+                    derived = _apply_rule(
+                        rule,
+                        values,
+                        delta_atom_index=pos,
+                        delta=delta,
+                        strategy=strategy,
+                        cache=cache,
+                        static=static,
+                    )
+                    next_delta[rule.head.predicate] |= derived
+            delta = {
+                idb: frozenset(next_delta[idb] - values[idb]) for idb in idbs
+            }
+            for idb in idbs:
+                values[idb] = values[idb] | delta[idb]
+            if sp:
+                sp.note(rows=sum(len(d) for d in delta.values()))
+        rounds += 1
+    return rounds
 
 
 def evaluate_naive(
@@ -241,33 +320,15 @@ def evaluate_seminaive(
             if sp:
                 sp.note(rows=sum(len(d) for d in delta.values()))
 
-        rounds = 1
-        while any(delta.values()):
-            with span("datalog.round", round=rounds) as sp:
-                next_delta: dict[str, set[tuple[Any, ...]]] = {idb: set() for idb in idbs}
-                for rule in program.rules:
-                    idb_positions = [
-                        i for i, atom in enumerate(rule.body) if atom.predicate in idbs
-                    ]
-                    for pos in idb_positions:
-                        derived = _apply_rule(
-                            rule,
-                            values,
-                            delta_atom_index=pos,
-                            delta=delta,
-                            strategy=strategy,
-                            cache=cache,
-                            static=static,
-                        )
-                        next_delta[rule.head.predicate] |= derived
-                delta = {
-                    idb: frozenset(next_delta[idb] - values[idb]) for idb in idbs
-                }
-                for idb in idbs:
-                    values[idb] = values[idb] | delta[idb]
-                if sp:
-                    sp.note(rows=sum(len(d) for d in delta.values()))
-            rounds += 1
+        rounds = 1 + seminaive_closure(
+            program,
+            values,
+            delta,
+            strategy=strategy,
+            cache=cache,
+            static=static,
+            first_round=1,
+        )
         result = {p: values[p] for p in idbs}
         if root:
             root.note(rounds=rounds, rows=sum(len(v) for v in result.values()))

@@ -14,6 +14,15 @@ persistent pool, one job per task, under one of three routing policies:
   jobs sharing a key — e.g. the same database — land on the same worker,
   whose memoized indexes and codecs then amortize across the batch).
 
+Hash affinity is made real by a worker-side *database affinity cache*:
+each worker keeps the last few keyed databases it unpickled, and an
+``"evaluate"`` job whose shipped database equals the cached one for its
+key runs against the cached object instead — through
+:meth:`~repro.relational.structure.Structure.derived` every query on the
+same database object shares one set of atom relations, so the hash
+indexes one job's joins build are *probed* (``index_hits``) rather than
+rebuilt (``index_builds``) by every later job with the same key.
+
 Every job runs under fresh stats collectors in its worker and ships its
 counters home; :meth:`Coordinator.run` merges them into the ambient
 collectors (and :func:`~repro.parallel.pool.record_worker`) so batch
@@ -83,13 +92,42 @@ class JobResult:
     search: Any = field(repr=False, default=None)
 
 
+#: Worker-process-local database affinity cache: ``{job.key: database}``.
+#: Bounded FIFO — a long-lived pool worker holds at most this many shipped
+#: databases alive for cross-job index reuse.
+_AFFINITY_CAP = 4
+_affinity_databases: dict[Any, Any] = {}
+
+
+def _affine_database(key: Any, database: Any) -> Any:
+    """Swap a shipped database for this worker's cached equal copy.
+
+    Every job arrives with its own unpickled database object, so without
+    this cache even perfectly-routed jobs rebuild every index from
+    scratch.  When an earlier job with the same ``key`` shipped an *equal*
+    database, return that earlier object — its memoized atom relations and
+    hash indexes (see :meth:`Structure.derived`) are already warm.  An
+    unequal database under the same key (the caller updated it) replaces
+    the cached copy, so reuse is never stale.
+    """
+    if key is None:
+        return database
+    cached = _affinity_databases.get(key)
+    if cached is not None and cached == database:
+        return cached
+    if len(_affinity_databases) >= _AFFINITY_CAP:
+        _affinity_databases.pop(next(iter(_affinity_databases)))
+    _affinity_databases[key] = database
+    return database
+
+
 def _run_job(job: Job) -> Any:
     """Worker-side dispatch of one job (under installed collectors)."""
     if job.kind == "evaluate":
         from repro.cq.evaluate import evaluate
 
         query, database, strategy = job.payload
-        return evaluate(query, database, strategy)
+        return evaluate(query, _affine_database(job.key, database), strategy)
     if job.kind == "is_solvable":
         from repro.csp.solvers.join import is_solvable
 

@@ -487,10 +487,11 @@ def _join_all_interned(pending: Sequence[Relation]) -> Relation:
 
     stats = current_stats()
     start = perf_counter() if stats is not None else 0.0
-    # The shared codec is memoized per fold (keyed on the relation set):
-    # re-folding the same relations — Datalog rounds, repeated solvability
-    # checks, per-shard fans — skips the repr-sort of the union universe,
-    # and only an actual build charges ``intern_tables``.
+    # The shared codec is memoized per fold (identity tier first, then the
+    # relation-set tier): re-folding the same relations — Datalog rounds,
+    # repeated solvability checks, per-shard fans — skips the repr-sort of
+    # the union universe.  Only an actual build charges ``intern_tables``;
+    # a served codec charges ``codec_cache_hits``.
     codec, codec_built = fold_codec(pending)
     # Codes are assigned in repr order, so a value universe that is already
     # the dense ints 0..n-1 (in repr order) interns to itself.  Both
@@ -512,6 +513,7 @@ def _join_all_interned(pending: Sequence[Relation]) -> Relation:
             "intern_encode",
             scanned=0 if identity else sum(len(r) for r in pending),
             intern_tables=1 if codec_built else 0,
+            codec_cache_hits=0 if codec_built else 1,
             seconds=perf_counter() - start,
         )
 

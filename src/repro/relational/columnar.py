@@ -589,6 +589,7 @@ def join_all_columnar(pending: Sequence[Relation]) -> Relation:
         stats.record(
             "columnar_encode",
             intern_tables=1 if codec_built else 0,
+            codec_cache_hits=0 if codec_built else 1,
             seconds=perf_counter() - start,
         )
 

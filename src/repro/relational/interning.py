@@ -132,44 +132,75 @@ class Codec:
         self._codes = {v: i for i, v in enumerate(values)}
 
 
-# The memoized fold codecs of :func:`fold_codec`, keyed on the (frozenset
-# of) relations of one ``join_all`` fold.  Bounded FIFO: profiles show the
-# repr-sort of the shared universe dominating the *warm* interned/columnar
-# join path, and workloads re-fold the same base relations (Datalog rounds,
-# repeated solvability checks, per-shard fans), so a small cache removes
-# the sort from every repeat.
+# The memoized fold codecs of :func:`fold_codec`, two tiers.  Profiles show
+# the repr-sort of the shared universe dominating the *warm* interned and
+# columnar join paths, and workloads re-fold the same base relations
+# (Datalog rounds, repeated solvability checks, per-shard fans), so a small
+# cache removes the sort from every repeat.
+#
+# * ``_FOLD_CODECS_BY_ID`` — the fast tier, keyed on the participating
+#   relations' *identities*.  A repeated evaluation of the same view folds
+#   the very same :class:`~repro.relational.relation.Relation` objects (the
+#   incremental service keeps atom relations alive between updates), and an
+#   identity probe skips even the ``frozenset`` hash of the rows.  Each
+#   entry pins the relation objects it was keyed on, so a live entry's
+#   ``id()``s can never be recycled to other relations.
+# * ``_FOLD_CODECS`` — the content tier, keyed on the frozenset of
+#   relations.  Distinct-but-equal relation objects (rebuilt per call by
+#   e.g. the CSP solvers) still share one codec through it.
+#
+# Both tiers are bounded FIFO at :data:`FOLD_CODEC_CACHE_CAP` entries.
 _FOLD_CODECS: dict = {}
+_FOLD_CODECS_BY_ID: Dict[Tuple[int, ...], Tuple[Codec, Tuple[Any, ...]]] = {}
 
-#: Entries kept in the fold-codec cache before the oldest is evicted.
+#: Entries kept in each fold-codec cache tier before the oldest is evicted.
 FOLD_CODEC_CACHE_CAP = 256
+
+
+def _evict_to_cap(cache: dict) -> None:
+    if len(cache) >= FOLD_CODEC_CACHE_CAP:
+        cache.pop(next(iter(cache)))
 
 
 def fold_codec(relations: Iterable[Any]) -> Tuple[Codec, bool]:
     """The shared :class:`Codec` over the active domains of ``relations``,
-    memoized on the relation set.
+    memoized per fold.
 
     Returns ``(codec, built)`` where ``built`` says whether the codec was
     constructed by this call (``False`` on a cache hit) — the honest-charge
-    signal callers use for ``EvalStats.intern_tables``.  The key is the
-    *set* of relations, so the planner's different orderings of one fold
-    share a single codec; determinism is untouched because the codec sorts
-    its universe by ``repr`` regardless of iteration order.
+    signal callers use for ``EvalStats.intern_tables`` and
+    ``EvalStats.codec_cache_hits``.  The probe order is identity first
+    (same relation *objects* as an earlier fold — no row hashing at all),
+    then content (the frozenset of relations, so the planner's different
+    orderings of one fold and rebuilt-but-equal relations share a single
+    codec).  Determinism is untouched because the codec sorts its universe
+    by ``repr`` regardless of iteration order.
     """
-    key = frozenset(relations)
+    pinned = tuple(relations)
+    id_key = tuple(sorted({id(rel) for rel in pinned}))
+    by_id = _FOLD_CODECS_BY_ID.get(id_key)
+    if by_id is not None:
+        return by_id[0], False
+    key = frozenset(pinned)
     codec = _FOLD_CODECS.get(key)
     if codec is not None:
+        # Promote: the next fold of these very objects hits the fast tier.
+        _evict_to_cap(_FOLD_CODECS_BY_ID)
+        _FOLD_CODECS_BY_ID[id_key] = (codec, pinned)
         return codec, False
     codec = Codec(v for rel in key for t in rel for v in t)
-    if len(_FOLD_CODECS) >= FOLD_CODEC_CACHE_CAP:
-        _FOLD_CODECS.pop(next(iter(_FOLD_CODECS)))
+    _evict_to_cap(_FOLD_CODECS)
     _FOLD_CODECS[key] = codec
+    _evict_to_cap(_FOLD_CODECS_BY_ID)
+    _FOLD_CODECS_BY_ID[id_key] = (codec, pinned)
     return codec, True
 
 
 def reset_fold_codecs() -> None:
-    """Drop every memoized fold codec (bench/test hook: a cold-cache run
-    charges one ``intern_tables`` per fold again)."""
+    """Drop every memoized fold codec, both tiers (bench/test hook: a
+    cold-cache run charges one ``intern_tables`` per fold again)."""
     _FOLD_CODECS.clear()
+    _FOLD_CODECS_BY_ID.clear()
 
 
 def encode_structure(

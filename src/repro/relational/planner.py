@@ -177,16 +177,27 @@ class RelationProfile:
 
 
 def profile(relation: Relation) -> RelationProfile:
-    """Exact profile of a base relation (one pass over the tuples)."""
+    """Exact profile of a base relation (one pass over the tuples).
+
+    Memoized on the relation object: relations are immutable, so the
+    statistics never go stale, and repeated planning over a persistent
+    relation (every delta round of a fixpoint probes the same full IDB
+    relation) pays the scan once.
+    """
+    cached = relation._profile
+    if cached is not None:
+        return cached
     counts: dict[str, set] = {a: set() for a in relation.attributes}
     for row in relation:
         for a, v in zip(relation.attributes, row):
             counts[a].add(v)
-    return RelationProfile(
+    result = RelationProfile(
         frozenset(relation.attributes),
         float(len(relation)),
         {a: float(len(vs)) for a, vs in counts.items()},
     )
+    relation._profile = result
+    return result
 
 
 def estimate_join(left: RelationProfile, right: RelationProfile) -> RelationProfile:

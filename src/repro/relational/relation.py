@@ -133,6 +133,7 @@ class Relation:
         "_indexes",
         "_code_indexes",
         "_column_store",
+        "_profile",
     )
 
     def __init__(self, attributes: Sequence[str], tuples: Iterable[Sequence[Any]] = ()):
@@ -152,6 +153,7 @@ class Relation:
         self._indexes: dict[tuple[str, ...], dict[tuple[Any, ...], list[tuple[Any, ...]]]] = {}
         self._code_indexes: dict[tuple[str, ...], CodeIndex] = {}
         self._column_store: Any = None
+        self._profile: Any = None
 
     # -- basic protocol ---------------------------------------------------
 
@@ -217,6 +219,7 @@ class Relation:
         self._indexes = {}
         self._code_indexes = {}
         self._column_store = None
+        self._profile = None
 
     # -- construction helpers ---------------------------------------------
 
@@ -233,6 +236,29 @@ class Relation:
         ``Relation.unit()`` returns that relation unchanged.
         """
         return cls((), [()])
+
+    @classmethod
+    def from_trusted_rows(
+        cls, attributes: tuple[str, ...], rows: frozenset[tuple[Any, ...]]
+    ) -> "Relation":
+        """Wrap an already-validated row set without copying it.
+
+        The caller vouches that ``attributes`` is a well-formed scheme and
+        every row in ``rows`` is a tuple of matching arity — the invariant a
+        :class:`~repro.relational.structure.Structure` maintains for its
+        predicate values.  The frozenset is shared, not copied, which is
+        what makes rebuilding an atom relation over an unchanged predicate
+        value O(1) instead of O(rows).
+        """
+        relation = cls.__new__(cls)
+        relation._attributes = attributes
+        relation._tuples = rows if isinstance(rows, frozenset) else frozenset(rows)
+        relation._hash = None
+        relation._indexes = {}
+        relation._code_indexes = {}
+        relation._column_store = None
+        relation._profile = None
+        return relation
 
     @classmethod
     def from_mappings(

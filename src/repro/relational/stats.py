@@ -15,6 +15,9 @@ the quantity that governs join cost; this module makes it observable.  An
 * ``intern_tables`` / ``bitset_words`` / ``mask_ops`` — interned-execution
   work: codec + code-index builds, 64-bit words held by packed structures,
   and word-level membership operations,
+* ``codec_cache_hits`` — fold codecs served from the memo of
+  :func:`repro.relational.interning.fold_codec` (each hit is a repr-sort
+  of the fold's shared universe that did *not* run),
 * ``seeks`` / ``leapfrog_rounds`` / ``trie_builds`` — worst-case-optimal
   join work: trie-cursor seek/next bisections, leapfrog-chase iterations,
   and sorted tries constructed (see :mod:`repro.relational.wcoj`),
@@ -68,6 +71,7 @@ class EvalStats:
     probe_misses: int = 0
     tuples_emitted: int = 0
     intern_tables: int = 0
+    codec_cache_hits: int = 0
     bitset_words: int = 0
     mask_ops: int = 0
     seeks: int = 0
@@ -95,6 +99,7 @@ class EvalStats:
         probe_misses: int = 0,
         emitted: int = 0,
         intern_tables: int = 0,
+        codec_cache_hits: int = 0,
         bitset_words: int = 0,
         mask_ops: int = 0,
         seeks: int = 0,
@@ -115,6 +120,7 @@ class EvalStats:
         self.probe_misses += probe_misses
         self.tuples_emitted += emitted
         self.intern_tables += intern_tables
+        self.codec_cache_hits += codec_cache_hits
         self.bitset_words += bitset_words
         self.mask_ops += mask_ops
         self.seeks += seeks
@@ -159,6 +165,7 @@ class EvalStats:
         self.probe_misses += other.probe_misses
         self.tuples_emitted += other.tuples_emitted
         self.intern_tables += other.intern_tables
+        self.codec_cache_hits += other.codec_cache_hits
         self.bitset_words += other.bitset_words
         self.mask_ops += other.mask_ops
         self.seeks += other.seeks
@@ -185,6 +192,7 @@ class EvalStats:
         self.probe_misses = 0
         self.tuples_emitted = 0
         self.intern_tables = 0
+        self.codec_cache_hits = 0
         self.bitset_words = 0
         self.mask_ops = 0
         self.seeks = 0
@@ -231,6 +239,7 @@ class EvalStats:
             "probe_misses": self.probe_misses,
             "tuples_emitted": self.tuples_emitted,
             "intern_tables": self.intern_tables,
+            "codec_cache_hits": self.codec_cache_hits,
             "bitset_words": self.bitset_words,
             "mask_ops": self.mask_ops,
             "seeks": self.seeks,
@@ -260,6 +269,7 @@ class EvalStats:
             f"probe misses        {self.probe_misses}",
             f"tuples emitted      {self.tuples_emitted}",
             f"intern tables       {self.intern_tables}",
+            f"codec cache hits    {self.codec_cache_hits}",
             f"bitset words        {self.bitset_words}",
             f"mask ops            {self.mask_ops}",
             f"seeks               {self.seeks}",

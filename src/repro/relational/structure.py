@@ -98,7 +98,7 @@ class Structure:
         use only domain elements.
     """
 
-    __slots__ = ("_vocabulary", "_domain", "_relations", "_hash")
+    __slots__ = ("_vocabulary", "_domain", "_relations", "_hash", "_derived")
 
     def __init__(
         self,
@@ -132,6 +132,7 @@ class Structure:
             interp[symbol] = frozenset(rows)
         self._relations = interp
         self._hash: int | None = None
+        self._derived: dict[Any, Any] = {}
 
     # -- accessors ---------------------------------------------------------
 
@@ -194,6 +195,42 @@ class Structure:
         rels: dict[str, Iterable[tuple]] = dict(self._relations)
         rels[symbol] = rows
         return Structure(Vocabulary(arities), self._domain, rels)
+
+    # -- derived-value memo ---------------------------------------------------
+
+    def derived(self, key: Any, build: Any) -> Any:
+        """Memoize a value derived from this (immutable) structure.
+
+        ``build`` is a zero-argument callable run on the first request for
+        ``key``; later requests return the stored value.  Because the
+        structure never changes, a derived value can be cached for its
+        lifetime — :func:`repro.cq.evaluate.atom_relation` uses this to hand
+        every query over the same database the *same*
+        :class:`~repro.relational.relation.Relation` objects, so the
+        memoized hash indexes built by one query's joins are probed (not
+        rebuilt) by the next query.  The memo is identity state: it is
+        excluded from equality, hashing, and pickling.
+        """
+        try:
+            return self._derived[key]
+        except KeyError:
+            value = build()
+            self._derived[key] = value
+            return value
+
+    # -- pickling -------------------------------------------------------------
+    #
+    # Only the vocabulary, domain, and relations travel; the cached hash and
+    # the derived-value memo are rebuilt lazily on the other side of the
+    # wire, so a shipped structure costs no more than its facts.
+
+    def __getstate__(self) -> tuple:
+        return (self._vocabulary, self._domain, self._relations)
+
+    def __setstate__(self, state: tuple) -> None:
+        self._vocabulary, self._domain, self._relations = state
+        self._hash = None
+        self._derived = {}
 
     # -- protocol ------------------------------------------------------------
 

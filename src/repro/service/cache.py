@@ -1,0 +1,248 @@
+"""The containment-keyed result cache — Props 2.2/2.3 as cache coherence.
+
+Entries are keyed on :func:`repro.cq.canonical.canonical_key` of the
+*minimized* query.  Because the core of a conjunctive query is unique up
+to isomorphism and the canonical key is an isomorphism invariant, two
+equivalent queries — however differently written — collide on the same
+key, so the cache answers the second one without touching the data.  Three
+probe tiers, cheapest first:
+
+1. **exact/equivalence** — the probe's canonical key indexes straight into
+   an entry.  A hit is *exact* when the minimized bodies are syntactically
+   identical, *equivalence* when they only agree up to variable renaming.
+2. **projection** — an entry whose distinguished tuple extends the probe's
+   positionally can answer by projecting its cached relation, when the
+   probe's key equals the canonical key of the entry's query re-headed to
+   that prefix (sound: equal keys mean isomorphic queries, and projection
+   commutes with isomorphism).
+3. **containment probe** — queries too symmetric for a canonical key
+   (:data:`~repro.cq.canonical.CANONICAL_KEY_PERMUTATION_CAP`) fall back
+   to explicit Chandra–Merlin equivalence checks against a bounded number
+   of keyless entries.
+
+Invalidation rides the maintenance plane: each entry records the
+predicates its body mentions, and :meth:`ResultCache.invalidate` drops
+exactly the entries touching a dirty predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.cq.canonical import canonical_key
+from repro.cq.containment import are_equivalent
+from repro.cq.query import ConjunctiveQuery
+from repro.relational.relation import Relation
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Monotone counters of one :class:`ResultCache`'s lifetime."""
+
+    exact_hits: int = 0
+    equivalence_hits: int = 0
+    projection_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    containment_probes: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.exact_hits + self.equivalence_hits + self.projection_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "exact_hits": self.exact_hits,
+            "equivalence_hits": self.equivalence_hits,
+            "projection_hits": self.projection_hits,
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "containment_probes": self.containment_probes,
+        }
+
+
+@dataclass
+class _Entry:
+    query: ConjunctiveQuery  # minimized
+    key: str | None
+    result: Relation
+    predicates: frozenset[str]
+    prefix_keys: dict[int, str]  # head-prefix length -> canonical key
+
+
+class ResultCache:
+    """A bounded FIFO cache of minimized-query results.
+
+    Parameters
+    ----------
+    capacity:
+        Entries kept before the oldest is evicted.
+    containment_probes:
+        Per-lookup budget of explicit equivalence checks in the
+        containment tier (only keyless entries are probed — keyed entries
+        that could match would already have hit tier 1).
+    """
+
+    def __init__(self, capacity: int = 512, containment_probes: int = 8):
+        self.capacity = capacity
+        self.containment_probes = containment_probes
+        self.stats = CacheStats()
+        self._entries: dict[ConjunctiveQuery, _Entry] = {}
+        self._by_key: dict[str, ConjunctiveQuery] = {}
+        self._by_prefix: dict[tuple[str, int], ConjunctiveQuery] = {}
+        self._by_predicate: dict[str, set[ConjunctiveQuery]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, minimized: ConjunctiveQuery) -> tuple[str, Relation | None]:
+        """Probe the cache with a *minimized* query.
+
+        Returns ``(outcome, relation)`` where ``outcome`` is one of
+        ``"exact"``, ``"equivalence"``, ``"projection"``, ``"miss"``; on a
+        hit the relation's attributes are already renamed to the probe's
+        distinguished variable names.
+        """
+        key = canonical_key(minimized)
+        arity = len(minimized.distinguished)
+        if key is not None:
+            holder = self._by_key.get(key)
+            if holder is not None:
+                entry = self._entries[holder]
+                if entry.query == minimized:
+                    self.stats.exact_hits += 1
+                    outcome = "exact"
+                else:
+                    self.stats.equivalence_hits += 1
+                    outcome = "equivalence"
+                return outcome, self._rename(entry.result, minimized)
+            prefix_holder = self._by_prefix.get((key, arity))
+            if prefix_holder is not None:
+                entry = self._entries[prefix_holder]
+                self.stats.projection_hits += 1
+                prefix_attrs = tuple(
+                    v.name for v in entry.query.distinguished[:arity]
+                )
+                from repro.relational.algebra import project
+
+                projected = project(entry.result, prefix_attrs)
+                return "projection", self._rename(projected, minimized)
+        else:
+            # No canonical key (orbit explosion): bounded Chandra–Merlin
+            # probes against the other keyless entries of the same arity.
+            budget = self.containment_probes
+            for entry in self._entries.values():
+                if budget <= 0:
+                    break
+                if entry.key is not None or len(entry.query.distinguished) != arity:
+                    continue
+                budget -= 1
+                self.stats.containment_probes += 1
+                if are_equivalent(minimized, entry.query):
+                    self.stats.equivalence_hits += 1
+                    return "equivalence", self._rename(entry.result, minimized)
+        self.stats.misses += 1
+        return "miss", None
+
+    @staticmethod
+    def _rename(result: Relation, probe: ConjunctiveQuery) -> Relation:
+        """Rebuild a cached relation over the probe's head variable names
+        (columns correspond positionally; equal canonical keys guarantee
+        matching head shapes, so the renaming is always well-formed)."""
+        names = tuple(v.name for v in probe.distinguished)
+        if result.attributes == names:
+            return result
+        return Relation(names, result.tuples)
+
+    # -- store / invalidate ---------------------------------------------------
+
+    def store(self, minimized: ConjunctiveQuery, result: Relation) -> None:
+        """Insert one minimized query's result (evicting FIFO at capacity)."""
+        if minimized in self._entries:
+            self._drop(minimized)
+        key = canonical_key(minimized)
+        prefix_keys: dict[int, str] = {}
+        distinguished = minimized.distinguished
+        for k in range(len(distinguished)):
+            prefix = distinguished[:k]
+            if len(set(prefix)) != len(prefix):
+                continue  # repeated head variable: projection is ambiguous
+            prefix_query = ConjunctiveQuery(
+                minimized.head_name, prefix, minimized.body
+            )
+            pk = canonical_key(prefix_query)
+            if pk is not None:
+                prefix_keys[k] = pk
+        entry = _Entry(
+            minimized,
+            key,
+            result,
+            frozenset(a.predicate for a in minimized.body),
+            prefix_keys,
+        )
+        while len(self._entries) >= self.capacity:
+            self._drop(next(iter(self._entries)))
+            self.stats.evictions += 1
+        self._entries[minimized] = entry
+        if key is not None:
+            self._by_key.setdefault(key, minimized)
+        for k, pk in prefix_keys.items():
+            self._by_prefix.setdefault((pk, k), minimized)
+        for predicate in entry.predicates:
+            self._by_predicate.setdefault(predicate, set()).add(minimized)
+        self.stats.stores += 1
+
+    def invalidate(self, dirty: Iterable[str]) -> int:
+        """Drop every entry whose body mentions a dirty predicate; returns
+        how many entries were dropped."""
+        victims: set[ConjunctiveQuery] = set()
+        for predicate in dirty:
+            victims |= self._by_predicate.get(predicate, set())
+        for query in victims:
+            self._drop(query)
+        self.stats.invalidations += len(victims)
+        return len(victims)
+
+    def clear(self) -> None:
+        """Drop everything (counters are kept — they are lifetime totals)."""
+        self._entries.clear()
+        self._by_key.clear()
+        self._by_prefix.clear()
+        self._by_predicate.clear()
+
+    def _drop(self, query: ConjunctiveQuery) -> None:
+        entry = self._entries.pop(query, None)
+        if entry is None:
+            return
+        if entry.key is not None and self._by_key.get(entry.key) == query:
+            del self._by_key[entry.key]
+        for k, pk in entry.prefix_keys.items():
+            if self._by_prefix.get((pk, k)) == query:
+                del self._by_prefix[(pk, k)]
+        for predicate in entry.predicates:
+            holders = self._by_predicate.get(predicate)
+            if holders is not None:
+                holders.discard(query)
+                if not holders:
+                    del self._by_predicate[predicate]

@@ -1,0 +1,101 @@
+"""``canonical_key``: equal keys iff isomorphic queries; on minimized
+queries a sound-and-complete equality key for CQ equivalence."""
+
+import random
+
+import pytest
+
+from repro.cq.canonical import CANONICAL_KEY_PERMUTATION_CAP, canonical_key
+from repro.cq.containment import are_equivalent, minimize
+from repro.cq.parser import parse_query
+from repro.cq.query import Atom, ConjunctiveQuery, Var
+from repro.generators.queries import random_query
+
+
+def scramble(query, rng):
+    """Rename all variables freshly and shuffle the body (an isomorphic
+    rewrite by construction)."""
+    rename = {v: Var(f"s{i}_{rng.randrange(10**6)}") for i, v in enumerate(query.variables())}
+    body = [
+        Atom(a.predicate, tuple(rename.get(t, t) for t in a.terms))
+        for a in query.body
+    ]
+    rng.shuffle(body)
+    return ConjunctiveQuery(
+        query.head_name,
+        tuple(rename.get(v, v) for v in query.distinguished),
+        body,
+    )
+
+
+def test_isomorphic_rewrites_share_the_key():
+    rng = random.Random(0)
+    q = parse_query("Q(X, Z) :- E(X, Y), E(Y, Z), F(Z, X).")
+    key = canonical_key(q)
+    assert key is not None
+    for _ in range(20):
+        assert canonical_key(scramble(q, rng)) == key
+
+
+def test_head_name_does_not_affect_the_key():
+    a = parse_query("Q(X) :- E(X, Y).")
+    b = parse_query("Other(X) :- E(X, Y).")
+    assert canonical_key(a) == canonical_key(b)
+
+
+def test_different_queries_get_different_keys():
+    pairs = [
+        ("Q(X) :- E(X, Y).", "Q(X) :- E(Y, X)."),
+        ("Q(X, Y) :- E(X, Y).", "Q(X, Y) :- E(Y, X)."),
+        ("Q(X) :- E(X, X).", "Q(X) :- E(X, Y)."),
+        ("Q(X) :- E(X, Y), E(Y, X).", "Q(X) :- E(X, Y), E(Y, Z)."),
+    ]
+    for left, right in pairs:
+        kl = canonical_key(parse_query(left))
+        kr = canonical_key(parse_query(right))
+        assert kl is not None and kr is not None
+        assert kl != kr, (left, right)
+
+
+def test_constants_are_pinned_by_repr():
+    a = parse_query("Q(X) :- E(X, 1).")
+    b = parse_query("Q(X) :- E(X, 2).")
+    assert canonical_key(a) != canonical_key(b)
+    assert canonical_key(a) == canonical_key(parse_query("Q(Z) :- E(Z, 1)."))
+
+
+def test_repeated_head_variables_distinguished_from_distinct_ones():
+    twice = parse_query("Q(X, X) :- E(X, Y).")
+    distinct = parse_query("Q(X, Y) :- E(X, Z), E(Y, W).")
+    assert canonical_key(twice) != canonical_key(distinct)
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_key_equality_iff_equivalence_on_minimized_queries(seed):
+    """The containment-cache contract, randomized: for minimized queries,
+    equal canonical keys ⟺ Chandra–Merlin equivalence."""
+    rng = random.Random(seed)
+    q1 = minimize(random_query(4, 3, seed=seed))
+    q2 = minimize(random_query(4, 3, seed=seed + 1000))
+    k1, k2 = canonical_key(q1), canonical_key(q2)
+    if k1 is None or k2 is None:
+        pytest.skip("orbit explosion (cap) — no key to compare")
+    assert (k1 == k2) == are_equivalent(q1, q2)
+    # And a scrambled copy of q1 always agrees with q1.
+    assert canonical_key(minimize(scramble(q1, rng))) == k1
+
+
+def test_orbit_explosion_returns_none_not_a_wrong_key():
+    """A query with many interchangeable existential variables exceeds the
+    permutation cap and must yield None (fall back to containment)."""
+    n = 10  # 10! orderings in one color class > the cap
+    body = [Atom("R", (Var("X"), Var(f"Y{i}"))) for i in range(n)]
+    q = ConjunctiveQuery("Q", (Var("X"),), body)
+    assert canonical_key(q) is None
+    assert CANONICAL_KEY_PERMUTATION_CAP < 10**7  # cap stays bounded
+
+
+def test_boolean_queries_have_keys_too():
+    a = parse_query("Q() :- E(X, Y), E(Y, Z).")
+    b = parse_query("Q() :- E(A, B), E(B, C).")
+    assert canonical_key(a) == canonical_key(b) is not None

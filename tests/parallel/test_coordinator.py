@@ -59,6 +59,31 @@ def test_hash_policy_gives_key_affinity():
     assert all(len(workers) == 1 for workers in by_key.values())
 
 
+def test_hash_affinity_reuses_warmed_indexes_across_jobs():
+    """Jobs sharing a key hit the indexes built by the first job on their
+    worker: the worker-side database affinity cache hands every later job
+    the same Structure object, whose memoized atom relations carry the
+    warmed hash indexes across job boundaries."""
+    query = parse_query("Q(X,Z) :- E(X,Y), E(Y,Z).")
+    db = random_digraph(14, 0.3, seed=7)
+    coord = Coordinator(workers=2, policy="hash")
+    jobs = [
+        Job("evaluate", (query, db, "greedy"), key="affinity-db")
+        for _ in range(5)
+    ]
+    results = coord.run(jobs)
+    expected = evaluate(query, db, "greedy")
+    assert all(r.value == expected for r in results)
+    # All five jobs landed on one worker...
+    assert len({r.worker for r in results}) == 1
+    # ...where the first job built the base-relation indexes and every
+    # later job probed them, rebuilding only its own intermediates.
+    assert results[0].eval_stats.index_builds > 0
+    for later in results[1:]:
+        assert later.eval_stats.index_builds < results[0].eval_stats.index_builds
+        assert later.eval_stats.index_hits > 0
+
+
 def test_batch_totals_merge_into_ambient_stats():
     with collect_stats() as serial_stats:
         for i in INSTANCES:

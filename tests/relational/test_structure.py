@@ -127,3 +127,45 @@ class TestSumStructure:
         other = Structure({"F": 1}, [0], {})
         with pytest.raises(VocabularyError):
             sum_structure(self.a, other)
+
+
+class TestDerivedMemo:
+    """The identity-scoped derived-value memo: cached per object, excluded
+    from equality/hash/pickling."""
+
+    def make(self):
+        return Structure({"E": 2}, [1, 2], {"E": [(1, 2)]})
+
+    def test_build_runs_once_per_key(self):
+        s = self.make()
+        calls = []
+        assert s.derived("k", lambda: calls.append(1) or "value") == "value"
+        assert s.derived("k", lambda: calls.append(1) or "other") == "value"
+        assert len(calls) == 1
+        assert s.derived("k2", lambda: "second") == "second"
+
+    def test_memo_is_identity_state_not_content(self):
+        a, b = self.make(), self.make()
+        a.derived("k", lambda: "cached")
+        assert a == b and hash(a) == hash(b)
+        assert b.derived("k", lambda: "fresh") == "fresh"
+
+    def test_pickle_drops_the_memo_and_keeps_the_facts(self):
+        import pickle
+
+        s = self.make()
+        s.derived("k", lambda: object())  # unpicklable value must not travel
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone == s and hash(clone) == hash(s)
+        assert clone.derived("k", lambda: "rebuilt") == "rebuilt"
+
+    def test_atom_relations_are_shared_across_queries(self):
+        from repro.cq.evaluate import atom_relation
+        from repro.cq.parser import parse_atom
+
+        s = self.make()
+        r1 = atom_relation(parse_atom("E(X, Y)"), s)
+        r2 = atom_relation(parse_atom("E(X, Y)"), s)
+        assert r1 is r2
+        other = atom_relation(parse_atom("E(A, B)"), s)
+        assert other is not r1 and other.attributes == ("A", "B")

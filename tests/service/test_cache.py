@@ -1,0 +1,123 @@
+"""ResultCache: the three probe tiers, FIFO eviction, per-predicate
+invalidation, and honest counters."""
+
+from repro.cq.containment import minimize
+from repro.cq.parser import parse_query
+from repro.cq.query import Atom, ConjunctiveQuery, Var
+from repro.relational.relation import Relation
+from repro.service.cache import ResultCache
+
+
+def stored(cache, text, rows):
+    q = minimize(parse_query(text))
+    cache.store(q, Relation(tuple(v.name for v in q.distinguished), rows))
+    return q
+
+
+def test_exact_hit_on_identical_minimized_query():
+    cache = ResultCache()
+    q = stored(cache, "Q(X, Y) :- E(X, Y).", [(1, 2)])
+    outcome, result = cache.lookup(q)
+    assert outcome == "exact"
+    assert result.tuples == frozenset({(1, 2)})
+    assert cache.stats.exact_hits == 1
+
+
+def test_equivalence_hit_renames_to_probe_attributes():
+    cache = ResultCache()
+    stored(cache, "Q(X, Y) :- E(X, Y).", [(1, 2)])
+    probe = minimize(parse_query("Other(A, B) :- E(A, B)."))
+    outcome, result = cache.lookup(probe)
+    assert outcome == "equivalence"
+    assert result.attributes == ("A", "B")
+    assert result.tuples == frozenset({(1, 2)})
+
+
+def test_projection_hit_projects_a_wider_cached_answer():
+    cache = ResultCache()
+    stored(cache, "Q(X, Y) :- E(X, Y).", [(1, 2), (1, 3)])
+    probe = minimize(parse_query("P(A) :- E(A, B)."))
+    outcome, result = cache.lookup(probe)
+    assert outcome == "projection"
+    assert result.attributes == ("A",)
+    assert result.tuples == frozenset({(1,)})
+    assert cache.stats.projection_hits == 1
+
+
+def cycle_query(predicate, length=11, tag=""):
+    """A Boolean directed-cycle query of prime length: a genuine core whose
+    vertex-transitivity defeats color refinement (11! orderings > the
+    permutation cap), so it gets no canonical key."""
+    vs = [Var(f"{tag}{predicate}v{i}") for i in range(length)]
+    body = [
+        Atom(predicate, (vs[i], vs[(i + 1) % length])) for i in range(length)
+    ]
+    return ConjunctiveQuery("Q", (), body)
+
+
+def test_containment_tier_answers_keyless_probes():
+    """Queries past the permutation cap have no canonical key; equivalent
+    keyless probes still hit via bounded Chandra–Merlin checks."""
+    cache = ResultCache()
+    cache.store(minimize(cycle_query("R")), Relation((), [()]))
+    probe = minimize(cycle_query("R", tag="renamed_"))
+    outcome, result = cache.lookup(probe)
+    assert outcome == "equivalence"
+    assert result.tuples == frozenset({()})
+    assert cache.stats.containment_probes >= 1
+
+
+def test_containment_probe_budget_is_respected():
+    cache = ResultCache(containment_probes=2)
+    for j in range(4):  # four keyless entries over distinct predicates
+        cache.store(minimize(cycle_query(f"R{j}")), Relation((), []))
+    probe = minimize(cycle_query("S"))
+    before = cache.stats.containment_probes
+    outcome, _ = cache.lookup(probe)
+    assert outcome == "miss"
+    assert cache.stats.containment_probes - before == 2
+
+
+def test_invalidation_drops_only_entries_touching_dirty_predicates():
+    cache = ResultCache()
+    qe = stored(cache, "Q(X) :- E(X, Y).", [(1,)])
+    qf = stored(cache, "Q(X) :- F(X, Y).", [(2,)])
+    dropped = cache.invalidate({"E"})
+    assert dropped == 1
+    assert cache.lookup(qe)[0] == "miss"
+    assert cache.lookup(qf)[0] == "exact"
+    assert cache.stats.invalidations == 1
+
+
+def test_fifo_eviction_at_capacity():
+    cache = ResultCache(capacity=2)
+    q1 = stored(cache, "Q(X) :- E(X, Y).", [])
+    q2 = stored(cache, "Q(X) :- F(X, Y).", [])
+    q3 = stored(cache, "Q(X) :- G(X, Y).", [])
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    assert cache.lookup(q1)[0] == "miss"  # oldest evicted
+    assert cache.lookup(q2)[0] == "exact"
+    assert cache.lookup(q3)[0] == "exact"
+
+
+def test_restore_after_invalidation_works():
+    cache = ResultCache()
+    q = stored(cache, "Q(X) :- E(X, Y).", [(1,)])
+    cache.invalidate({"E"})
+    stored(cache, "Q(X) :- E(X, Y).", [(1,), (2,)])
+    outcome, result = cache.lookup(q)
+    assert outcome == "exact"
+    assert result.tuples == frozenset({(1,), (2,)})
+
+
+def test_hit_rate_arithmetic():
+    cache = ResultCache()
+    q = stored(cache, "Q(X) :- E(X, Y).", [])
+    cache.lookup(q)
+    cache.lookup(minimize(parse_query("Q(X) :- H(X, Y).")))
+    stats = cache.stats
+    assert stats.hits == 1 and stats.misses == 1 and stats.lookups == 2
+    assert stats.hit_rate == 0.5
+    as_dict = stats.as_dict()
+    assert as_dict["hit_rate"] == 0.5 and as_dict["lookups"] == 2

@@ -1,0 +1,121 @@
+"""``repro serve`` protocol and ``repro bench-service`` reporting."""
+
+import argparse
+import io
+import json
+
+from repro.service.cli import (
+    add_bench_service_arguments,
+    add_serve_arguments,
+    bench_service_report,
+    run_bench_service,
+    run_serve,
+)
+
+
+def serve_session(lines, **overrides):
+    parser = argparse.ArgumentParser()
+    add_serve_arguments(parser)
+    args = parser.parse_args([])
+    for key, value in overrides.items():
+        setattr(args, key, value)
+    stdout = io.StringIO()
+    run_serve(args, stdin=io.StringIO("\n".join(lines) + "\n"), stdout=stdout)
+    return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+
+def bench_args(**overrides):
+    parser = argparse.ArgumentParser()
+    add_bench_service_arguments(parser)
+    args = parser.parse_args([])
+    args.events = 40
+    args.update_every = 10
+    for key, value in overrides.items():
+        setattr(args, key, value)
+    return args
+
+
+def test_serve_query_insert_delete_stats_quit():
+    responses = serve_session([
+        '{"op": "insert", "predicate": "E", "rows": [[1, 2], [2, 3]]}',
+        '{"op": "query", "q": "Q(X, Y) :- T(X, Y)."}',
+        '{"op": "query", "q": "P(A, B) :- T(A, B)."}',
+        '{"op": "delete", "predicate": "E", "rows": [[2, 3]]}',
+        '{"op": "query", "q": "Q(X, Y) :- T(X, Y)."}',
+        '{"op": "stats"}',
+        '{"op": "quit"}',
+    ])
+    assert [r["ok"] for r in responses] == [True] * 7
+    assert responses[0]["rows_added"] == 5  # 2 EDB facts + 3 T facts
+    assert responses[1]["outcome"] == "miss"
+    assert sorted(map(tuple, responses[1]["rows"])) == [(1, 2), (1, 3), (2, 3)]
+    assert responses[2]["outcome"] == "equivalence"
+    assert responses[2]["attributes"] == ["A", "B"]
+    assert "T" in responses[3]["dirty"]
+    assert responses[4]["outcome"] == "miss"
+    assert sorted(map(tuple, responses[4]["rows"])) == [(1, 2)]
+    stats = responses[5]["stats"]
+    assert stats["cache"]["equivalence_hits"] == 1
+    assert stats["generation"] == 2
+    assert responses[6]["op"] == "quit"
+
+
+def test_serve_reports_errors_without_dying():
+    responses = serve_session([
+        '{"op": "bogus"}',
+        'not json at all',
+        '{"op": "query"}',
+        '{"op": "insert", "predicate": "T", "rows": [[1, 2]]}',
+        '{"op": "query", "q": "Q(X, Y) :- T(X, Y)."}',
+    ])
+    assert [r["ok"] for r in responses] == [False, False, False, False, True]
+    assert "unknown op" in responses[0]["error"]
+
+
+def test_serve_skips_blank_lines():
+    responses = serve_session(["", '{"op": "stats"}', "   ", '{"op": "quit"}'])
+    assert len(responses) == 2
+
+
+def test_bench_report_shape_and_consistency():
+    report = bench_service_report(bench_args())
+    assert report["events"] == 40
+    assert report["query_events"] + report["update_events"] == 40
+    cache = report["service"]["cache"]
+    assert cache["lookups"] == report["query_events"]
+    assert 0.0 <= cache["hit_rate"] <= 1.0
+    assert report["service"]["query_latency"]["count"] == report["query_events"]
+    assert "baseline" in report and "update_speedup" in report
+    assert report["baseline"]["update_latency"]["count"] == report["update_events"]
+
+
+def test_bench_no_baseline_skips_the_second_run():
+    report = bench_service_report(bench_args(no_baseline=True))
+    assert "baseline" not in report and "update_speedup" not in report
+
+
+def test_bench_human_and_json_outputs():
+    out = io.StringIO()
+    run_bench_service(bench_args(no_baseline=True), stdout=out)
+    text = out.getvalue()
+    assert "bench-service: 40 events" in text
+    assert "cache:" in text and "update latency" in text
+
+    out = io.StringIO()
+    run_bench_service(bench_args(no_baseline=True, json=True), stdout=out)
+    parsed = json.loads(out.getvalue())
+    assert parsed["events"] == 40
+
+
+def test_bench_jsonl_stream_validates():
+    """The --jsonl stream parses and reaggregates like every other trace
+    (the shape tools/validate_trace.py checks)."""
+    from repro.telemetry import parse_jsonl, validate_events
+
+    out = io.StringIO()
+    run_bench_service(bench_args(events=20, update_every=7, jsonl=True), stdout=out)
+    events = parse_jsonl(io.StringIO(out.getvalue()))
+    assert events
+    assert validate_events(events) == []
+    names = {e.get("name") for e in events if e.get("type") == "span_open"}
+    assert "service.query" in names and "service.update" in names

@@ -1,0 +1,95 @@
+"""QueryService: query answers always match direct evaluation (cached or
+not), updates invalidate, latencies land in the histograms."""
+
+import pytest
+
+from repro.cq.evaluate import evaluate
+from repro.cq.parser import parse_query
+from repro.datalog.library import transitive_closure_program
+from repro.errors import DomainError, VocabularyError
+from repro.service.core import QueryService
+
+EDGES = {(1, 2), (2, 3), (3, 4), (2, 5)}
+
+
+def make_service(**kwargs):
+    return QueryService(transitive_closure_program(), {"E": EDGES}, **kwargs)
+
+
+def test_answers_match_direct_evaluation_hit_or_miss():
+    svc = make_service()
+    variants = [
+        "Q(X, Y) :- T(X, Y).",
+        "P(A, B) :- T(A, B).",
+        "R(U, V) :- T(U, V), T(U, W).",  # redundant atom, still equivalent
+    ]
+    reference = evaluate(
+        parse_query(variants[0]), svc.engine.as_structure()
+    ).tuples
+    outcomes = []
+    for text in variants:
+        answer = svc.ask(text)
+        outcomes.append(answer.outcome)
+        assert answer.result.tuples == reference
+    assert outcomes[0] == "miss"
+    assert set(outcomes[1:]) == {"equivalence"}
+    assert svc.ask(variants[0]).outcome == "exact"
+
+
+def test_update_invalidates_and_answers_track_new_state():
+    svc = make_service()
+    assert (1, 9) not in svc.query("Q(X, Y) :- T(X, Y).").tuples
+    report = svc.update(inserts={"E": {(4, 9)}})
+    assert "T" in report.dirty
+    answer = svc.ask("Q(X, Y) :- T(X, Y).")
+    assert answer.outcome == "miss"  # invalidated
+    assert (1, 9) in answer.result.tuples
+
+
+def test_untouched_predicates_keep_their_cache_entries():
+    svc = QueryService(
+        transitive_closure_program(), {"E": EDGES}
+    )
+    svc.ask("Q(X, Y) :- T(X, Y).")
+    report = svc.update(inserts={"E": {(1, 2)}})  # already present: no-op
+    assert report.dirty == frozenset()
+    assert svc.ask("P(A, B) :- T(A, B).").outcome == "equivalence"
+
+
+def test_latency_histograms_fill():
+    svc = make_service()
+    svc.ask("Q(X) :- E(X, Y).")
+    svc.update(inserts={"E": {(7, 8)}})
+    assert svc.query_latency.count == 1
+    assert svc.update_latency.count == 1
+    stats = svc.stats()
+    assert stats["query_latency"]["count"] == 1
+    assert stats["query_latency"]["p99"] >= stats["query_latency"]["p50"] > 0
+    assert stats["cache"]["misses"] == 1
+    assert stats["generation"] == 1
+
+
+def test_query_over_edb_and_idb_predicates():
+    svc = make_service()
+    two_hop = svc.query("Q(X, Z) :- E(X, Y), E(Y, Z).")
+    assert (1, 3) in two_hop.tuples
+    assert (1, 4) not in two_hop.tuples
+
+
+def test_constructor_validation_propagates():
+    with pytest.raises(DomainError):
+        make_service(deletion="counting")  # TC is recursive
+    with pytest.raises(DomainError):
+        make_service(deletion="nonsense")
+
+
+def test_update_validation_propagates():
+    svc = make_service()
+    with pytest.raises(VocabularyError):
+        svc.update(inserts={"T": {(1, 2)}})
+
+
+def test_accepts_parsed_query_objects():
+    svc = make_service()
+    q = parse_query("Q(X, Y) :- T(X, Y).")
+    assert svc.ask(q).result.tuples == svc.ask("P(A, B) :- T(A, B).").result.tuples

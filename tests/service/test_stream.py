@@ -1,0 +1,119 @@
+"""The multi-tenant workload generator: reproducible, type-correct, and
+every query variant provably equivalent to its template."""
+
+import random
+
+from repro.cq.containment import are_equivalent
+from repro.cq.parser import parse_query
+from repro.service.stream import (
+    QueryEvent,
+    UpdateEvent,
+    equivalent_variant,
+    service_stream,
+)
+
+
+def test_stream_is_reproducible():
+    a = service_stream(50, seed=3)
+    b = service_stream(50, seed=3)
+    assert a.database == b.database
+    assert a.events == b.events
+    assert service_stream(50, seed=4).events != a.events
+
+
+def test_stream_shape_and_update_cadence():
+    wl = service_stream(56, update_every=14, templates=3, tenants=5)
+    assert len(wl.events) == 56
+    assert wl.update_events == 4  # events 14, 28, 42, 56
+    assert wl.query_events == 52
+    for event in wl.events:
+        if isinstance(event, QueryEvent):
+            assert 0 <= event.tenant < 5
+            assert 0 <= event.template < 3
+        else:
+            assert isinstance(event, UpdateEvent)
+            assert set(event.inserts) <= {"E"} and set(event.deletes) <= {"E"}
+
+
+def test_variants_are_equivalent_to_their_template():
+    rng = random.Random(0)
+    wl = service_stream(40, templates=4)
+    for event in wl.events:
+        if isinstance(event, QueryEvent):
+            assert are_equivalent(event.query, wl.templates[event.template])
+    # And directly, including the redundant-atom branch:
+    template = parse_query("Q(X, Z) :- E(X, Y), T(Y, Z).")
+    for _ in range(30):
+        variant = equivalent_variant(template, rng)
+        assert are_equivalent(variant, template)
+
+
+def test_variants_differ_syntactically():
+    rng = random.Random(1)
+    template = parse_query("Q(X, Z) :- E(X, Y), T(Y, Z).")
+    variants = {repr(equivalent_variant(template, rng)) for _ in range(10)}
+    assert len(variants) == 10  # fresh names every time
+
+
+def test_updates_keep_edges_within_the_node_universe():
+    wl = service_stream(100, nodes=10, edges=20, update_every=5)
+    edge_set = set(wl.database["E"])
+    for event in wl.events:
+        if isinstance(event, UpdateEvent):
+            for (a, b) in event.inserts.get("E", ()):
+                assert 0 <= a < 10 and 0 <= b < 10 and a != b
+                assert (a, b) not in edge_set
+                edge_set.add((a, b))
+            for edge in event.deletes.get("E", ()):
+                assert edge in edge_set
+                edge_set.discard(edge)
+
+
+def test_template_count_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        service_stream(10, templates=0)
+    with pytest.raises(ValueError):
+        service_stream(10, templates=99)
+    with pytest.raises(ValueError):
+        service_stream(10, graph="torus")
+
+
+def test_hierarchy_stream_is_a_forest_forever():
+    """The hierarchy workload starts as a random recursive forest (every
+    node's parent has a smaller index) and every reparenting batch
+    preserves that invariant — so the graph stays acyclic for the whole
+    stream and each node keeps exactly one parent."""
+    wl = service_stream(120, nodes=40, graph="hierarchy", update_every=3)
+    edge_set = set(wl.database["E"])
+    assert len(edge_set) == 39  # one edge per non-root node
+
+    def check_forest(edges):
+        parents = {}
+        for (p, c) in edges:
+            assert p < c, f"edge {p}->{c} violates the parent<child invariant"
+            assert c not in parents, f"node {c} has two parents"
+            parents[c] = p
+
+    check_forest(edge_set)
+    for event in wl.events:
+        if isinstance(event, UpdateEvent):
+            deletes = event.deletes.get("E", frozenset())
+            inserts = event.inserts.get("E", frozenset())
+            assert not (deletes & inserts)
+            for edge in deletes:
+                assert edge in edge_set
+                edge_set.discard(edge)
+            for edge in inserts:
+                assert edge not in edge_set
+                edge_set.add(edge)
+            check_forest(edge_set)
+            # A reparenting batch swaps edges one-for-one.
+            assert len(edge_set) == 39
+
+
+def test_hierarchy_stream_is_reproducible():
+    a = service_stream(60, graph="hierarchy", nodes=25, seed=7)
+    b = service_stream(60, graph="hierarchy", nodes=25, seed=7)
+    assert a.database == b.database and a.events == b.events

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.io",
     "repro.telemetry",
     "repro.parallel",
+    "repro.service",
 ]
 
 SOLVER_MODULES = [
